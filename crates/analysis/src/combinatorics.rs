@@ -1,0 +1,173 @@
+//! Numerically stable combinatorics for the reliability model.
+//!
+//! Formula (8) needs binomial terms `C(tn, i) · t^(tn-i) · (1-t)^i` with
+//! `tn` up to ~1111 (h=3, r=10 gives tn=111; larger sweeps go further).
+//! Everything is computed in log space and exponentiated at the end.
+
+/// Natural log of `n!` via the log-gamma function (Lanczos approximation
+/// for large `n`, exact summation below a small threshold).
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        (2..=n).map(|k| (k as f64).ln()).sum()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // g = 7, n = 9 coefficients (standard Lanczos parameters)
+    #[allow(clippy::excessive_precision)] // canonical Lanczos constants
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `C(n, k)` as f64 (may overflow to `inf` for huge arguments).
+pub fn binomial(n: u64, k: u64) -> f64 {
+    ln_binomial(n, k).exp()
+}
+
+/// Exact `C(n, k)` in u128, or `None` on overflow.
+pub fn binomial_exact(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// One term of the binomial distribution: `C(n,k) p^k (1-p)^(n-k)`,
+/// computed in log space.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_binomial(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Cumulative binomial: `P[X <= k]` for `X ~ Bin(n, p)`.
+pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
+    (0..=k.min(n)).map(|i| binomial_pmf(n, i, p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn ln_factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!(close(ln_factorial(5), 120f64.ln(), 1e-12));
+        assert!(close(ln_factorial(10), 3_628_800f64.ln(), 1e-12));
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials_across_threshold() {
+        // ln Γ(n+1) = ln n!
+        for n in [200u64, 255, 256, 300, 1000] {
+            let direct: f64 = (2..=n).map(|k| (k as f64).ln()).sum();
+            assert!(
+                close(ln_factorial(n), direct, 1e-10),
+                "n={n}: {} vs {direct}",
+                ln_factorial(n)
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_exact_known_values() {
+        assert_eq!(binomial_exact(5, 2), Some(10));
+        assert_eq!(binomial_exact(10, 0), Some(1));
+        assert_eq!(binomial_exact(10, 10), Some(1));
+        assert_eq!(binomial_exact(3, 5), Some(0));
+        assert_eq!(binomial_exact(52, 5), Some(2_598_960));
+        assert_eq!(binomial_exact(111, 2), Some(6_105));
+    }
+
+    #[test]
+    fn binomial_f64_matches_exact() {
+        for (n, k) in [(10u64, 3u64), (111, 2), (31, 5), (100, 50)] {
+            let exact = binomial_exact(n, k).unwrap() as f64;
+            assert!(close(binomial(n, k), exact, 1e-9), "C({n},{k})");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (111, 0.001), (31, 0.5)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            assert!(close(total, 1.0, 1e-9), "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_edge_probabilities() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 1, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0), 0.0);
+        assert!(binomial_pmf(5, 1, 1.5).is_nan());
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let n = 31;
+        let p = 0.01;
+        let mut last = 0.0;
+        for k in 0..=n {
+            let c = binomial_cdf(n, k, p);
+            assert!(c >= last);
+            last = c;
+        }
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! The scalability model of §5.1: HopCount formulas (1)–(6) for the
+//! tree-based hierarchy (with and without representatives, the CONGRESS
+//! structure of [4]) and for the RGB ring-based hierarchy, plus the Table I
+//! grid.
+//!
+//! Conventions (as in the paper):
+//!
+//! * tree-based hierarchy of height `h ≥ 3`, branching `r ≥ 2`: the leaves
+//!   are the `n = r^(h-1)` LMSs;
+//! * ring-based hierarchy of height `h ≥ 2` with rings of exactly `r ≥ 2`
+//!   nodes: the bottommost rings hold `n = r^h` APs and there are
+//!   `tn = Σ_{i=0}^{h-1} r^i` rings in total;
+//! * `HopCount` is `n ×` the number of proposal-message hops for one
+//!   membership change; the normalised `HCN = HopCount / n` is what Table I
+//!   reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric sum `Σ_{i=0}^{upto} r^i` (zero when `upto` underflows).
+fn geo_sum(r: u64, upto: i64) -> u64 {
+    if upto < 0 {
+        return 0;
+    }
+    (0..=upto as u32).map(|i| r.pow(i)).sum()
+}
+
+/// Formula (1): HopCount of the tree-based hierarchy **without**
+/// representatives: `n · Σ_{i=0}^{h-2} r^{i+1}`.
+pub fn hopcount_tree_no_reps(n: u64, h: u32, r: u64) -> u64 {
+    n * (0..=h.saturating_sub(2)).map(|i| r.pow(i + 1)).sum::<u64>()
+}
+
+/// Formula (2): hop counts removed when representatives are used:
+/// `n · Σ_{i=0}^{h-3} (h-i-2)·(r^i − Σ_{j=0}^{i-1} r^j)`.
+pub fn hopcount_removed_tree(n: u64, h: u32, r: u64) -> u64 {
+    if h < 3 {
+        return 0;
+    }
+    let inner: u64 = (0..=(h - 3) as i64)
+        .map(|i| {
+            let weight = (h as i64 - i - 2) as u64;
+            let tower = r.pow(i as u32) - geo_sum(r, i - 1);
+            weight * tower
+        })
+        .sum();
+    n * inner
+}
+
+/// Formula (3): HopCount of the tree-based hierarchy **with**
+/// representatives (the CONGRESS structure).
+pub fn hopcount_tree(n: u64, h: u32, r: u64) -> u64 {
+    hopcount_tree_no_reps(n, h, r) - hopcount_removed_tree(n, h, r)
+}
+
+/// Formula (4): normalised HopCount of the tree-based hierarchy,
+/// `HCN_Tree = HopCount_Tree / n`.
+pub fn hcn_tree(h: u32, r: u64) -> u64 {
+    let n = r.pow(h - 1);
+    hopcount_tree(n, h, r) / n
+}
+
+/// Number of logical rings `tn = Σ_{i=0}^{h-1} r^i` in the ring-based
+/// hierarchy.
+pub fn ring_count(h: u32, r: u64) -> u64 {
+    geo_sum(r, h as i64 - 1)
+}
+
+/// Formula (5): HopCount of the ring-based hierarchy:
+/// `n · ((r+1)·tn − 1)`.
+pub fn hopcount_ring(n: u64, h: u32, r: u64) -> u64 {
+    n * ((r + 1) * ring_count(h, r) - 1)
+}
+
+/// Formula (6): normalised HopCount of the ring-based hierarchy,
+/// `HCN_Ring = (r+1)·tn − 1`.
+pub fn hcn_ring(h: u32, r: u64) -> u64 {
+    (r + 1) * ring_count(h, r) - 1
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableIRow {
+    /// Group size (LMS count for the tree, AP count for the ring).
+    pub n: u64,
+    /// Tree height.
+    pub tree_h: u32,
+    /// Ring-hierarchy height.
+    pub ring_h: u32,
+    /// Branching / ring size.
+    pub r: u64,
+    /// Normalised tree HopCount (paper column `HCN_Tree`).
+    pub hcn_tree: u64,
+    /// Normalised ring HopCount (paper column `HCN_Ring`).
+    pub hcn_ring: u64,
+}
+
+/// The exact (n, h, r) grid of Table I. Tree and ring rows are paired the
+/// way the paper prints them: same `n` and `r`, tree height = ring height
+/// plus one (a tree of height `h` has `r^(h-1)` leaves; a ring hierarchy
+/// of height `h` has `r^h` APs).
+pub fn table_i() -> Vec<TableIRow> {
+    let grid: [(u64, u32, u64); 6] = [
+        (25, 3, 5),
+        (125, 4, 5),
+        (625, 5, 5),
+        (100, 3, 10),
+        (1000, 4, 10),
+        (10000, 5, 10),
+    ];
+    grid.iter()
+        .map(|&(n, tree_h, r)| {
+            let ring_h = tree_h - 1;
+            TableIRow {
+                n,
+                tree_h,
+                ring_h,
+                r,
+                hcn_tree: hcn_tree(tree_h, r),
+                hcn_ring: hcn_ring(ring_h, r),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_the_paper_exactly() {
+        // (n, h_tree, r, HCN_Tree) and (n, h_ring, r, HCN_Ring) from Table I.
+        let expect_tree = [
+            (25u64, 3u32, 5u64, 29u64),
+            (125, 4, 5, 149),
+            (625, 5, 5, 750),
+            (100, 3, 10, 109),
+            (1000, 4, 10, 1099),
+            (10000, 5, 10, 11000),
+        ];
+        let expect_ring = [
+            (25u64, 2u32, 5u64, 35u64),
+            (125, 3, 5, 185),
+            (625, 4, 5, 935),
+            (100, 2, 10, 120),
+            (1000, 3, 10, 1220),
+            (10000, 4, 10, 12220),
+        ];
+        for &(n, h, r, hcn) in &expect_tree {
+            assert_eq!(hcn_tree(h, r), hcn, "HCN_Tree(n={n}, h={h}, r={r})");
+            assert_eq!(r.pow(h - 1), n, "tree leaf count");
+        }
+        for &(n, h, r, hcn) in &expect_ring {
+            assert_eq!(hcn_ring(h, r), hcn, "HCN_Ring(n={n}, h={h}, r={r})");
+            assert_eq!(r.pow(h), n, "ring AP count");
+        }
+    }
+
+    #[test]
+    fn table_i_rows_pair_tree_and_ring() {
+        let rows = table_i();
+        assert_eq!(rows.len(), 6);
+        let r0 = rows[0];
+        assert_eq!(
+            r0,
+            TableIRow { n: 25, tree_h: 3, ring_h: 2, r: 5, hcn_tree: 29, hcn_ring: 35 }
+        );
+        // comparable scalability: ring within ~25% of tree on every row
+        for row in rows {
+            let ratio = row.hcn_ring as f64 / row.hcn_tree as f64;
+            assert!(
+                (1.0..1.30).contains(&ratio),
+                "n={}: ratio {ratio} out of the paper's comparable band",
+                row.n
+            );
+        }
+    }
+
+    #[test]
+    fn removed_hops_are_positive_for_h_ge_3() {
+        assert_eq!(hopcount_removed_tree(25, 3, 5), 25);
+        assert_eq!(hopcount_removed_tree(625, 5, 5), 625 * 30);
+        assert_eq!(hopcount_removed_tree(4, 2, 2), 0);
+    }
+
+    #[test]
+    fn hopcount_scales_linearly_in_n() {
+        assert_eq!(hopcount_ring(1000, 3, 10), 1000 * hcn_ring(3, 10));
+        assert_eq!(hopcount_tree(1000, 4, 10), 1000 * hcn_tree(4, 10));
+    }
+
+    #[test]
+    fn ring_count_matches_geometric_series() {
+        assert_eq!(ring_count(3, 5), 31);
+        assert_eq!(ring_count(3, 10), 111);
+        assert_eq!(ring_count(1, 7), 1);
+        assert_eq!(ring_count(4, 10), 1111);
+    }
+
+    #[test]
+    fn hcn_grows_with_height_and_branching() {
+        assert!(hcn_ring(3, 5) < hcn_ring(4, 5));
+        assert!(hcn_ring(3, 5) < hcn_ring(3, 10));
+        assert!(hcn_tree(3, 5) < hcn_tree(4, 5));
+    }
+}

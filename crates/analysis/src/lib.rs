@@ -1,0 +1,24 @@
+//! # rgb-analysis — analytical models of the RGB paper
+//!
+//! Closed-form implementations of every formula in the paper's evaluation
+//! (§5), plus Monte-Carlo estimators that validate them by direct sampling:
+//!
+//! * [`hopcount`] — scalability formulas (1)–(6) and the Table I grid;
+//! * [`reliability`] — Function-Well probability formulas (7)–(8), the
+//!   Table II grid, and the paper's quantified claims;
+//! * [`montecarlo`] — seeded Monte-Carlo cross-validation of (7)–(8);
+//! * [`combinatorics`] — log-space binomials backing the above;
+//! * [`tables`] — fixed-width rendering used by the table binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod combinatorics;
+pub mod hopcount;
+pub mod montecarlo;
+pub mod reliability;
+pub mod tables;
+
+pub use hopcount::{hcn_ring, hcn_tree, hopcount_ring, hopcount_tree, table_i, TableIRow};
+pub use montecarlo::{estimate_hierarchy_fw, estimate_ring_fw, McEstimate};
+pub use reliability::{prob_fw_hierarchy, prob_fw_ring, table_ii, TableIIRow, PAPER_CLAIMS};

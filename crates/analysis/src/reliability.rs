@@ -1,0 +1,245 @@
+//! The reliability model of §5.2: Function-Well probability of one logical
+//! ring (formula 7) and of the whole ring-based hierarchy (formula 8), plus
+//! the Table II grid and the quantified claims from the abstract and the
+//! §5.2 conclusions.
+
+use crate::combinatorics::binomial_pmf;
+use crate::hopcount::ring_count;
+use serde::{Deserialize, Serialize};
+
+/// Formula (7): Function-Well probability of one ring of `r` nodes under
+/// node fault probability `f`:
+/// `t = Σ_{i=0}^{1} C(r,i) (1-f)^{r-i} f^i = (1 - f + r·f)(1-f)^{r-1}`.
+pub fn prob_fw_ring(r: u64, f: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&f));
+    (1.0 - f + r as f64 * f) * (1.0 - f).powi(r as i32 - 1)
+}
+
+/// Formula (7) in its summation form (used to cross-check the closed form).
+pub fn prob_fw_ring_sum(r: u64, f: f64) -> f64 {
+    (0..=1u64.min(r)).map(|i| binomial_pmf(r, i, f)).sum()
+}
+
+/// Formula (8): Function-Well probability of the full ring-based hierarchy
+/// of height `h`, ring size `r`, node fault probability `f`, allowing at
+/// most `k` partitions:
+/// `Σ_{i=0}^{k-1} C(tn, i) t^{tn-i} (1-t)^i` with `tn = Σ r^i` rings.
+pub fn prob_fw_hierarchy(h: u32, r: u64, f: f64, k: u32) -> f64 {
+    let tn = ring_count(h, r);
+    let t = prob_fw_ring(r, f);
+    let bad = 1.0 - t;
+    (0..k as u64).map(|i| binomial_pmf(tn, i, bad)).sum()
+}
+
+/// The paper's *printed* Table II arithmetic. Reverse-engineering the
+/// printed values shows every `k = 1` cell was computed with **one extra
+/// ring** (`tn + 1 = 32` for the left block, `112` for the right block) —
+/// all six cells then match to the printed three decimals. The `k ≥ 2`
+/// cells are close to, but not exactly consistent with, formula (8) under
+/// either ring count; see `EXPERIMENTS.md` for the erratum analysis. Use
+/// [`prob_fw_hierarchy`] for the formula as printed in the paper's text.
+pub fn prob_fw_hierarchy_printed(h: u32, r: u64, f: f64, k: u32) -> f64 {
+    let tn = ring_count(h, r) + 1;
+    let t = prob_fw_ring(r, f);
+    let bad = 1.0 - t;
+    (0..k as u64).map(|i| binomial_pmf(tn, i, bad)).sum()
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableIIRow {
+    /// Number of APs (`r^h`).
+    pub n: u64,
+    /// Node fault probability (fraction, e.g. 0.001 for the paper's 0.1%).
+    pub f: f64,
+    /// Maximum allowed partitions.
+    pub k: u32,
+    /// Function-Well probability according to formula (8) as printed in
+    /// the text (fraction).
+    pub fw: f64,
+    /// Function-Well probability under the paper's printed arithmetic
+    /// (`tn + 1` rings; reproduces every `k = 1` cell exactly).
+    pub fw_printed: f64,
+    /// The value printed in the paper's Table II (percent).
+    pub paper_pct: f64,
+}
+
+/// The Table II grid: left block (h=3, r=5, n=125) and right block
+/// (h=3, r=10, n=1000), f ∈ {0.1%, 0.5%, 2.0%}, k ∈ {1, 2, 3}.
+pub fn table_ii() -> Vec<TableIIRow> {
+    let mut rows = Vec::new();
+    let mut printed = PAPER_TABLE_II_PCT.iter();
+    for &(h, r) in &[(3u32, 5u64), (3, 10)] {
+        let n = r.pow(h);
+        for &f in &[0.001, 0.005, 0.02] {
+            for k in 1..=3u32 {
+                rows.push(TableIIRow {
+                    n,
+                    f,
+                    k,
+                    fw: prob_fw_hierarchy(h, r, f, k),
+                    fw_printed: prob_fw_hierarchy_printed(h, r, f, k),
+                    paper_pct: *printed.next().expect("18 printed cells"),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The 18 Function-Well percentages printed in the paper's Table II, in
+/// row order (left block n=125 then right block n=1000; f ascending; k
+/// 1..3 within each f).
+pub const PAPER_TABLE_II_PCT: [f64; 18] = [
+    99.968, 99.999, 99.999, 99.211, 99.972, 99.975, 88.409, 98.981, 99.592,
+    99.500, 99.994, 99.996, 88.448, 99.215, 99.864, 16.094, 45.470, 72.038,
+];
+
+/// The quantified reliability claims the paper states in the abstract and
+/// the §5.2 conclusions, as (h, r, f, k, claimed fw in percent). The k=1
+/// claims reproduce exactly under the printed arithmetic
+/// ([`prob_fw_hierarchy_printed`]); the k≥2 claims carry the paper's own
+/// k≥2 arithmetic slack (≤ 1.3 percentage points, see EXPERIMENTS.md).
+pub const PAPER_CLAIMS: [(u32, u64, f64, u32, f64); 7] = [
+    // Abstract: 1000 APs, f = 0.1%: no partition w.p. 99.500%; with k = 3
+    // the abstract says 99.999% (Table II prints 99.996 for that cell).
+    (3, 10, 0.001, 1, 99.500),
+    (3, 10, 0.001, 2, 99.994),
+    (3, 10, 0.001, 3, 99.996),
+    // §5.2 conclusion (2): f = 0.5%, k = 3, 1000 APs → 99.864%.
+    (3, 10, 0.005, 3, 99.864),
+    // §5.2 conclusion (3): f = 2%, 125 APs, k = 3 → 99.592%; 1000 APs →
+    // 72.038%.
+    (3, 5, 0.02, 3, 99.592),
+    (3, 10, 0.02, 3, 72.038),
+    // Left block headline: 125 APs, f = 0.1%, k = 1 → 99.968%.
+    (3, 5, 0.001, 1, 99.968),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(x: f64) -> f64 {
+        (x * 100_000.0).round() / 1_000.0
+    }
+
+    #[test]
+    fn closed_form_matches_summation_form() {
+        for &r in &[2u64, 5, 10, 50] {
+            for &f in &[0.0, 0.001, 0.02, 0.3, 1.0] {
+                let a = prob_fw_ring(r, f);
+                let b = prob_fw_ring_sum(r, f);
+                assert!((a - b).abs() < 1e-12, "r={r} f={f}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn printed_arithmetic_reproduces_every_k1_cell_exactly() {
+        // The smoking gun of the paper's Table II: all six k=1 cells match
+        // the (tn + 1)-ring computation to the printed three decimals.
+        for row in table_ii() {
+            if row.k == 1 {
+                let got = pct(row.fw_printed);
+                assert!(
+                    (got - row.paper_pct).abs() <= 0.0015,
+                    "printed fw(n={}, f={}, k=1) = {got}, paper prints {}",
+                    row.n,
+                    row.f,
+                    row.paper_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn formula_8_tracks_every_printed_cell_within_1p3_points() {
+        // The paper's k≥2 arithmetic is internally inconsistent with its
+        // own formula (8); the exact formula stays within 1.3 percentage
+        // points of every printed cell, preserving every qualitative
+        // conclusion (see EXPERIMENTS.md).
+        for row in table_ii() {
+            let got = pct(row.fw);
+            assert!(
+                (got - row.paper_pct).abs() <= 1.3,
+                "fw(n={}, f={}, k={}) = {got}, paper prints {}",
+                row.n,
+                row.f,
+                row.k,
+                row.paper_pct
+            );
+        }
+    }
+
+    #[test]
+    fn exact_formula_is_never_below_printed_values() {
+        // The printed values systematically *understate* reliability (the
+        // extra ring plus the k≥2 slack): the paper's claims are
+        // conservative relative to its own model.
+        for row in table_ii() {
+            assert!(
+                pct(row.fw) + 0.0015 >= row.paper_pct,
+                "exact fw below printed at n={}, f={}, k={}",
+                row.n,
+                row.f,
+                row.k
+            );
+        }
+    }
+
+    #[test]
+    fn paper_claims_hold() {
+        for &(h, r, f, k, want) in &PAPER_CLAIMS {
+            let exact = pct(prob_fw_hierarchy(h, r, f, k));
+            let printed = pct(prob_fw_hierarchy_printed(h, r, f, k));
+            if k == 1 {
+                assert!(
+                    (printed - want).abs() <= 0.0015,
+                    "claim fw(h={h}, r={r}, f={f}, k=1) printed={printed}, paper says {want}"
+                );
+            }
+            assert!(
+                (exact - want).abs() <= 1.3,
+                "claim fw(h={h}, r={r}, f={f}, k={k}) exact={exact}, paper says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn fw_is_monotone_in_k_and_antitone_in_f() {
+        for k in 1..3u32 {
+            assert!(
+                prob_fw_hierarchy(3, 10, 0.005, k) < prob_fw_hierarchy(3, 10, 0.005, k + 1)
+            );
+        }
+        for &(f1, f2) in &[(0.001, 0.005), (0.005, 0.02)] {
+            assert!(prob_fw_hierarchy(3, 10, f1, 1) > prob_fw_hierarchy(3, 10, f2, 1));
+        }
+    }
+
+    #[test]
+    fn fault_free_hierarchy_is_certain() {
+        assert!((prob_fw_hierarchy(3, 5, 0.0, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(prob_fw_ring(5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn table_ii_has_18_rows() {
+        let rows = table_ii();
+        assert_eq!(rows.len(), 18);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.fw)));
+        assert_eq!(rows[0].n, 125);
+        assert_eq!(rows[9].n, 1000);
+    }
+
+    #[test]
+    fn small_hierarchies_are_more_reliable_at_high_fault_rates() {
+        // §5.2 conclusion (3): at f = 2% the 125-AP hierarchy still works
+        // (99.592%) while the 1000-AP one degrades (72.038%).
+        let small = prob_fw_hierarchy(3, 5, 0.02, 3);
+        let large = prob_fw_hierarchy(3, 10, 0.02, 3);
+        assert!(small > 0.99);
+        assert!(large < 0.75);
+    }
+}

@@ -1,0 +1,82 @@
+//! Plain-text table rendering for the experiment binaries: fixed-width
+//! columns, printed exactly like the paper's tables so paper-vs-measured
+//! diffs are eyeball-able.
+
+/// Render rows of equal-length string cells with right-aligned columns.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&" ".repeat(widths[i] - cell.len()));
+            line.push_str(cell);
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// Format a probability as the paper does: percent with three decimals.
+pub fn pct3(p: f64) -> String {
+    format!("{:.3}", p * 100.0)
+}
+
+/// Format a fraction as percent with one decimal.
+pub fn pct1(p: f64) -> String {
+    format!("{:.1}", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = render(
+            &["n", "value"],
+            &[
+                vec!["5".into(), "29".into()],
+                vec!["10000".into(), "11000".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n'));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("10000"));
+        // all rows same width
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct3(0.99500), "99.500");
+        assert_eq!(pct3(0.7203849), "72.038");
+        assert_eq!(pct1(0.5), "50.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        render(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

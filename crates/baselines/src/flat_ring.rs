@@ -1,0 +1,77 @@
+//! The flat single-ring baseline: one logical ring over *all* access
+//! proxies, Totem-style ([1], [13] in the paper). RGB's height-1 hierarchy
+//! *is* a flat ring, so this baseline runs the real protocol — it exists to
+//! quantify why a hierarchy is needed at scale (§2: one-round algorithms
+//! over a single large ring "are inefficient in case of large group").
+
+use rgb_core::prelude::*;
+use rgb_sim::{NetConfig, Simulation};
+
+/// Build a flat-ring simulation over `n` access proxies.
+pub fn flat_ring_sim(n: usize, cfg: &ProtocolConfig, net: NetConfig, seed: u64) -> Simulation {
+    Simulation::full(1, n, cfg, net, seed)
+}
+
+/// Analytic per-change hop count of the flat ring under the paper's model
+/// (formula (5) with h = 1, r = n): `(n + 1)·1 − 1 = n`.
+pub fn hcn_flat(n: u64) -> u64 {
+    n
+}
+
+/// Analytic Function-Well probability of the flat ring (formula (7) with
+/// ring size n): a single ring tolerates at most one fault.
+pub fn prob_fw_flat(n: u64, f: f64) -> f64 {
+    (1.0 - f + n as f64 * f) * (1.0 - f).powi(n as i32 - 1)
+}
+
+/// Measured proposal hops for one join on an idle flat ring.
+pub fn measured_change_hops(n: usize, seed: u64) -> u64 {
+    let mut sim = flat_ring_sim(n, &ProtocolConfig::default(), NetConfig::instant(), seed);
+    sim.boot_all();
+    let ap = sim.layout.aps()[n / 2];
+    let before = sim.metrics.proposal_hops();
+    sim.schedule_mh(0, ap, MhEvent::Join { guid: Guid(1), luid: Luid(1) });
+    assert!(sim.run_until_quiet(10_000_000));
+    sim.metrics.proposal_hops() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_hops_track_the_analytic_flat_cost() {
+        for &n in &[4usize, 8, 16] {
+            let measured = measured_change_hops(n, 1);
+            // measured = from_mh(1) + relay-to-leader(1) + n token hops
+            let analytic = hcn_flat(n as u64);
+            assert!(
+                measured >= analytic && measured <= analytic + 2,
+                "n={n}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_ring_reliability_collapses_with_size() {
+        // At f = 1%, a 1000-node single ring is almost surely partitioned,
+        // while RGB's hierarchy of 111 small rings survives k=3 with ~75%.
+        let flat = prob_fw_flat(1000, 0.01);
+        assert!(flat < 0.01, "flat fw = {flat}");
+        let small = prob_fw_flat(10, 0.01);
+        assert!(small > 0.99);
+    }
+
+    #[test]
+    fn flat_sim_agrees_on_membership() {
+        let mut sim = flat_ring_sim(6, &ProtocolConfig::default(), NetConfig::default(), 3);
+        sim.boot_all();
+        for (i, &ap) in sim.layout.aps().iter().enumerate() {
+            sim.schedule_mh(i as u64, ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+        }
+        assert!(sim.run_until_quiet(10_000_000));
+        for &n in sim.layout.root_ring().nodes.iter() {
+            assert_eq!(sim.node(n).ring_members.operational_count(), 6);
+        }
+    }
+}

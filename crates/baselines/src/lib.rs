@@ -1,0 +1,30 @@
+//! # rgb-baselines — the structures the RGB paper compares against
+//!
+//! * [`tree`] — the CONGRESS-style tree of membership servers with
+//!   representatives ([4]): hop accounting for §5.1 and cascading-fault
+//!   partition counting for §5.2;
+//! * [`transform`] — the §5.2 transformation hierarchy (tree without
+//!   representatives with ringed sibling groups) and its mechanical
+//!   reduction to an RGB ring-based hierarchy;
+//! * [`flat_ring`] — a single Totem-style ring over all proxies (why
+//!   hierarchies exist);
+//! * [`reliability`] — Monte-Carlo partition-count comparison of all three
+//!   under identical fault processes (experiment E9).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flat_ring;
+pub mod reliability;
+pub mod transform;
+pub mod tree;
+
+pub use flat_ring::{flat_ring_sim, hcn_flat, measured_change_hops, prob_fw_flat};
+pub use reliability::{
+    mean_partitions_single_fault_ring, mean_partitions_single_fault_with_reps,
+    mean_partitions_single_fault_without_reps, ring_hierarchy_fw, ring_partition_count,
+    single_fault_fw_with_reps, single_fault_fw_without_reps, tree_no_reps_fw,
+    tree_with_reps_fw,
+};
+pub use transform::TransformHierarchy;
+pub use tree::{TreeHierarchy, TreeNode};

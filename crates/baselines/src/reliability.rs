@@ -1,0 +1,259 @@
+//! Monte-Carlo reliability comparison of the three structures §5.2 argues
+//! about, under the *same* i.i.d. node-fault process:
+//!
+//! * RGB's ring-based hierarchy — partitions counted by the paper's model
+//!   (a ring with ≥ 2 faults shatters into its alive segments);
+//! * the tree without representatives — every logical server is its own
+//!   machine; faults disconnect subtrees;
+//! * the tree with representatives — a physical fault kills every logical
+//!   role of the representative, so damage cascades.
+//!
+//! The paper's qualitative chain (ring ≥ tree-without-reps > tree-with-reps)
+//! becomes a measured result here (experiment E9).
+
+use crate::tree::{TreeHierarchy, TreeNode};
+use rgb_core::ids::GroupId;
+use rgb_core::partition::segments;
+use rgb_core::topology::{HierarchyLayout, HierarchySpec};
+use rgb_sim::SplitMix64;
+use std::collections::BTreeSet;
+
+/// Monte-Carlo estimate of `P[#partitions ≤ k]` for the RGB ring-based
+/// hierarchy, counting *partitions* (1 + extra segments from shattered
+/// rings), the strictest reading of the paper's model.
+pub fn ring_hierarchy_fw(h: usize, r: usize, f: f64, k: usize, trials: u64, seed: u64) -> f64 {
+    let layout = HierarchySpec::new(h, r).build(GroupId(1)).expect("valid spec");
+    let mut rng = SplitMix64::new(seed);
+    let mut ok = 0u64;
+    for _ in 0..trials {
+        let faulty = draw_faults_layout(&layout, f, &mut rng);
+        if ring_partition_count(&layout, &faulty) <= k {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// Partition count of a ring hierarchy under a fault set: one base
+/// partition plus each extra segment of every shattered (≥ 2 faults) ring.
+pub fn ring_partition_count(
+    layout: &HierarchyLayout,
+    faulty: &BTreeSet<rgb_core::ids::NodeId>,
+) -> usize {
+    let mut partitions = 1usize;
+    for ring in &layout.rings {
+        let faults = ring.nodes.iter().filter(|n| faulty.contains(n)).count();
+        if faults >= 2 {
+            let segs = segments(&ring.nodes, faulty).len();
+            partitions += segs.saturating_sub(1).max(1);
+        }
+    }
+    partitions
+}
+
+/// Monte-Carlo estimate of `P[#partitions ≤ k]` for the tree **without**
+/// representatives.
+pub fn tree_no_reps_fw(h: u32, r: u64, f: f64, k: usize, trials: u64, seed: u64) -> f64 {
+    let tree = TreeHierarchy::new(h, r);
+    let mut rng = SplitMix64::new(seed);
+    let mut ok = 0u64;
+    for _ in 0..trials {
+        let mut faulty: BTreeSet<TreeNode> = BTreeSet::new();
+        for level in 0..h {
+            for idx in 0..tree.width(level) {
+                if rng.chance(f) {
+                    faulty.insert((level, idx));
+                }
+            }
+        }
+        let parts = tree.partition_count_without_reps(&faulty);
+        if parts >= 1 && parts <= k {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// Monte-Carlo estimate of `P[#partitions ≤ k]` for the tree **with**
+/// representatives (faults strike the `n` physical leaves only, but each
+/// fault kills every logical role of the leaf).
+pub fn tree_with_reps_fw(h: u32, r: u64, f: f64, k: usize, trials: u64, seed: u64) -> f64 {
+    let tree = TreeHierarchy::new(h, r);
+    let mut rng = SplitMix64::new(seed);
+    let mut ok = 0u64;
+    for _ in 0..trials {
+        let mut faulty: BTreeSet<u64> = BTreeSet::new();
+        for leaf in 0..tree.leaf_count() {
+            if rng.chance(f) {
+                faulty.insert(leaf);
+            }
+        }
+        let parts = tree.partition_count_with_reps(&faulty);
+        if parts >= 1 && parts <= k {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// Exact expected partition count of the tree **with** representatives
+/// when exactly one uniformly-chosen physical leaf fails. Each fault kills
+/// every logical role of the representative ("one representative node fault
+/// is indeed several logical node faults", §5.2).
+pub fn mean_partitions_single_fault_with_reps(tree: &TreeHierarchy) -> f64 {
+    let n = tree.leaf_count();
+    let total: usize = (0..n)
+        .map(|leaf| {
+            let faulty: BTreeSet<u64> = [leaf].into_iter().collect();
+            tree.partition_count_with_reps(&faulty)
+        })
+        .sum();
+    total as f64 / n as f64
+}
+
+/// Exact expected partition count of the tree **without** representatives
+/// when exactly one uniformly-chosen logical server fails.
+pub fn mean_partitions_single_fault_without_reps(tree: &TreeHierarchy) -> f64 {
+    let mut total = 0usize;
+    let mut count = 0u64;
+    for level in 0..tree.height {
+        for idx in 0..tree.width(level) {
+            let faulty: BTreeSet<TreeNode> = [(level, idx)].into_iter().collect();
+            total += tree.partition_count_without_reps(&faulty);
+            count += 1;
+        }
+    }
+    total as f64 / count as f64
+}
+
+/// Exact expected partition count of the RGB ring hierarchy under exactly
+/// one node fault: always 1 — a single fault per ring is locally repaired.
+pub fn mean_partitions_single_fault_ring(h: usize, r: usize) -> f64 {
+    let layout = HierarchySpec::new(h, r).build(GroupId(1)).expect("valid spec");
+    let total: usize = layout
+        .nodes
+        .keys()
+        .map(|&n| {
+            let faulty: BTreeSet<_> = [n].into_iter().collect();
+            ring_partition_count(&layout, &faulty)
+        })
+        .sum();
+    total as f64 / layout.node_count() as f64
+}
+
+/// Probability the tree **with** representatives stays unpartitioned under
+/// exactly one uniformly-chosen physical-leaf fault.
+pub fn single_fault_fw_with_reps(tree: &TreeHierarchy) -> f64 {
+    let n = tree.leaf_count();
+    let ok = (0..n)
+        .filter(|&leaf| {
+            let faulty: BTreeSet<u64> = [leaf].into_iter().collect();
+            tree.partition_count_with_reps(&faulty) <= 1
+        })
+        .count();
+    ok as f64 / n as f64
+}
+
+/// Probability the tree **without** representatives stays unpartitioned
+/// under exactly one uniformly-chosen logical-server fault.
+pub fn single_fault_fw_without_reps(tree: &TreeHierarchy) -> f64 {
+    let mut ok = 0u64;
+    let mut count = 0u64;
+    for level in 0..tree.height {
+        for idx in 0..tree.width(level) {
+            let faulty: BTreeSet<TreeNode> = [(level, idx)].into_iter().collect();
+            if tree.partition_count_without_reps(&faulty) <= 1 {
+                ok += 1;
+            }
+            count += 1;
+        }
+    }
+    ok as f64 / count as f64
+}
+
+fn draw_faults_layout(
+    layout: &HierarchyLayout,
+    f: f64,
+    rng: &mut SplitMix64,
+) -> BTreeSet<rgb_core::ids::NodeId> {
+    layout
+        .nodes
+        .keys()
+        .copied()
+        .filter(|_| rng.chance(f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_partition_count_counts_segments() {
+        let layout = HierarchySpec::new(2, 4).build(GroupId(1)).unwrap();
+        // no faults: one partition
+        assert_eq!(ring_partition_count(&layout, &BTreeSet::new()), 1);
+        // two faults in one bottom ring: +1 partition
+        let ring = layout.rings_at(1).next().unwrap();
+        let faulty: BTreeSet<_> = [ring.nodes[0], ring.nodes[2]].into_iter().collect();
+        assert_eq!(ring_partition_count(&layout, &faulty), 2);
+    }
+
+    #[test]
+    fn single_fault_survival_ordering_matches_section_5_2() {
+        // §5.2's argument compares damage per fault: a representative fault
+        // is "several logical node faults". Under exactly one fault the
+        // no-partition probability must order
+        // ring (1.0, always repaired) > tree-without-reps > tree-with-reps.
+        for &(h_tree, r) in &[(3u32, 4u64), (3, 5), (4, 3)] {
+            let tree = TreeHierarchy::new(h_tree, r);
+            let with_reps = single_fault_fw_with_reps(&tree);
+            let no_reps = single_fault_fw_without_reps(&tree);
+            let ring = mean_partitions_single_fault_ring((h_tree - 1) as usize, r as usize);
+            assert_eq!(ring, 1.0, "single faults never partition RGB");
+            assert!(
+                no_reps > with_reps,
+                "h={h_tree} r={r}: no_reps {no_reps} !> with_reps {with_reps}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_single_fault_damage_is_tracked() {
+        // Both tree variants suffer real damage from single faults where
+        // RGB repairs: mean partitions strictly above 1.
+        let tree = TreeHierarchy::new(3, 4);
+        assert!(mean_partitions_single_fault_with_reps(&tree) > 1.5);
+        assert!(mean_partitions_single_fault_without_reps(&tree) > 1.5);
+        assert_eq!(mean_partitions_single_fault_ring(2, 4), 1.0);
+    }
+
+    #[test]
+    fn fw_probability_ordering_ring_vs_with_reps() {
+        // At equal fault probability the ring hierarchy beats the
+        // representative tree despite having more physical nodes.
+        let f = 0.03;
+        let k = 3;
+        let trials = 20_000;
+        let ring = ring_hierarchy_fw(2, 4, f, k, trials, 1);
+        let with_reps = tree_with_reps_fw(3, 4, f, k, trials, 3);
+        assert!(
+            ring > with_reps,
+            "ring ({ring}) should beat tree-with-reps ({with_reps})"
+        );
+    }
+
+    #[test]
+    fn fault_free_everything_is_one_partition() {
+        assert_eq!(ring_hierarchy_fw(2, 3, 0.0, 1, 100, 1), 1.0);
+        assert_eq!(tree_no_reps_fw(3, 3, 0.0, 1, 100, 1), 1.0);
+        assert_eq!(tree_with_reps_fw(3, 3, 0.0, 1, 100, 1), 1.0);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let a = ring_hierarchy_fw(2, 4, 0.05, 2, 5_000, 9);
+        let b = ring_hierarchy_fw(2, 4, 0.05, 2, 5_000, 9);
+        assert_eq!(a, b);
+    }
+}

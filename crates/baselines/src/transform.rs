@@ -1,0 +1,141 @@
+//! The §5.2 *transformation hierarchy*: the tree-based hierarchy **without
+//! representatives**, with (B) bottom-level siblings and (C) internal
+//! siblings logically connected into rings. The paper uses it as the bridge
+//! in its reliability argument:
+//!
+//! > "If we remove the root node and the associated edges from the
+//! > transformation hierarchy and remove all the parent-children edges but
+//! > the first one from such a relationship, then such a hierarchy becomes
+//! > our ring-based hierarchy."
+//!
+//! This module materialises that construction so the equivalence is a
+//! theorem *about code*: applying the reduction to a transformation
+//! hierarchy of height `h+1` yields exactly the `HierarchyLayout` RGB
+//! builds for `(h, r)`.
+
+use crate::tree::TreeHierarchy;
+use rgb_core::error::Result;
+use rgb_core::ids::{GroupId, NodeId};
+use rgb_core::topology::HierarchyLayout;
+
+/// The transformation hierarchy: a tree of height `h` (so `h-1` sibling-ring
+/// levels below the root) with every sibling group ringed.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformHierarchy {
+    /// The underlying tree.
+    pub tree: TreeHierarchy,
+}
+
+impl TransformHierarchy {
+    /// Build over a tree.
+    pub fn new(height: u32, branching: u64) -> Self {
+        TransformHierarchy { tree: TreeHierarchy::new(height, branching) }
+    }
+
+    /// Sibling rings: for every internal tree node, its children form one
+    /// logical ring. Returns rings per level (level ℓ of the result holds
+    /// the rings formed by tree level ℓ+1 siblings).
+    pub fn sibling_rings(&self) -> Vec<Vec<Vec<NodeId>>> {
+        let t = &self.tree;
+        let mut levels = Vec::new();
+        for level in 1..t.height {
+            let mut rings = Vec::new();
+            for parent_idx in 0..t.width(level - 1) {
+                let ring: Vec<NodeId> = t
+                    .children((level - 1, parent_idx))
+                    .into_iter()
+                    .map(|(l, i)| NodeId(self.node_id(l, i)))
+                    .collect();
+                rings.push(ring);
+            }
+            levels.push(rings);
+        }
+        levels
+    }
+
+    /// Dense id of a tree node (breadth-first).
+    fn node_id(&self, level: u32, idx: u64) -> u64 {
+        let before: u64 = (0..level).map(|l| self.tree.width(l)).sum();
+        before + idx
+    }
+
+    /// Apply the paper's reduction: drop the root (and its edges), keep
+    /// only the first parent-child edge of each parent. The result is an
+    /// RGB ring-based hierarchy of height `h-1` and ring size `r` — built
+    /// through the same `HierarchyLayout::custom` constructor the protocol
+    /// uses, with sponsorship following the retained first-child edges.
+    pub fn reduce_to_ring_hierarchy(&self, gid: GroupId) -> Result<HierarchyLayout> {
+        // After removing the root, tree level 1 (the root's children)
+        // becomes the topmost ring; each deeper sibling ring is sponsored
+        // by its parent node, which is exactly `HierarchyLayout::custom`'s
+        // convention (ring j at level ℓ sponsored by the j-th node of
+        // level ℓ-1) because sibling rings are enumerated in parent order.
+        let levels = self.sibling_rings();
+        HierarchyLayout::custom(gid, levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgb_core::prelude::*;
+
+    #[test]
+    fn sibling_rings_have_r_nodes_each() {
+        let tr = TransformHierarchy::new(4, 3);
+        let rings = tr.sibling_rings();
+        assert_eq!(rings.len(), 3);
+        assert_eq!(rings[0].len(), 1);
+        assert_eq!(rings[1].len(), 3);
+        assert_eq!(rings[2].len(), 9);
+        assert!(rings.iter().flatten().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn reduction_yields_an_rgb_hierarchy() {
+        let tr = TransformHierarchy::new(3, 4); // tree h=3 → ring hierarchy h=2
+        let layout = tr.reduce_to_ring_hierarchy(GroupId(1)).unwrap();
+        assert_eq!(layout.height(), 2);
+        assert_eq!(layout.ring_count(), 1 + 4);
+        assert_eq!(layout.aps().len(), 16);
+        // structurally identical to the native RGB builder up to node ids:
+        let native = HierarchySpec::new(2, 4).build(GroupId(1)).unwrap();
+        assert_eq!(layout.ring_count(), native.ring_count());
+        assert_eq!(layout.node_count(), native.node_count());
+        for (a, b) in layout.rings.iter().zip(&native.rings) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.nodes.len(), b.nodes.len());
+            assert_eq!(a.parent_ring, b.parent_ring);
+        }
+    }
+
+    #[test]
+    fn reduction_runs_the_real_protocol() {
+        // The reduced hierarchy is a first-class layout: the RGB protocol
+        // runs on it unchanged.
+        let tr = TransformHierarchy::new(3, 3);
+        let layout = tr.reduce_to_ring_hierarchy(GroupId(1)).unwrap();
+        let mut net = rgb_core::testing::Loopback::from_layout(
+            &layout,
+            &ProtocolConfig::default(),
+        );
+        net.boot_all();
+        let ap = layout.aps()[2];
+        net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(5), luid: Luid(1) }));
+        assert!(net.run_until_quiet(1_000_000));
+        for &n in layout.root_ring().nodes.iter() {
+            assert!(net.node(n).ring_members.contains_operational(Guid(5)));
+        }
+    }
+
+    #[test]
+    fn sponsor_of_each_ring_is_its_tree_parent() {
+        let tr = TransformHierarchy::new(3, 3);
+        let layout = tr.reduce_to_ring_hierarchy(GroupId(1)).unwrap();
+        // Level-1 ring j is sponsored by the j-th node of the topmost ring.
+        let top = layout.root_ring().nodes.clone();
+        for (j, ring) in layout.rings_at(1).enumerate() {
+            assert_eq!(ring.parent_node, Some(top[j]));
+        }
+    }
+}

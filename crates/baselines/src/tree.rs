@@ -1,0 +1,287 @@
+//! The tree-based hierarchy of membership servers with representatives —
+//! the CONGRESS structure ([4] in the paper) that §5.1 and §5.2 compare
+//! against.
+//!
+//! Structure: a complete `r`-ary tree of height `h` (levels `0..h`, level
+//! `h-1` being the `n = r^(h-1)` leaf LMSs; the levels above are logical
+//! GMSs). With *representatives*, "the higher-level logical GMSs are indeed
+//! the lowest-level physical ones": every logical GMS is physically hosted
+//! on its leftmost descendant leaf, so a logical edge between co-located
+//! roles costs no real message.
+
+use std::collections::BTreeSet;
+
+/// A complete r-ary tree of membership servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeHierarchy {
+    /// Number of levels (`h ≥ 2`): levels `0..h-1` are GMS levels, level
+    /// `h-1` holds the leaf LMSs.
+    pub height: u32,
+    /// Branching factor (`r ≥ 2`).
+    pub branching: u64,
+}
+
+/// Address of a logical node: `(level, index)` with `index < r^level`.
+pub type TreeNode = (u32, u64);
+
+impl TreeHierarchy {
+    /// Construct (validated).
+    pub fn new(height: u32, branching: u64) -> Self {
+        assert!(height >= 2 && branching >= 2, "tree needs h>=2, r>=2");
+        TreeHierarchy { height, branching }
+    }
+
+    /// Number of leaves (LMSs), `n = r^(h-1)`.
+    pub fn leaf_count(&self) -> u64 {
+        self.branching.pow(self.height - 1)
+    }
+
+    /// Number of logical nodes at `level`.
+    pub fn width(&self, level: u32) -> u64 {
+        self.branching.pow(level)
+    }
+
+    /// Total logical edges, `Σ_{i=0}^{h-2} r^(i+1)` (formula (1) per unit n).
+    pub fn edge_count(&self) -> u64 {
+        (0..self.height - 1).map(|i| self.branching.pow(i + 1)).sum()
+    }
+
+    /// Parent of a logical node.
+    pub fn parent(&self, node: TreeNode) -> Option<TreeNode> {
+        let (level, idx) = node;
+        if level == 0 {
+            None
+        } else {
+            Some((level - 1, idx / self.branching))
+        }
+    }
+
+    /// Children of a logical node.
+    pub fn children(&self, node: TreeNode) -> Vec<TreeNode> {
+        let (level, idx) = node;
+        if level + 1 >= self.height {
+            return Vec::new();
+        }
+        (0..self.branching)
+            .map(|c| (level + 1, idx * self.branching + c))
+            .collect()
+    }
+
+    /// Physical host (leaf index) of a logical node: its leftmost
+    /// descendant leaf.
+    pub fn physical(&self, node: TreeNode) -> u64 {
+        let (level, idx) = node;
+        idx * self.branching.pow(self.height - 1 - level)
+    }
+
+    /// Whether a logical edge `(parent, child)` is free under the
+    /// representatives scheme (co-located endpoints).
+    pub fn edge_free_with_reps(&self, parent: TreeNode, child: TreeNode) -> bool {
+        self.physical(parent) == self.physical(child)
+    }
+
+    /// Measured hop count for one membership change at `leaf`, using the
+    /// CONGRESS-style one-round flow: propose up the GMS chain to the root,
+    /// then disseminate down the entire tree. `with_reps` makes co-located
+    /// logical edges free.
+    ///
+    /// Returns `(up_hops, down_hops)`.
+    pub fn change_hops(&self, leaf: u64, with_reps: bool) -> (u64, u64) {
+        assert!(leaf < self.leaf_count());
+        let cost = |p: TreeNode, c: TreeNode| -> u64 {
+            if with_reps && self.edge_free_with_reps(p, c) {
+                0
+            } else {
+                1
+            }
+        };
+        // ascent
+        let mut up = 0;
+        let mut cur: TreeNode = (self.height - 1, leaf);
+        while let Some(p) = self.parent(cur) {
+            up += cost(p, cur);
+            cur = p;
+        }
+        // full downward dissemination: every edge once
+        let mut down = 0;
+        let mut frontier = vec![(0u32, 0u64)];
+        while let Some(node) = frontier.pop() {
+            for child in self.children(node) {
+                down += cost(node, child);
+                frontier.push(child);
+            }
+        }
+        (up, down)
+    }
+
+    /// Total measured hops for one change (up + down).
+    pub fn change_hops_total(&self, leaf: u64, with_reps: bool) -> u64 {
+        let (u, d) = self.change_hops(leaf, with_reps);
+        u + d
+    }
+
+    /// Number of hierarchy partitions under a set of faulty *physical*
+    /// leaves, with representatives: a logical node is dead iff its physical
+    /// leaf is dead; partitions are the connected components of the logical
+    /// tree restricted to alive nodes that contain at least one alive leaf.
+    pub fn partition_count_with_reps(&self, faulty_leaves: &BTreeSet<u64>) -> usize {
+        self.partition_count_impl(|node| faulty_leaves.contains(&self.physical(node)))
+    }
+
+    /// Partition count for the tree *without* representatives: every logical
+    /// node is an independent physical machine; `faulty` indexes nodes in
+    /// breadth-first order (level by level).
+    pub fn partition_count_without_reps(&self, faulty: &BTreeSet<TreeNode>) -> usize {
+        self.partition_count_impl(|node| faulty.contains(&node))
+    }
+
+    fn partition_count_impl<F: Fn(TreeNode) -> bool>(&self, dead: F) -> usize {
+        // Union-find over alive logical nodes connected by tree edges.
+        let mut ids: Vec<TreeNode> = Vec::new();
+        for level in 0..self.height {
+            for idx in 0..self.width(level) {
+                ids.push((level, idx));
+            }
+        }
+        let index = |node: TreeNode| -> usize {
+            let (level, idx) = node;
+            let before: u64 = (0..level).map(|l| self.width(l)).sum();
+            (before + idx) as usize
+        };
+        let mut parent_uf: Vec<usize> = (0..ids.len()).collect();
+        fn find(uf: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while uf[root] != root {
+                root = uf[root];
+            }
+            let mut cur = x;
+            while uf[cur] != root {
+                let next = uf[cur];
+                uf[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for &node in &ids {
+            if dead(node) {
+                continue;
+            }
+            if let Some(p) = self.parent(node) {
+                if !dead(p) {
+                    let a = find(&mut parent_uf, index(node));
+                    let b = find(&mut parent_uf, index(p));
+                    parent_uf[a] = b;
+                }
+            }
+        }
+        // Count components containing at least one alive leaf.
+        let mut roots = BTreeSet::new();
+        let leaf_level = self.height - 1;
+        for idx in 0..self.width(leaf_level) {
+            let node = (leaf_level, idx);
+            if !dead(node) {
+                let r = find(&mut parent_uf, index(node));
+                roots.insert(r);
+            }
+        }
+        roots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_counts() {
+        let t = TreeHierarchy::new(3, 5);
+        assert_eq!(t.leaf_count(), 25);
+        assert_eq!(t.edge_count(), 5 + 25);
+        assert_eq!(t.width(0), 1);
+        assert_eq!(t.width(2), 25);
+    }
+
+    #[test]
+    fn parent_child_are_inverse() {
+        let t = TreeHierarchy::new(4, 3);
+        for level in 0..3 {
+            for idx in 0..t.width(level) {
+                for child in t.children((level, idx)) {
+                    assert_eq!(t.parent(child), Some((level, idx)));
+                }
+            }
+        }
+        assert_eq!(t.parent((0, 0)), None);
+    }
+
+    #[test]
+    fn physical_is_leftmost_descendant() {
+        let t = TreeHierarchy::new(3, 5);
+        assert_eq!(t.physical((0, 0)), 0);
+        assert_eq!(t.physical((1, 2)), 10);
+        assert_eq!(t.physical((2, 7)), 7);
+        // root co-located with leftmost chain
+        assert!(t.edge_free_with_reps((0, 0), (1, 0)));
+        assert!(!t.edge_free_with_reps((0, 0), (1, 1)));
+    }
+
+    #[test]
+    fn hops_without_reps_cover_every_edge_plus_ascent() {
+        let t = TreeHierarchy::new(3, 5);
+        let (up, down) = t.change_hops(13, false);
+        assert_eq!(up, 2); // h-1 levels up
+        assert_eq!(down, t.edge_count());
+    }
+
+    #[test]
+    fn representatives_reduce_hops() {
+        let t = TreeHierarchy::new(3, 5);
+        let without = t.change_hops_total(13, false);
+        let with = t.change_hops_total(13, true);
+        assert!(with < without);
+        // Free edges during dissemination = number of internal nodes whose
+        // leftmost child is co-located = Σ_{i=0}^{h-2} r^i = 6 here.
+        assert_eq!(without - with, 6); // ascent of leaf 13 has no free edge
+        // Leaf 0's ascent is entirely co-located with the root chain.
+        let (up0, _) = t.change_hops(0, true);
+        assert_eq!(up0, 0);
+    }
+
+    #[test]
+    fn healthy_tree_is_one_partition() {
+        let t = TreeHierarchy::new(3, 4);
+        assert_eq!(t.partition_count_with_reps(&BTreeSet::new()), 1);
+        assert_eq!(t.partition_count_without_reps(&BTreeSet::new()), 1);
+    }
+
+    #[test]
+    fn representative_fault_detaches_whole_subtree() {
+        // Killing leaf 0 kills the root GMS and the first level-1 GMS too
+        // ("one representative node fault is indeed several logical node
+        // faults"): the three orphaned sibling leaves become singletons and
+        // the r-1 remaining level-1 subtrees disconnect from each other.
+        let t = TreeHierarchy::new(3, 4);
+        let faulty: BTreeSet<u64> = [0u64].into_iter().collect();
+        let parts = t.partition_count_with_reps(&faulty);
+        assert_eq!(parts, 3 + 3, "leaf-0 death cascades through its GMS roles");
+    }
+
+    #[test]
+    fn same_fault_without_reps_is_much_milder() {
+        // Without representatives, killing the *leaf machine* 0 only
+        // removes that leaf: one partition remains.
+        let t = TreeHierarchy::new(3, 4);
+        let faulty: BTreeSet<TreeNode> = [(2u32, 0u64)].into_iter().collect();
+        assert_eq!(t.partition_count_without_reps(&faulty), 1);
+        // Killing an internal GMS detaches its children.
+        let faulty: BTreeSet<TreeNode> = [(1u32, 0u64)].into_iter().collect();
+        assert_eq!(t.partition_count_without_reps(&faulty), 1 + 4);
+    }
+
+    #[test]
+    fn all_leaves_dead_means_zero_partitions() {
+        let t = TreeHierarchy::new(2, 2);
+        let faulty: BTreeSet<u64> = (0..2).collect();
+        assert_eq!(t.partition_count_with_reps(&faulty), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation bench for design decision D2: holder rotation (Figure 3 lines
+//! 21–23) against a static token owner, under the continuous policy.
+//! Rotation spreads queue-drain opportunities around the ring; with a
+//! static owner, changes queued at other nodes wait for the owner's rounds
+//! and the owner becomes a hotspot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rgb_core::prelude::*;
+use rgb_core::testing::Loopback;
+use std::hint::black_box;
+
+fn churn_run(rotate: bool) -> (u64, u64) {
+    let mut cfg = ProtocolConfig::live();
+    cfg.rotate_holder = rotate;
+    cfg.token_interval = 10;
+    cfg.heartbeat_interval = 1_000_000;
+    cfg.token_lost_timeout = 1_000_000;
+    let layout = HierarchySpec::new(1, 8).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &cfg);
+    net.boot_all();
+    let aps = layout.aps();
+    for i in 0..40u64 {
+        let ap = aps[(i % 8) as usize];
+        net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(i), luid: Luid(1) }));
+    }
+    net.run_until(5_000);
+    let leader = layout.root_ring().nodes.iter().copied().min().unwrap();
+    let agreed = net
+        .nodes
+        .values()
+        .map(|n| n.ring_members.operational_count() as u64)
+        .min()
+        .unwrap_or(0);
+    (net.sent_total, agreed + net.node(leader).stats.rounds_started)
+}
+
+fn bench_rotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rotation");
+    group.sample_size(10);
+    for &rotate in &[true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if rotate { "rotate" } else { "static" }),
+            &rotate,
+            |b, &rotate| b.iter(|| black_box(churn_run(rotate))),
+        );
+    }
+    group.finish();
+    // Both configurations must still agree on all 40 members.
+    let (_, rotate_ok) = churn_run(true);
+    let (_, static_ok) = churn_run(false);
+    assert!(rotate_ok >= 40, "rotation failed to agree");
+    assert!(static_ok >= 40, "static owner failed to agree");
+}
+
+criterion_group!(benches, bench_rotation);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for E11: handoff intake — the fast path (member known
+//! from the proxy's working sets) against the slow path (agreement-gated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rgb_bench::measure_handoff;
+use rgb_sim::NetConfig;
+use std::hint::black_box;
+
+fn bench_handoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handoff");
+    group.sample_size(10);
+    for &r in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 2;
+                black_box(measure_handoff(r, NetConfig::default(), seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_handoff);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E1: evaluating the scalability formulas (1)–(6)
+//! across the Table I grid, plus the measured tree baseline accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rgb_analysis::{hcn_ring, hcn_tree, table_i};
+use rgb_baselines::TreeHierarchy;
+use std::hint::black_box;
+
+fn bench_formulas(c: &mut Criterion) {
+    c.bench_function("table_i/full_grid", |b| {
+        b.iter(|| black_box(table_i()))
+    });
+    let mut group = c.benchmark_group("hcn");
+    for &(h, r) in &[(3u32, 5u64), (5, 5), (5, 10)] {
+        group.bench_with_input(BenchmarkId::new("tree", format!("h{h}_r{r}")), &(h, r), |b, &(h, r)| {
+            b.iter(|| black_box(hcn_tree(h, r)))
+        });
+        group.bench_with_input(BenchmarkId::new("ring", format!("h{h}_r{r}")), &(h, r), |b, &(h, r)| {
+            b.iter(|| black_box(hcn_ring(h - 1, r)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_measured(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_measured_hops");
+    for &(h, r) in &[(3u32, 5u64), (4, 10)] {
+        let tree = TreeHierarchy::new(h, r);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("h{h}_r{r}")),
+            &tree,
+            |b, tree| b.iter(|| black_box(tree.change_hops_total(black_box(3), true))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulas, bench_tree_measured);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for E6: full bottom-to-top (and sibling-subtree)
+//! propagation of one membership change through complete hierarchies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rgb_bench::measure_change;
+use rgb_sim::NetConfig;
+use std::hint::black_box;
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate_join");
+    group.sample_size(10);
+    for &(h, r) in &[(2usize, 5usize), (3, 5), (3, 10)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("h{h}_r{r}_n{}", (r as u64).pow(h as u32))),
+            &(h, r),
+            |b, &(h, r)| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(measure_change(h, r, NetConfig::instant(), seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

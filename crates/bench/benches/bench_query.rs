@@ -1,0 +1,30 @@
+//! Criterion bench for E10: global membership queries under the three
+//! maintenance schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rgb_bench::measure_query;
+use rgb_core::prelude::MembershipScheme;
+use rgb_sim::NetConfig;
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_query_h3_r5");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("tms", MembershipScheme::Tms),
+        ("ims1", MembershipScheme::Ims { level: 1 }),
+        ("bms", MembershipScheme::Bms),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(measure_query(3, 5, scheme, NetConfig::instant(), seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

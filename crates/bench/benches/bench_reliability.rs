@@ -1,0 +1,36 @@
+//! Criterion bench for E3/E4: the Function-Well probability formulas and
+//! the Monte-Carlo estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rgb_analysis::montecarlo::estimate_hierarchy_fw;
+use rgb_analysis::reliability::table_ii;
+use rgb_analysis::{prob_fw_hierarchy, prob_fw_ring};
+use std::hint::black_box;
+
+fn bench_formulas(c: &mut Criterion) {
+    c.bench_function("table_ii/full_grid", |b| b.iter(|| black_box(table_ii())));
+    c.bench_function("prob_fw_ring/r10", |b| {
+        b.iter(|| black_box(prob_fw_ring(black_box(10), black_box(0.005))))
+    });
+    c.bench_function("prob_fw_hierarchy/h3_r10_k3", |b| {
+        b.iter(|| black_box(prob_fw_hierarchy(3, 10, black_box(0.005), 3)))
+    });
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montecarlo");
+    group.sample_size(10);
+    for &trials in &[1_000u64, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("hierarchy_fw", trials),
+            &trials,
+            |b, &trials| {
+                b.iter(|| black_box(estimate_hierarchy_fw(3, 10, 0.005, 3, trials, 1)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulas, bench_montecarlo);
+criterion_main!(benches);

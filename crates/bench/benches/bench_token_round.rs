@@ -1,0 +1,56 @@
+//! Criterion bench for E7 (Figure 3 as measurement): one-round token
+//! passing on a single ring — full agreement of one membership change —
+//! as a function of ring size `r`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rgb_core::prelude::*;
+use rgb_core::testing::Loopback;
+use std::hint::black_box;
+
+fn one_round(r: usize, seq: u64) -> u64 {
+    let layout = HierarchySpec::new(1, r).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+    net.boot_all();
+    let ap = layout.aps()[r / 2];
+    net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(seq), luid: Luid(1) }));
+    assert!(net.run_until_quiet(10_000_000));
+    net.sent_total
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_round");
+    for &r in &[2usize, 4, 8, 16, 32, 64] {
+        group.throughput(Throughput::Elements(r as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let mut seq = 0;
+            b.iter(|| {
+                seq += 1;
+                black_box(one_round(r, seq))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_messages(c: &mut Criterion) {
+    // Message-processing throughput of a ring under sustained churn.
+    let mut group = c.benchmark_group("sustained_churn_ring8");
+    group.sample_size(20);
+    group.bench_function("100_joins", |b| {
+        b.iter(|| {
+            let layout = HierarchySpec::new(1, 8).build(GroupId(1)).unwrap();
+            let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+            net.boot_all();
+            for i in 0..100u64 {
+                let ap = layout.aps()[(i % 8) as usize];
+                net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(i), luid: Luid(1) }));
+            }
+            assert!(net.run_until_quiet(50_000_000));
+            black_box(net.sent_total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_round_messages);
+criterion_main!(benches);

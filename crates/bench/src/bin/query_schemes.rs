@@ -1,0 +1,44 @@
+//! Experiment E10: the Membership-Query algorithm (§4.4) under the TMS,
+//! IMS and BMS maintenance schemes — message cost and latency of a global
+//! query, and the storage footprint each scheme implies.
+//!
+//! ```text
+//! cargo run --release -p rgb-bench --bin query_schemes
+//! ```
+
+use rgb_analysis::tables::render;
+use rgb_bench::measure_query;
+use rgb_core::prelude::MembershipScheme;
+use rgb_sim::NetConfig;
+
+fn main() {
+    println!("E10 — one global membership query from an access proxy\n");
+    for &(h, r) in &[(3usize, 5usize), (3, 10)] {
+        let n = (r as u64).pow(h as u32);
+        println!("hierarchy h={h}, r={r} ({n} APs, one member per AP):");
+        let mut rows = Vec::new();
+        for (name, scheme) in [
+            ("TMS", MembershipScheme::Tms),
+            ("IMS(1)", MembershipScheme::Ims { level: 1 }),
+            ("BMS", MembershipScheme::Bms),
+        ] {
+            let cost = measure_query(h, r, scheme, NetConfig::default(), 77);
+            assert_eq!(cost.members as u64, n, "query must return everyone");
+            rows.push(vec![
+                name.to_string(),
+                cost.messages.to_string(),
+                cost.latency.to_string(),
+                cost.responses.to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            render(&["scheme", "messages", "latency (ticks)", "responses"], &rows)
+        );
+        println!();
+    }
+    println!("TMS answers from the topmost ring in one round trip; BMS fans out");
+    println!("to every bottommost ring leader — \"more efficient ... with regard");
+    println!("to the requesting application\" (§4.4), at the cost of topmost");
+    println!("storage. IMS interpolates.");
+}

@@ -1,0 +1,82 @@
+//! Experiment E9: reliability comparison of the three structures of §5.2
+//! under identical fault processes — RGB's ring hierarchy, the tree
+//! without representatives, and the CONGRESS tree with representatives —
+//! by Monte-Carlo partition counting, plus the exact single-fault damage
+//! enumeration.
+//!
+//! ```text
+//! cargo run --release -p rgb-bench --bin reliability_sim [trials]
+//! ```
+
+use rgb_analysis::tables::{pct3, render};
+use rgb_baselines::{
+    mean_partitions_single_fault_ring, mean_partitions_single_fault_with_reps,
+    mean_partitions_single_fault_without_reps, ring_hierarchy_fw, single_fault_fw_with_reps,
+    single_fault_fw_without_reps, tree_no_reps_fw, tree_with_reps_fw, TreeHierarchy,
+};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+
+    println!("E9a — exact single-fault damage (expected partitions | 1 fault)\n");
+    let mut rows = Vec::new();
+    for &(h_tree, r) in &[(3u32, 5u64), (3, 10), (4, 5)] {
+        let tree = TreeHierarchy::new(h_tree, r);
+        rows.push(vec![
+            format!("{}", r.pow(h_tree - 1)),
+            r.to_string(),
+            format!("{:.3}", mean_partitions_single_fault_ring((h_tree - 1) as usize, r as usize)),
+            format!("{:.3}", mean_partitions_single_fault_without_reps(&tree)),
+            format!("{:.3}", mean_partitions_single_fault_with_reps(&tree)),
+            format!("{:.3}", single_fault_fw_without_reps(&tree)),
+            format!("{:.3}", single_fault_fw_with_reps(&tree)),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "n",
+                "r",
+                "ring E[parts]",
+                "tree-no-reps E[parts]",
+                "tree-reps E[parts]",
+                "no-reps P(intact)",
+                "reps P(intact)",
+            ],
+            &rows
+        )
+    );
+
+    println!("\nE9b — Monte-Carlo P[#partitions <= k] at fault probability f ({trials} trials)\n");
+    let mut rows = Vec::new();
+    for &(f, k) in &[(0.005f64, 1usize), (0.005, 3), (0.02, 1), (0.02, 3)] {
+        // 125-AP scale: ring (h=3, r=5) vs trees (h=4, r=5 → 125 leaves).
+        let ring = ring_hierarchy_fw(3, 5, f, k, trials, 11);
+        let no_reps = tree_no_reps_fw(4, 5, f, k, trials, 12);
+        let with_reps = tree_with_reps_fw(4, 5, f, k, trials, 13);
+        rows.push(vec![
+            format!("{:.1}", f * 100.0),
+            k.to_string(),
+            pct3(ring),
+            pct3(no_reps),
+            pct3(with_reps),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &["f(%)", "k", "ring fw(%)", "tree-no-reps fw(%)", "tree-reps fw(%)"],
+            &rows
+        )
+    );
+    println!("\nA single fault never partitions RGB (local repair, E[parts]=1.000)");
+    println!("while both trees lose subtrees; per-fault survival orders ring >");
+    println!("tree-without-reps > tree-with-reps — the §5.2 argument, measured.");
+    println!("(The trees field fewer/more physical machines than the ring at equal");
+    println!("leaf count, so the f-based rows also reflect exposure differences;");
+    println!("the single-fault table isolates pure per-fault damage.)");
+}

@@ -1,0 +1,89 @@
+//! Error type of the RGB core library.
+
+use crate::ids::{GroupId, Guid, NodeId, RingId};
+use core::fmt;
+
+/// Errors surfaced by the sans-IO protocol core.
+///
+/// Because the core is a state machine, most "errors" are simply protocol
+/// events (a faulty node, a partition); `RgbError` is reserved for misuse of
+/// the API or violated preconditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RgbError {
+    /// A node id was referenced that is not part of the ring roster.
+    UnknownNode(NodeId),
+    /// A ring id was referenced that is not part of the hierarchy.
+    UnknownRing(RingId),
+    /// A member GUID was referenced that is not in the membership list.
+    UnknownMember(Guid),
+    /// A message for a different group reached this node.
+    GroupMismatch {
+        /// The group this node serves.
+        expected: GroupId,
+        /// The group stamped on the message.
+        got: GroupId,
+    },
+    /// An operation that requires a non-empty ring was attempted on an empty
+    /// ring.
+    EmptyRing(RingId),
+    /// The hierarchy specification is invalid (e.g. zero height or branching
+    /// below two).
+    InvalidSpec(&'static str),
+    /// A wire-format frame could not be decoded.
+    Decode(&'static str),
+    /// The node is partitioned from the ring and cannot serve the request.
+    Partitioned(RingId),
+}
+
+impl fmt::Display for RgbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RgbError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            RgbError::UnknownRing(r) => write!(f, "unknown ring {r}"),
+            RgbError::UnknownMember(g) => write!(f, "unknown member {g}"),
+            RgbError::GroupMismatch { expected, got } => {
+                write!(f, "group mismatch: expected {expected}, got {got}")
+            }
+            RgbError::EmptyRing(r) => write!(f, "ring {r} is empty"),
+            RgbError::InvalidSpec(why) => write!(f, "invalid hierarchy spec: {why}"),
+            RgbError::Decode(why) => write!(f, "wire decode error: {why}"),
+            RgbError::Partitioned(r) => write!(f, "ring {r} is partitioned"),
+        }
+    }
+}
+
+impl std::error::Error for RgbError {}
+
+/// Convenience result alias.
+pub type Result<T, E = RgbError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<(RgbError, &str)> = vec![
+            (RgbError::UnknownNode(NodeId(1)), "unknown node n1"),
+            (RgbError::UnknownRing(RingId(2)), "unknown ring r2"),
+            (RgbError::UnknownMember(Guid(3)), "unknown member m3"),
+            (
+                RgbError::GroupMismatch { expected: GroupId(1), got: GroupId(2) },
+                "group mismatch: expected g1, got g2",
+            ),
+            (RgbError::EmptyRing(RingId(0)), "ring r0 is empty"),
+            (RgbError::InvalidSpec("bad"), "invalid hierarchy spec: bad"),
+            (RgbError::Decode("short"), "wire decode error: short"),
+            (RgbError::Partitioned(RingId(9)), "ring r9 is partitioned"),
+        ];
+        for (err, text) in cases {
+            assert_eq!(err.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RgbError::EmptyRing(RingId(1)));
+    }
+}

@@ -1,0 +1,82 @@
+//! Mobile-host event intake at access proxies, including the fast-handoff
+//! path motivated in §1 ("fast handoff is needed to decrease service
+//! disruptions to mobile users").
+//!
+//! When an MH hands off into this proxy and the proxy already knows the
+//! member — from `ListOfNeighborMembers` (a neighbouring proxy hosted it) or
+//! from `ListOfRingMembers` (same ring) — it is admitted immediately, before
+//! ring agreement, and the application sees an [`AppEvent::FastHandoff`].
+//! Otherwise admission into the ring view waits for the one-round agreement
+//! like any other change. Either way a `Member-Handoff` change record is
+//! queued so the hierarchy converges on the new location.
+
+use crate::events::{AppEvent, Output};
+use crate::ids::Guid;
+use crate::member::{MemberInfo, MemberStatus};
+use crate::message::{ChangeOp, ChangeRecord, MhEvent};
+use crate::node::NodeState;
+
+impl NodeState {
+    /// Intake of one mobile-host event at this (access-proxy) node.
+    ///
+    /// Non-bottom nodes ignore MH events: mobile hosts can only attach to
+    /// access proxies (paper §3).
+    pub(crate) fn on_mh(&mut self, event: MhEvent, outs: &mut Vec<Output>) {
+        if !self.is_bottom() {
+            return;
+        }
+        let op = match event {
+            MhEvent::Join { guid, luid } => {
+                let info = MemberInfo::operational(guid, luid, self.id);
+                self.local_members.upsert(info);
+                ChangeOp::MemberJoin { info }
+            }
+            MhEvent::Leave { guid } => {
+                self.local_members.remove(guid);
+                ChangeOp::MemberLeave { guid }
+            }
+            MhEvent::FailureDetected { guid } => {
+                self.local_members.set_status(guid, MemberStatus::Failed);
+                self.local_members.remove(guid);
+                ChangeOp::MemberFailure { guid }
+            }
+            MhEvent::Disconnect { guid } => {
+                self.local_members.set_status(guid, MemberStatus::Disconnected);
+                ChangeOp::MemberDisconnect { guid }
+            }
+            MhEvent::Resume { guid, luid } => {
+                // Resumption is a rebinding at this proxy: locally it is an
+                // operational record again, ring-wide it rides as a handoff
+                // (which also covers resuming at a *different* cell).
+                self.local_members
+                    .upsert(MemberInfo::operational(guid, luid, self.id));
+                self.ring_members.apply_handoff(guid, luid, self.id);
+                ChangeOp::MemberHandoff { guid, luid, from: None, to: self.id }
+            }
+            MhEvent::HandoffIn { guid, luid, from } => {
+                let known_from = from.or_else(|| self.lookup_previous_ap(guid));
+                self.local_members
+                    .upsert(MemberInfo::operational(guid, luid, self.id));
+                if known_from.is_some() {
+                    // Fast path: prior location known — admit immediately
+                    // into the ring view as well.
+                    self.ring_members.apply_handoff(guid, luid, self.id);
+                    self.neighbor_members.remove(guid);
+                    outs.push(Output::Deliver(AppEvent::FastHandoff { guid }));
+                }
+                ChangeOp::MemberHandoff { guid, luid, from: known_from, to: self.id }
+            }
+        };
+        let id = self.next_change_id();
+        let rec = ChangeRecord::new(id, self.id, self.ring_id(), op);
+        self.queue_record(rec, outs);
+    }
+
+    /// Where was `guid` last seen, according to this proxy's working sets?
+    fn lookup_previous_ap(&self, guid: Guid) -> Option<crate::ids::NodeId> {
+        self.neighbor_members
+            .get(guid)
+            .or_else(|| self.ring_members.get(guid))
+            .map(|m| m.ap)
+    }
+}

@@ -1,0 +1,177 @@
+//! Identity types used throughout the RGB protocol.
+//!
+//! The paper (§4.2) names four identity spaces:
+//!
+//! * **GID** — group identity, e.g. an IP multicast class-D address;
+//! * **NodeID** — identity of a network entity (AP/AG/BR), e.g. its IP address;
+//! * **GUID** — globally unique identity of a mobile host, e.g. its Mobile IP
+//!   home address;
+//! * **LUID** — locally unique identity of a mobile host, e.g. its Mobile IP
+//!   care-of address.
+//!
+//! All of these are opaque to the protocol: RGB only ever compares them for
+//! equality and (for deterministic leader election) order, so we represent
+//! them as newtyped integers rather than real addresses.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Group identity (paper: `GID: GroupID`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identity of a network entity (paper: `NodeID`).
+///
+/// Node ids are totally ordered; the protocol uses the minimum id of a ring
+/// roster as the deterministic leader-election rule after failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Globally unique identity of a mobile host (paper: `GUID`), e.g. a Mobile
+/// IP home address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Guid(pub u64);
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Locally unique identity of a mobile host (paper: `LUID`), e.g. a Mobile IP
+/// care-of address. A mobile host gets a fresh LUID every time it attaches to
+/// a new access proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Luid(pub u64);
+
+impl fmt::Display for Luid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Identity of a logical ring in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RingId(pub u32);
+
+impl fmt::Display for RingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The tier a network entity belongs to in the 4-tier mobile-Internet
+/// architecture (paper §3, Figure 1).
+///
+/// Mobile hosts form a fourth tier below [`Tier::AccessProxy`], but they are
+/// not network entities and never sit on a logical ring, so they are not
+/// represented here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Border Router Tier (BRT) — the topmost tier; BGP border routers.
+    BorderRouter,
+    /// Access Gateway Tier (AGT) — gateways between wireless access networks
+    /// and autonomous systems.
+    AccessGateway,
+    /// Access Proxy Tier (APT) — access points / base stations / satellites,
+    /// abstracted as access proxies; mobile hosts attach here.
+    AccessProxy,
+}
+
+impl Tier {
+    /// Short display name as used in the paper's Figure 2.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Tier::BorderRouter => "BR",
+            Tier::AccessGateway => "AG",
+            Tier::AccessProxy => "AP",
+        }
+    }
+
+    /// Tier for a given *level* below the hierarchy root: level 0 is the
+    /// topmost ring tier (BRT), the bottommost level is always the APT, and
+    /// everything in between is an AGT sub-tier. The paper allows "sub-tiers
+    /// in each tier" (§4.4), which is how hierarchies taller than three ring
+    /// levels are modelled.
+    pub fn for_level(level: usize, height: usize) -> Tier {
+        debug_assert!(height >= 1 && level < height);
+        if level + 1 == height {
+            Tier::AccessProxy
+        } else if level == 0 {
+            Tier::BorderRouter
+        } else {
+            Tier::AccessGateway
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GroupId(7).to_string(), "g7");
+        assert_eq!(NodeId(42).to_string(), "n42");
+        assert_eq!(Guid(1).to_string(), "m1");
+        assert_eq!(Luid(2).to_string(), "l2");
+        assert_eq!(RingId(3).to_string(), "r3");
+        assert_eq!(Tier::AccessProxy.to_string(), "AP");
+    }
+
+    #[test]
+    fn node_ids_are_ordered() {
+        assert!(NodeId(1) < NodeId(2));
+        let mut v = vec![NodeId(3), NodeId(1), NodeId(2)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn tier_for_level_three_tier_hierarchy() {
+        // Classic paper hierarchy: BRT / AGT / APT.
+        assert_eq!(Tier::for_level(0, 3), Tier::BorderRouter);
+        assert_eq!(Tier::for_level(1, 3), Tier::AccessGateway);
+        assert_eq!(Tier::for_level(2, 3), Tier::AccessProxy);
+    }
+
+    #[test]
+    fn tier_for_level_tall_hierarchy_has_ag_subtiers() {
+        assert_eq!(Tier::for_level(0, 5), Tier::BorderRouter);
+        assert_eq!(Tier::for_level(1, 5), Tier::AccessGateway);
+        assert_eq!(Tier::for_level(2, 5), Tier::AccessGateway);
+        assert_eq!(Tier::for_level(3, 5), Tier::AccessGateway);
+        assert_eq!(Tier::for_level(4, 5), Tier::AccessProxy);
+    }
+
+    #[test]
+    fn tier_for_level_two_tier_hierarchy() {
+        // h=2 (used in Table I ring column): top ring is BRT, bottom is APT.
+        assert_eq!(Tier::for_level(0, 2), Tier::BorderRouter);
+        assert_eq!(Tier::for_level(1, 2), Tier::AccessProxy);
+    }
+
+    #[test]
+    fn tier_for_level_single_level() {
+        // Degenerate single-ring hierarchy: the only ring hosts the APs.
+        assert_eq!(Tier::for_level(0, 1), Tier::AccessProxy);
+    }
+}

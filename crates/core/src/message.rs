@@ -1,0 +1,561 @@
+//! Membership-change operations and inter-entity messages.
+//!
+//! The paper's token carries a `TypeOfAggregatedOperations` covering
+//! Member-Join/Leave/Handoff/Failure, NE-Join/Leave/Failure,
+//! Notification-to-Parent/Child and Holder-Acknowledgement (§4.2). We model
+//! the member/NE operations as [`ChangeOp`] values wrapped in
+//! [`ChangeRecord`]s (which add provenance for acknowledgement routing and
+//! measurement), and the notifications/acknowledgements as [`Msg`] variants
+//! exchanged between network entities.
+
+use crate::ids::{GroupId, Guid, Luid, NodeId, RingId};
+use crate::member::{MemberInfo, MemberList};
+use crate::token::Token;
+use serde::{Deserialize, Serialize};
+
+/// Unique identity of one membership change, assigned by the NE that first
+/// queues it. Used for Holder-Acknowledgement routing and for attributing
+/// message hops to changes in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChangeId {
+    /// NE that coined the id.
+    pub origin: NodeId,
+    /// Sequence number local to the origin.
+    pub seq: u64,
+}
+
+/// A single membership-change operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeOp {
+    /// A mobile host joined the group at `info.ap` (Member-Join).
+    MemberJoin {
+        /// Full record of the joining member.
+        info: MemberInfo,
+    },
+    /// A mobile host voluntarily left the group (Member-Leave).
+    MemberLeave {
+        /// The leaving member.
+        guid: Guid,
+    },
+    /// A mobile host moved between access proxies (Member-Handoff).
+    MemberHandoff {
+        /// The moving member.
+        guid: Guid,
+        /// Fresh locally-unique id at the new proxy.
+        luid: Luid,
+        /// Old access proxy (if known to the issuer).
+        from: Option<NodeId>,
+        /// New access proxy.
+        to: NodeId,
+    },
+    /// A mobile host ceased to be a member due to failure (Member-Failure).
+    MemberFailure {
+        /// The failed member.
+        guid: Guid,
+    },
+    /// A mobile host disconnected temporarily or voluntarily (§1): it stays
+    /// on the membership list with `Disconnected` status and may resume at
+    /// any cell later.
+    MemberDisconnect {
+        /// The disconnected member.
+        guid: Guid,
+    },
+    /// A network entity joined a logical ring (NE-Join).
+    NeJoin {
+        /// The joining entity.
+        node: NodeId,
+        /// The ring it joined.
+        ring: RingId,
+    },
+    /// A network entity voluntarily left its logical ring (NE-Leave).
+    NeLeave {
+        /// The leaving entity.
+        node: NodeId,
+        /// The ring it left.
+        ring: RingId,
+    },
+    /// A network entity was detected faulty and excluded from its ring
+    /// (NE-Failure, the §5.2 local-repair action).
+    NeFailure {
+        /// The excluded entity.
+        node: NodeId,
+        /// The ring it was excluded from.
+        ring: RingId,
+    },
+    /// The leader of a ring changed (consequence of NE events; keeps the
+    /// parent's `Child` pointer and the ring's `Leader` fields coherent).
+    LeaderChange {
+        /// The ring whose leadership changed.
+        ring: RingId,
+        /// The new leader.
+        leader: NodeId,
+    },
+}
+
+impl ChangeOp {
+    /// The member this operation concerns, if it is a member-level op.
+    pub fn member(&self) -> Option<Guid> {
+        match self {
+            ChangeOp::MemberJoin { info } => Some(info.guid),
+            ChangeOp::MemberLeave { guid }
+            | ChangeOp::MemberHandoff { guid, .. }
+            | ChangeOp::MemberFailure { guid }
+            | ChangeOp::MemberDisconnect { guid } => Some(*guid),
+            _ => None,
+        }
+    }
+
+    /// Whether this op must propagate up the hierarchy (member and NE events
+    /// do; LeaderChange is disseminated ring-locally and to the parent only).
+    pub fn propagates_up(&self) -> bool {
+        !matches!(self, ChangeOp::LeaderChange { .. })
+    }
+
+    /// Short tag for logs and metrics.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            ChangeOp::MemberJoin { .. } => OpKind::MemberJoin,
+            ChangeOp::MemberLeave { .. } => OpKind::MemberLeave,
+            ChangeOp::MemberHandoff { .. } => OpKind::MemberHandoff,
+            ChangeOp::MemberFailure { .. } => OpKind::MemberFailure,
+            ChangeOp::MemberDisconnect { .. } => OpKind::MemberDisconnect,
+            ChangeOp::NeJoin { .. } => OpKind::NeJoin,
+            ChangeOp::NeLeave { .. } => OpKind::NeLeave,
+            ChangeOp::NeFailure { .. } => OpKind::NeFailure,
+            ChangeOp::LeaderChange { .. } => OpKind::LeaderChange,
+        }
+    }
+}
+
+/// Discriminant-only view of [`ChangeOp`] for metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum OpKind {
+    MemberJoin,
+    MemberLeave,
+    MemberHandoff,
+    MemberFailure,
+    MemberDisconnect,
+    NeJoin,
+    NeLeave,
+    NeFailure,
+    LeaderChange,
+}
+
+impl OpKind {
+    /// All kinds, for table headers.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::MemberJoin,
+        OpKind::MemberLeave,
+        OpKind::MemberHandoff,
+        OpKind::MemberFailure,
+        OpKind::MemberDisconnect,
+        OpKind::NeJoin,
+        OpKind::NeLeave,
+        OpKind::NeFailure,
+        OpKind::LeaderChange,
+    ];
+}
+
+/// A change operation plus the provenance needed to route acknowledgements
+/// and prevent up/down echo loops.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeRecord {
+    /// Unique id of the change.
+    pub id: ChangeId,
+    /// NE whose message queue first held the record in the *current* ring
+    /// (receives the Holder-Acknowledgement for it).
+    pub origin: NodeId,
+    /// Ring in which the change was originally generated (the bottommost
+    /// ring for member events).
+    pub origin_ring: RingId,
+    /// If the record entered the current ring from below, the ring it came
+    /// from (so sponsors of that ring do not echo it back down the same
+    /// subtree).
+    pub from_child_ring: Option<RingId>,
+    /// True once the record is travelling *down* the hierarchy
+    /// (Notification-to-Child). Descending records are never forwarded up
+    /// again, which (together with `from_child_of`) guarantees each ring
+    /// executes a change exactly once.
+    pub descending: bool,
+    /// The operation itself.
+    pub op: ChangeOp,
+}
+
+impl ChangeRecord {
+    /// A record freshly generated at `origin` in `origin_ring`.
+    pub fn new(id: ChangeId, origin: NodeId, origin_ring: RingId, op: ChangeOp) -> Self {
+        ChangeRecord { id, origin, origin_ring, from_child_ring: None, descending: false, op }
+    }
+
+    /// Re-home the record for propagation into the parent ring: `parent` is
+    /// the node whose MQ receives it there (Notification-to-Parent), and
+    /// `via_ring` is the ring the record is leaving.
+    pub fn for_parent_ring(&self, parent: NodeId, via_ring: RingId) -> ChangeRecord {
+        ChangeRecord {
+            id: self.id,
+            origin: parent,
+            origin_ring: self.origin_ring,
+            from_child_ring: Some(via_ring),
+            descending: false,
+            op: self.op.clone(),
+        }
+    }
+
+    /// Re-home the record for propagation into a child ring whose leader is
+    /// `child_leader` (Notification-to-Child).
+    pub fn for_child_ring(&self, child_leader: NodeId) -> ChangeRecord {
+        ChangeRecord {
+            id: self.id,
+            origin: child_leader,
+            origin_ring: self.origin_ring,
+            from_child_ring: None,
+            descending: true,
+            op: self.op.clone(),
+        }
+    }
+}
+
+/// Direction tag of an MQ insertion (paper's Notification-to-Parent /
+/// Notification-to-Child plus locally generated events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NotifyKind {
+    /// Generated at this NE (e.g. from an attached MH, or by the failure
+    /// detector).
+    Local,
+    /// Notification-to-Parent: sent by a ring leader to its parent node.
+    ToParent,
+    /// Notification-to-Child: sent by a node to the leader of its child
+    /// ring.
+    ToChild,
+}
+
+/// Hierarchy-status summary carried by heartbeats (maintains `ParentOK` /
+/// `ChildOK` and the cached rosters used for re-attachment after faults).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusSummary {
+    /// The sender's ring.
+    pub ring: RingId,
+    /// Whether the sender's ring currently functions well.
+    pub ring_ok: bool,
+    /// Current leader of the sender's ring.
+    pub leader: NodeId,
+    /// Current roster of the sender's ring, in ring order.
+    pub roster: Vec<NodeId>,
+}
+
+/// Scope of a membership query (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryScope {
+    /// Global membership of the group.
+    Global,
+    /// Membership under one ring (used internally by BMS fan-out).
+    Ring(RingId),
+}
+
+/// Unique id of an in-flight query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryId {
+    /// NE that accepted the query from the application.
+    pub origin: NodeId,
+    /// Sequence number local to the origin.
+    pub seq: u64,
+}
+
+/// Messages exchanged between network entities (and from mobile hosts to
+/// their access proxies).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Msg {
+    /// The ring token, forwarded along the logical ring.
+    Token(Token),
+    /// Explicit forward-progress acknowledgement for a token transfer;
+    /// cancels the sender's retransmission timer (§5.2 token-retransmission
+    /// fault detection).
+    TokenAck {
+        /// Ring the token belongs to.
+        ring: RingId,
+        /// Round number being acknowledged.
+        seq: u64,
+    },
+    /// Insert records into the recipient's message queue (local events,
+    /// Notification-to-Parent, Notification-to-Child).
+    MqInsert {
+        /// Direction of the notification.
+        kind: NotifyKind,
+        /// Records to queue.
+        records: Vec<ChangeRecord>,
+    },
+    /// Holder-Acknowledgement: after the token completes one round, the
+    /// holder confirms the agreed changes to the NEs that queued them.
+    HolderAck {
+        /// Ring in which agreement was reached.
+        ring: RingId,
+        /// Round number that carried the changes.
+        seq: u64,
+        /// The agreed changes.
+        change_ids: Vec<ChangeId>,
+    },
+    /// Heartbeat from a ring leader up to its parent node.
+    HeartbeatUp(StatusSummary),
+    /// Heartbeat from a parent node down to the leader of its child ring.
+    HeartbeatDown(StatusSummary),
+    /// Request from an orphaned ring leader to a (hoped alive) node of the
+    /// old parent ring asking it to adopt the sender's ring.
+    AttachChild {
+        /// The orphaned ring.
+        ring: RingId,
+        /// Its current leader (the sender).
+        leader: NodeId,
+    },
+    /// Positive answer to [`Msg::AttachChild`].
+    AttachAccepted {
+        /// The adopting node.
+        parent: NodeId,
+        /// The adopting node's ring.
+        parent_ring: RingId,
+    },
+    /// A membership query entering the hierarchy or being routed within it.
+    QueryRequest {
+        /// Query identity.
+        qid: QueryId,
+        /// Node the final aggregated response must reach.
+        reply_to: NodeId,
+        /// What is being asked.
+        scope: QueryScope,
+        /// Target level of the fan-out (`None` while the request is still
+        /// ascending towards the root ring).
+        fanout_level: Option<u8>,
+        /// True once the request has been spread around the current ring
+        /// (spread copies must not be re-spread, only forwarded down).
+        spread: bool,
+    },
+    /// A (partial) response travelling back to the query origin.
+    QueryResponse {
+        /// Query identity.
+        qid: QueryId,
+        /// Members known to the responding subtree.
+        members: MemberList,
+        /// How many partial responses the origin should expect in total
+        /// (every responder reports the same total).
+        expected: u32,
+    },
+    /// A standalone network entity asks a contact node to admit it into the
+    /// contact's logical ring (§4.3: "If any Access Proxy Ring satisfies
+    /// some locality/proximity criterion, then the AP joins the APR").
+    JoinRing {
+        /// The joining entity.
+        node: NodeId,
+    },
+    /// Membership-Merge (§6 future work): the leader of one ring proposes
+    /// merging its entire ring into the recipient's ring, carrying its
+    /// roster and stored membership.
+    MergeRings {
+        /// The ring being absorbed.
+        ring: RingId,
+        /// Its nodes, in ring order.
+        roster: Vec<NodeId>,
+        /// Its stored membership.
+        members: MemberList,
+    },
+    /// Ring-state snapshot sent to an admitted joiner so it can operate:
+    /// roster (with the joiner appended, matching the deterministic NE-Join
+    /// application), stored membership, epoch and hierarchy position.
+    RingSync(Box<RingSnapshot>),
+    /// Message from a mobile host to its access proxy carrying a membership
+    /// event. Mobile hosts are not NEs; this is the single message type they
+    /// emit, and it exists so substrates can count the MH→AP hop.
+    FromMh {
+        /// The event.
+        event: MhEvent,
+    },
+}
+
+/// Snapshot transferred to a newly admitted ring member.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingSnapshot {
+    /// The ring being joined.
+    pub ring: RingId,
+    /// Ring level below the root.
+    pub level: u8,
+    /// Hierarchy height.
+    pub height: u8,
+    /// Post-join roster, in ring order.
+    pub roster: Vec<NodeId>,
+    /// The ring's stored membership.
+    pub members: MemberList,
+    /// Current view epoch.
+    pub epoch: u64,
+    /// The ring's current token round number; the joiner starts accepting
+    /// from the round in flight (which carries its own NE-Join).
+    pub last_token_seq: u64,
+    /// The ring's sponsor, if any.
+    pub parent: Option<NodeId>,
+    /// The sponsor's ring.
+    pub parent_ring: Option<RingId>,
+    /// Rings per level (query fan-out accounting).
+    pub level_ring_counts: Vec<u32>,
+}
+
+impl Msg {
+    /// Short label for metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::Token(_) => "token",
+            Msg::TokenAck { .. } => "token_ack",
+            Msg::MqInsert { kind: NotifyKind::Local, .. } => "mq_local",
+            Msg::MqInsert { kind: NotifyKind::ToParent, .. } => "notify_parent",
+            Msg::MqInsert { kind: NotifyKind::ToChild, .. } => "notify_child",
+            Msg::HolderAck { .. } => "holder_ack",
+            Msg::HeartbeatUp(_) => "hb_up",
+            Msg::HeartbeatDown(_) => "hb_down",
+            Msg::AttachChild { .. } => "attach_child",
+            Msg::AttachAccepted { .. } => "attach_accepted",
+            Msg::QueryRequest { .. } => "query_req",
+            Msg::QueryResponse { .. } => "query_resp",
+            Msg::JoinRing { .. } => "join_ring",
+            Msg::MergeRings { .. } => "merge_rings",
+            Msg::RingSync(_) => "ring_sync",
+            Msg::FromMh { .. } => "from_mh",
+        }
+    }
+}
+
+/// A membership event issued by a mobile host towards its access proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MhEvent {
+    /// Join the group.
+    Join {
+        /// Member identity.
+        guid: Guid,
+        /// Care-of identity at this proxy.
+        luid: Luid,
+    },
+    /// Leave the group voluntarily.
+    Leave {
+        /// Member identity.
+        guid: Guid,
+    },
+    /// Handoff arrival: the MH attached to this proxy, coming from `from`.
+    HandoffIn {
+        /// Member identity.
+        guid: Guid,
+        /// Fresh care-of identity at this proxy.
+        luid: Luid,
+        /// Previous proxy if the MH knows it.
+        from: Option<NodeId>,
+    },
+    /// The proxy detected the MH as failed (missed polls / faulty
+    /// disconnection).
+    FailureDetected {
+        /// Member identity.
+        guid: Guid,
+    },
+    /// The MH announced a temporary or voluntary disconnection (§1); it
+    /// remains a member with `Disconnected` status.
+    Disconnect {
+        /// Member identity.
+        guid: Guid,
+    },
+    /// The MH resumed operation at this proxy after a disconnection,
+    /// with a fresh care-of identity (possibly at a different cell).
+    Resume {
+        /// Member identity.
+        guid: Guid,
+        /// Fresh care-of identity.
+        luid: Luid,
+    },
+}
+
+/// Group-stamped envelope used on the wire between NEs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// The group this message belongs to.
+    pub gid: GroupId,
+    /// Payload.
+    pub msg: Msg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::MemberInfo;
+
+    fn rec(op: ChangeOp) -> ChangeRecord {
+        ChangeRecord::new(
+            ChangeId { origin: NodeId(1), seq: 0 },
+            NodeId(1),
+            RingId(0),
+            op,
+        )
+    }
+
+    #[test]
+    fn member_extraction() {
+        let join = ChangeOp::MemberJoin {
+            info: MemberInfo::operational(Guid(7), Luid(1), NodeId(3)),
+        };
+        assert_eq!(join.member(), Some(Guid(7)));
+        let ne = ChangeOp::NeFailure { node: NodeId(1), ring: RingId(0) };
+        assert_eq!(ne.member(), None);
+    }
+
+    #[test]
+    fn leader_change_does_not_propagate_up() {
+        assert!(!ChangeOp::LeaderChange { ring: RingId(1), leader: NodeId(1) }.propagates_up());
+        assert!(ChangeOp::MemberLeave { guid: Guid(1) }.propagates_up());
+        assert!(ChangeOp::NeFailure { node: NodeId(2), ring: RingId(0) }.propagates_up());
+    }
+
+    #[test]
+    fn for_parent_ring_sets_provenance() {
+        let r = rec(ChangeOp::MemberLeave { guid: Guid(4) });
+        let up = r.for_parent_ring(NodeId(9), RingId(0));
+        assert_eq!(up.origin, NodeId(9));
+        assert_eq!(up.from_child_ring, Some(RingId(0)));
+        assert_eq!(up.origin_ring, RingId(0));
+        assert_eq!(up.id, r.id);
+        assert!(!up.descending);
+    }
+
+    #[test]
+    fn for_child_ring_marks_descending() {
+        let r = rec(ChangeOp::MemberLeave { guid: Guid(4) });
+        let down = r.for_child_ring(NodeId(12));
+        assert!(down.descending);
+        assert_eq!(down.origin, NodeId(12));
+        assert_eq!(down.from_child_ring, None);
+        assert_eq!(down.id, r.id);
+    }
+
+    #[test]
+    fn msg_labels_are_distinct_where_it_matters() {
+        let a = Msg::MqInsert { kind: NotifyKind::ToParent, records: vec![] };
+        let b = Msg::MqInsert { kind: NotifyKind::ToChild, records: vec![] };
+        assert_ne!(a.label(), b.label());
+        assert_eq!(a.label(), "notify_parent");
+    }
+
+    #[test]
+    fn op_kind_mapping_is_total() {
+        let ops = vec![
+            ChangeOp::MemberJoin { info: MemberInfo::operational(Guid(1), Luid(1), NodeId(1)) },
+            ChangeOp::MemberLeave { guid: Guid(1) },
+            ChangeOp::MemberHandoff { guid: Guid(1), luid: Luid(2), from: None, to: NodeId(2) },
+            ChangeOp::MemberFailure { guid: Guid(1) },
+            ChangeOp::MemberDisconnect { guid: Guid(1) },
+            ChangeOp::NeJoin { node: NodeId(1), ring: RingId(0) },
+            ChangeOp::NeLeave { node: NodeId(1), ring: RingId(0) },
+            ChangeOp::NeFailure { node: NodeId(1), ring: RingId(0) },
+            ChangeOp::LeaderChange { ring: RingId(0), leader: NodeId(1) },
+        ];
+        let kinds: Vec<OpKind> = ops.iter().map(|o| o.kind()).collect();
+        assert_eq!(kinds, OpKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn change_ids_order_by_origin_then_seq() {
+        let a = ChangeId { origin: NodeId(1), seq: 5 };
+        let b = ChangeId { origin: NodeId(2), seq: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,433 @@
+//! The per-NE message queue (paper §4.2: "`MQ: MessageQueue` — message
+//! queue which is self-optimized for aggregating some successive messages
+//! into one for further processing").
+//!
+//! Aggregation rules (design decision D1): successive operations on the
+//! *same member* collapse pairwise —
+//!
+//! * `Join` followed by `Leave`/`Failure` cancels out entirely (the rest of
+//!   the hierarchy never saw the member);
+//! * `Join` followed by `Handoff` becomes a `Join` at the new proxy;
+//! * `Handoff` followed by `Handoff` keeps only the latest location;
+//! * `Handoff` followed by `Leave`/`Failure` becomes just the
+//!   `Leave`/`Failure`;
+//! * `Leave`/`Failure` followed by `Join` keeps both (a genuine rejoin must
+//!   be observed by the application as a view change).
+//!
+//! NE-level operations and leader changes are never aggregated.
+
+use crate::ids::NodeId;
+use crate::member::MemberInfo;
+use crate::message::{ChangeOp, ChangeRecord};
+use std::collections::VecDeque;
+
+/// The self-aggregating message queue.
+#[derive(Debug, Clone, Default)]
+pub struct MessageQueue {
+    entries: VecDeque<ChangeRecord>,
+    /// Total records ever inserted (pre-aggregation), for metrics.
+    inserted: u64,
+    /// Records eliminated by aggregation, for metrics.
+    aggregated_away: u64,
+}
+
+impl MessageQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime count of raw insertions.
+    pub fn total_inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Lifetime count of records removed by aggregation.
+    pub fn total_aggregated_away(&self) -> u64 {
+        self.aggregated_away
+    }
+
+    /// Insert without aggregation (ablation mode).
+    pub fn push_raw(&mut self, rec: ChangeRecord) {
+        self.inserted += 1;
+        self.entries.push_back(rec);
+    }
+
+    /// Insert with aggregation against queued records for the same member.
+    pub fn push_aggregating(&mut self, rec: ChangeRecord) {
+        self.inserted += 1;
+        let Some(guid) = rec.op.member() else {
+            self.entries.push_back(rec);
+            return;
+        };
+        // Find the most recent queued op about the same member *in the
+        // same propagation class*: a descending (Notification-to-Child)
+        // record must never absorb an ascending one or vice versa — the
+        // merged record would inherit the wrong `descending` flag and the
+        // change would be silently dropped from storage and upward
+        // forwarding.
+        let pos = self
+            .entries
+            .iter()
+            .rposition(|e| e.op.member() == Some(guid) && e.descending == rec.descending);
+        let Some(pos) = pos else {
+            self.entries.push_back(rec);
+            return;
+        };
+        let prev = self.entries[pos].clone();
+        // Causal ordering by LUID (Mobile-IPv6 binding sequence numbers):
+        // relay delays can invert arrival order at the queue owner, so a
+        // location op whose LUID is older than the queued one is a stale
+        // straggler and is dropped outright.
+        if let (Some(prev_luid), Some(next_luid)) = (locator_luid(&prev.op), locator_luid(&rec.op))
+        {
+            if next_luid < prev_luid {
+                self.aggregated_away += 1;
+                return;
+            }
+        }
+        match Self::combine(&prev.op, &rec.op) {
+            Combine::Cancel => {
+                // Join + departure annihilate only when the join is the sole
+                // queued record for this member; an earlier record (e.g. a
+                // handoff) would otherwise resurrect the member downstream.
+                let has_earlier =
+                    self.entries.iter().take(pos).any(|e| e.op.member() == Some(guid));
+                if has_earlier {
+                    let slot = &mut self.entries[pos];
+                    slot.op = rec.op.clone();
+                    self.aggregated_away += 1;
+                } else {
+                    self.entries.remove(pos);
+                    self.aggregated_away += 2;
+                }
+            }
+            Combine::Replace(op) => {
+                // Keep the earlier record's identity (its originator gets the
+                // acknowledgement) but carry the combined effect.
+                let slot = &mut self.entries[pos];
+                slot.op = op;
+                self.aggregated_away += 1;
+            }
+            Combine::Keep => self.entries.push_back(rec),
+        }
+    }
+
+    /// Insert according to `aggregate` (true = [`Self::push_aggregating`]).
+    pub fn push(&mut self, rec: ChangeRecord, aggregate: bool) {
+        if aggregate {
+            self.push_aggregating(rec);
+        } else {
+            self.push_raw(rec);
+        }
+    }
+
+    /// Drain up to `max` records for loading into a fresh token.
+    pub fn drain(&mut self, max: usize) -> Vec<ChangeRecord> {
+        let take = max.min(self.entries.len());
+        self.entries.drain(..take).collect()
+    }
+
+    /// Peek at queued records.
+    pub fn iter(&self) -> impl Iterator<Item = &ChangeRecord> {
+        self.entries.iter()
+    }
+
+    /// Drop every queued record that concerns `node` as an NE (used when a
+    /// node is excluded and its pending NE ops are superseded).
+    pub fn retain_not_about_node(&mut self, node: NodeId) {
+        self.entries.retain(|e| {
+            !matches!(
+                &e.op,
+                ChangeOp::NeJoin { node: n, .. }
+                | ChangeOp::NeLeave { node: n, .. }
+                | ChangeOp::NeFailure { node: n, .. } if *n == node
+            )
+        });
+    }
+
+    fn combine(prev: &ChangeOp, next: &ChangeOp) -> Combine {
+        use ChangeOp::*;
+        match (prev, next) {
+            // join then gone: nobody else needs to hear anything
+            (MemberJoin { .. }, MemberLeave { .. }) | (MemberJoin { .. }, MemberFailure { .. }) => {
+                Combine::Cancel
+            }
+            // join then moved: join at the final location
+            (MemberJoin { info }, MemberHandoff { luid, to, .. }) => {
+                let mut info = *info;
+                info.luid = *luid;
+                info.ap = *to;
+                Combine::Replace(MemberJoin { info })
+            }
+            // duplicate join (e.g. retried by the MH): keep latest record
+            (MemberJoin { .. }, MemberJoin { info }) => {
+                Combine::Replace(MemberJoin { info: *info })
+            }
+            // moved then moved again: only the last location matters, but
+            // the original source proxy is preserved
+            (MemberHandoff { guid, from, .. }, MemberHandoff { luid, to, .. }) => {
+                Combine::Replace(MemberHandoff { guid: *guid, luid: *luid, from: *from, to: *to })
+            }
+            // moved then gone: just the departure
+            (MemberHandoff { .. }, MemberLeave { guid }) => {
+                Combine::Replace(MemberLeave { guid: *guid })
+            }
+            (MemberHandoff { .. }, MemberFailure { guid }) => {
+                Combine::Replace(MemberFailure { guid: *guid })
+            }
+            // duplicate departures collapse
+            (MemberLeave { .. }, MemberLeave { guid }) => {
+                Combine::Replace(MemberLeave { guid: *guid })
+            }
+            (MemberFailure { .. }, MemberFailure { guid }) => {
+                Combine::Replace(MemberFailure { guid: *guid })
+            }
+            (MemberLeave { .. }, MemberFailure { guid }) => {
+                Combine::Replace(MemberFailure { guid: *guid })
+            }
+            // disconnects collapse; a departure supersedes a disconnect
+            (MemberDisconnect { .. }, MemberDisconnect { guid }) => {
+                Combine::Replace(MemberDisconnect { guid: *guid })
+            }
+            (MemberDisconnect { .. }, MemberLeave { guid }) => {
+                Combine::Replace(MemberLeave { guid: *guid })
+            }
+            (MemberDisconnect { .. }, MemberFailure { guid }) => {
+                Combine::Replace(MemberFailure { guid: *guid })
+            }
+            // anything else (rejoin after leave, etc.): keep both
+            _ => Combine::Keep,
+        }
+    }
+}
+
+/// The LUID carried by a location-bearing member op (Join / Handoff).
+fn locator_luid(op: &ChangeOp) -> Option<crate::ids::Luid> {
+    match op {
+        ChangeOp::MemberJoin { info } => Some(info.luid),
+        ChangeOp::MemberHandoff { luid, .. } => Some(*luid),
+        _ => None,
+    }
+}
+
+enum Combine {
+    /// Both records disappear.
+    Cancel,
+    /// The earlier record is replaced by this combined op.
+    Replace(ChangeOp),
+    /// No aggregation; append the new record.
+    Keep,
+}
+
+/// Convenience constructor used widely in tests: a join op for `guid`.
+pub fn join_op(guid: u64, luid: u64, ap: u64) -> ChangeOp {
+    ChangeOp::MemberJoin {
+        info: MemberInfo::operational(
+            crate::ids::Guid(guid),
+            crate::ids::Luid(luid),
+            NodeId(ap),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Guid, Luid, NodeId, RingId};
+    use crate::message::ChangeId;
+
+    fn rec(seq: u64, op: ChangeOp) -> ChangeRecord {
+        ChangeRecord::new(
+            ChangeId { origin: NodeId(1), seq },
+            NodeId(1),
+            RingId(0),
+            op,
+        )
+    }
+
+    #[test]
+    fn join_then_leave_cancels() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(0, join_op(7, 1, 1)));
+        q.push_aggregating(rec(1, ChangeOp::MemberLeave { guid: Guid(7) }));
+        assert!(q.is_empty());
+        assert_eq!(q.total_inserted(), 2);
+        assert_eq!(q.total_aggregated_away(), 2);
+    }
+
+    #[test]
+    fn join_then_failure_cancels() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(0, join_op(7, 1, 1)));
+        q.push_aggregating(rec(1, ChangeOp::MemberFailure { guid: Guid(7) }));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn join_then_handoff_joins_at_new_location() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(0, join_op(7, 1, 1)));
+        q.push_aggregating(rec(
+            1,
+            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(9), from: Some(NodeId(1)), to: NodeId(2) },
+        ));
+        assert_eq!(q.len(), 1);
+        let op = q.iter().next().unwrap().op.clone();
+        match op {
+            ChangeOp::MemberJoin { info } => {
+                assert_eq!(info.ap, NodeId(2));
+                assert_eq!(info.luid, Luid(9));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handoff_chain_keeps_last_location_and_first_source() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(
+            0,
+            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(1), from: Some(NodeId(1)), to: NodeId(2) },
+        ));
+        q.push_aggregating(rec(
+            1,
+            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(2), from: Some(NodeId(2)), to: NodeId(3) },
+        ));
+        assert_eq!(q.len(), 1);
+        let op = q.iter().next().unwrap().op.clone();
+        match op {
+            ChangeOp::MemberHandoff { from, to, luid, .. } => {
+                assert_eq!(from, Some(NodeId(1)));
+                assert_eq!(to, NodeId(3));
+                assert_eq!(luid, Luid(2));
+            }
+            other => panic!("expected handoff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leave_then_join_keeps_both() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(0, ChangeOp::MemberLeave { guid: Guid(7) }));
+        q.push_aggregating(rec(1, join_op(7, 2, 1)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn leave_then_failure_upgrades() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(0, ChangeOp::MemberLeave { guid: Guid(7) }));
+        q.push_aggregating(rec(1, ChangeOp::MemberFailure { guid: Guid(7) }));
+        assert_eq!(q.len(), 1);
+        assert!(matches!(q.iter().next().unwrap().op, ChangeOp::MemberFailure { .. }));
+    }
+
+    #[test]
+    fn different_members_do_not_aggregate() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(0, join_op(1, 1, 1)));
+        q.push_aggregating(rec(1, join_op(2, 1, 1)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn ne_ops_never_aggregate() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(0, ChangeOp::NeJoin { node: NodeId(5), ring: RingId(0) }));
+        q.push_aggregating(rec(1, ChangeOp::NeFailure { node: NodeId(5), ring: RingId(0) }));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn raw_push_never_aggregates() {
+        let mut q = MessageQueue::new();
+        q.push_raw(rec(0, join_op(7, 1, 1)));
+        q.push_raw(rec(1, ChangeOp::MemberLeave { guid: Guid(7) }));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_aggregated_away(), 0);
+    }
+
+    #[test]
+    fn drain_respects_max_and_fifo() {
+        let mut q = MessageQueue::new();
+        for i in 0..5 {
+            q.push_raw(rec(i, join_op(i, 1, 1)));
+        }
+        let first = q.drain(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].id.seq, 0);
+        assert_eq!(first[1].id.seq, 1);
+        assert_eq!(q.len(), 3);
+        let rest = q.drain(100);
+        assert_eq!(rest.len(), 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retain_not_about_node_drops_ne_ops_only() {
+        let mut q = MessageQueue::new();
+        q.push_raw(rec(0, ChangeOp::NeJoin { node: NodeId(5), ring: RingId(0) }));
+        q.push_raw(rec(1, join_op(5, 1, 5)));
+        q.retain_not_about_node(NodeId(5));
+        assert_eq!(q.len(), 1);
+        assert!(matches!(q.iter().next().unwrap().op, ChangeOp::MemberJoin { .. }));
+    }
+
+    #[test]
+    fn stale_locator_arrivals_are_dropped() {
+        // A relayed handoff with an older LUID arriving after a newer local
+        // one must not clobber the queue (the mobile host already moved on).
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(
+            0,
+            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(16), from: Some(NodeId(14)), to: NodeId(10) },
+        ));
+        q.push_aggregating(rec(
+            1,
+            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(15), from: Some(NodeId(15)), to: NodeId(14) },
+        ));
+        assert_eq!(q.len(), 1);
+        let op = q.iter().next().unwrap().op.clone();
+        match op {
+            ChangeOp::MemberHandoff { luid, to, .. } => {
+                assert_eq!(luid, Luid(16));
+                assert_eq!(to, NodeId(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Same for a stale join racing a newer handoff.
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(
+            0,
+            ChangeOp::MemberHandoff { guid: Guid(8), luid: Luid(9), from: None, to: NodeId(3) },
+        ));
+        q.push_aggregating(rec(1, join_op(8, 4, 2)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(locator_luid(&q.iter().next().unwrap().op), Some(Luid(9)));
+    }
+
+    #[test]
+    fn aggregation_replaces_in_place_keeping_queue_position() {
+        let mut q = MessageQueue::new();
+        q.push_aggregating(rec(0, join_op(1, 1, 1)));
+        q.push_aggregating(rec(1, join_op(2, 1, 1)));
+        // member 1 moves; its (combined) record must stay in front of member 2
+        q.push_aggregating(rec(
+            2,
+            ChangeOp::MemberHandoff { guid: Guid(1), luid: Luid(5), from: Some(NodeId(1)), to: NodeId(9) },
+        ));
+        let order: Vec<Option<Guid>> = q.iter().map(|r| r.op.member()).collect();
+        assert_eq!(order, vec![Some(Guid(1)), Some(Guid(2))]);
+    }
+}

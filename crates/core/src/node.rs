@@ -1,0 +1,395 @@
+//! Per-network-entity protocol state (paper §4.2, "Data structure of NEs").
+//!
+//! A [`NodeState`] holds everything one AP/AG/BR needs: its position in the
+//! ring-based hierarchy (`Current`, `Leader`, `Previous`, `Next`, `Parent`,
+//! `Child(ren)`), the Function-Well flags (`RingOK`, `ParentOK`, `ChildOK`),
+//! the three member lists, and the self-aggregating message queue `MQ`.
+//! Behaviour lives in the `protocol`, `query` and `handoff` modules, all of
+//! which are `impl NodeState` blocks — the struct itself is pure data plus
+//! small accessors.
+
+use crate::config::{MembershipScheme, ProtocolConfig};
+use crate::ids::{GroupId, NodeId, RingId, Tier};
+use crate::member::MemberList;
+use crate::message::{ChangeId, QueryId, QueryScope};
+use crate::mq::MessageQueue;
+use crate::ring::RingRoster;
+use crate::token::Token;
+use crate::topology::HierarchyLayout;
+use std::collections::BTreeMap;
+
+/// A token this node forwarded and is awaiting the acknowledgement for.
+#[derive(Debug, Clone)]
+pub struct Inflight {
+    /// The forwarded token (kept for retransmission).
+    pub token: Token,
+    /// Where it was sent.
+    pub target: NodeId,
+    /// Retransmissions performed so far.
+    pub attempts: u32,
+}
+
+/// Link to one sponsored child ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildLink {
+    /// Current leader of the child ring (the paper's `Child` pointer).
+    pub leader: NodeId,
+    /// `ChildOK`: the child ring exists and functions well.
+    pub ok: bool,
+}
+
+/// Aggregation state of one in-flight membership query this node issued.
+#[derive(Debug, Clone)]
+pub struct QueryAgg {
+    /// What was asked.
+    pub scope: QueryScope,
+    /// Partial responses received so far.
+    pub received: u32,
+    /// Total responses expected (learned from the first response).
+    pub expected: Option<u32>,
+    /// Members aggregated so far.
+    pub members: MemberList,
+}
+
+/// Counters exposed for tests, metrics and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Rounds this node started as holder.
+    pub rounds_started: u64,
+    /// Rounds completed (token returned to this node as holder).
+    pub rounds_completed: u64,
+    /// Change records executed.
+    pub ops_executed: u64,
+    /// Tokens forwarded to a successor.
+    pub tokens_forwarded: u64,
+    /// Token retransmissions.
+    pub retransmits: u64,
+    /// Successors excluded by local repair.
+    pub exclusions: u64,
+    /// Views installed.
+    pub views_installed: u64,
+}
+
+/// The full protocol state of one network entity.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Protocol configuration.
+    pub cfg: ProtocolConfig,
+    /// Group served (paper: `GID`).
+    pub gid: GroupId,
+    /// This node (paper: `Current`).
+    pub id: NodeId,
+    /// Tier of this node.
+    pub tier: Tier,
+    /// Ring level (0 = topmost).
+    pub level: usize,
+    /// Height of the whole hierarchy.
+    pub height: usize,
+    /// Roster of this node's logical ring (provides `Leader`, `Previous`,
+    /// `Next`).
+    pub roster: RingRoster,
+    /// Sponsor of this ring, one level up (paper: `Parent`). `None` at the
+    /// topmost ring.
+    pub parent: Option<NodeId>,
+    /// Ring of the sponsor.
+    pub parent_ring: Option<RingId>,
+    /// Sponsored child rings (paper: `Child`; plural to support adoption
+    /// after faults).
+    pub children: BTreeMap<RingId, ChildLink>,
+    /// `RingOK`: the token circulates normally on this ring.
+    pub ring_ok: bool,
+    /// `ParentOK`: parent exists and its ring functions well.
+    pub parent_ok: bool,
+    /// `ListOfLocalMembers`: MHs attached to this node (APs only).
+    pub local_members: MemberList,
+    /// `ListOfRingMembers`: operational members under the coverage of this
+    /// ring (content gated by the membership scheme).
+    pub ring_members: MemberList,
+    /// `ListOfNeighborMembers`: members attached to this node's ring
+    /// neighbours, for fast handoff.
+    pub neighbor_members: MemberList,
+    /// `MQ`: the self-aggregating message queue.
+    pub mq: MessageQueue,
+    /// Counters.
+    pub stats: NodeStats,
+    /// Number of rings per level in the hierarchy (for query fan-out
+    /// accounting).
+    pub level_ring_counts: Vec<usize>,
+
+    // --- token machinery (crate-visible for tests) ---
+    /// The token is parked at this node.
+    pub(crate) has_token: bool,
+    /// Highest round number seen on this ring.
+    pub(crate) last_token_seq: u64,
+    /// Outstanding forwarded token awaiting ack.
+    pub(crate) inflight: Option<Inflight>,
+    /// Ring view epoch (bumped on every loaded round executed).
+    pub epoch: u64,
+    /// Next local change sequence number.
+    pub(crate) next_change_seq: u64,
+    /// Next local query sequence number.
+    pub(crate) next_query_seq: u64,
+    /// Queries this node issued and is aggregating.
+    pub(crate) pending_queries: BTreeMap<QueryId, QueryAgg>,
+    /// Cached roster of the parent ring (from heartbeats), used for
+    /// re-attachment when the parent node fails.
+    pub(crate) parent_roster_cache: Vec<NodeId>,
+    /// Re-attachment attempts since the parent was lost.
+    pub(crate) attach_attempts: usize,
+    /// Change ids this node originated and not yet seen agreed.
+    pub(crate) awaiting_ack: BTreeMap<ChangeId, ()>,
+    /// Whether a token has been sighted since the last TokenLost expiry
+    /// (two consecutive silent expiries escalate to leader exclusion).
+    pub(crate) token_seen_since_lost: bool,
+}
+
+impl NodeState {
+    /// Build the state of node `id` from a hierarchy layout.
+    pub fn from_layout(
+        layout: &HierarchyLayout,
+        id: NodeId,
+        cfg: ProtocolConfig,
+    ) -> crate::error::Result<Self> {
+        let placement = layout.placement(id)?;
+        let ring_spec = layout.ring(placement.ring)?;
+        let roster = RingRoster::new(
+            ring_spec.id,
+            ring_spec.tier,
+            ring_spec.level,
+            ring_spec.nodes.clone(),
+        );
+        let height = layout.height();
+        let mut children = BTreeMap::new();
+        if let Some(cr) = placement.child_ring {
+            let child_spec = layout.ring(cr)?;
+            let leader = child_spec
+                .nodes
+                .iter()
+                .copied()
+                .min()
+                .ok_or(crate::error::RgbError::EmptyRing(cr))?;
+            children.insert(cr, ChildLink { leader, ok: true });
+        }
+        let level_ring_counts =
+            (0..height).map(|l| layout.rings_at(l).count()).collect();
+        Ok(NodeState {
+            cfg,
+            gid: layout.gid,
+            id,
+            tier: placement.tier,
+            level: placement.level,
+            height,
+            roster,
+            parent: placement.parent_node,
+            parent_ring: placement.parent_ring,
+            children,
+            ring_ok: true,
+            parent_ok: placement.parent_node.is_some(),
+            local_members: MemberList::new(),
+            ring_members: MemberList::new(),
+            neighbor_members: MemberList::new(),
+            mq: MessageQueue::new(),
+            stats: NodeStats::default(),
+            level_ring_counts,
+            has_token: false,
+            last_token_seq: 0,
+            inflight: None,
+            epoch: 0,
+            next_change_seq: 0,
+            next_query_seq: 0,
+            pending_queries: BTreeMap::new(),
+            parent_roster_cache: Vec::new(),
+            attach_attempts: 0,
+            awaiting_ack: BTreeMap::new(),
+            token_seen_since_lost: false,
+        })
+    }
+
+    /// This node's ring id.
+    pub fn ring_id(&self) -> RingId {
+        self.roster.id
+    }
+
+    /// Whether this node currently leads its ring.
+    pub fn is_leader(&self) -> bool {
+        self.roster.leader() == Some(self.id)
+    }
+
+    /// Current leader of this ring (paper: `Leader`).
+    pub fn leader(&self) -> Option<NodeId> {
+        self.roster.leader()
+    }
+
+    /// Successor on the ring (paper: `Next`).
+    pub fn next(&self) -> Option<NodeId> {
+        self.roster.next_of(self.id).ok()
+    }
+
+    /// Predecessor on the ring (paper: `Previous`).
+    pub fn prev(&self) -> Option<NodeId> {
+        self.roster.prev_of(self.id).ok()
+    }
+
+    /// Whether this node is at the bottommost (access-proxy) level.
+    pub fn is_bottom(&self) -> bool {
+        self.level + 1 == self.height
+    }
+
+    /// `ChildOK` for a specific ring.
+    pub fn child_ok(&self, ring: RingId) -> bool {
+        self.children.get(&ring).map(|c| c.ok).unwrap_or(false)
+    }
+
+    /// Whether this node's ring stores member lists under the configured
+    /// membership scheme (§4.4). The bottommost level always keeps its own
+    /// coverage; upper levels store only where the scheme places them.
+    pub fn is_store_level(&self) -> bool {
+        if self.is_bottom() {
+            return true;
+        }
+        match self.cfg.scheme {
+            MembershipScheme::Tms => self.level == 0,
+            MembershipScheme::Bms => false,
+            MembershipScheme::Ims { level } => self.level == level as usize,
+        }
+    }
+
+    /// The level queried under the configured scheme.
+    pub fn query_target_level(&self) -> usize {
+        match self.cfg.scheme {
+            MembershipScheme::Tms => 0,
+            MembershipScheme::Bms => self.height - 1,
+            MembershipScheme::Ims { level } => (level as usize).min(self.height - 1),
+        }
+    }
+
+    /// Whether the token is parked at this node (test/diagnostic hook).
+    pub fn holds_token(&self) -> bool {
+        self.has_token
+    }
+
+    /// Allocate the next change id.
+    pub(crate) fn next_change_id(&mut self) -> ChangeId {
+        let id = ChangeId { origin: self.id, seq: self.next_change_seq };
+        self.next_change_seq += 1;
+        id
+    }
+
+    /// Allocate the next query id.
+    pub(crate) fn next_query_id(&mut self) -> QueryId {
+        let id = QueryId { origin: self.id, seq: self.next_query_seq };
+        self.next_query_seq += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::HierarchySpec;
+
+    fn layout_h3_r3() -> HierarchyLayout {
+        HierarchySpec::new(3, 3).build(GroupId(1)).unwrap()
+    }
+
+    #[test]
+    fn from_layout_populates_position() {
+        let layout = layout_h3_r3();
+        // node 0 is the first node of the root ring
+        let n0 = NodeState::from_layout(&layout, NodeId(0), ProtocolConfig::default()).unwrap();
+        assert_eq!(n0.level, 0);
+        assert_eq!(n0.tier, Tier::BorderRouter);
+        assert!(n0.parent.is_none());
+        assert!(!n0.parent_ok);
+        assert_eq!(n0.children.len(), 1);
+        assert!(n0.is_leader());
+        assert!(!n0.is_bottom());
+
+        // a bottom node
+        let ap = *layout.aps().first().unwrap();
+        let nb = NodeState::from_layout(&layout, ap, ProtocolConfig::default()).unwrap();
+        assert!(nb.is_bottom());
+        assert_eq!(nb.tier, Tier::AccessProxy);
+        assert!(nb.parent.is_some());
+        assert!(nb.children.is_empty());
+    }
+
+    #[test]
+    fn child_pointer_is_child_ring_min_id() {
+        let layout = layout_h3_r3();
+        let n0 = NodeState::from_layout(&layout, NodeId(0), ProtocolConfig::default()).unwrap();
+        let (&cr, link) = n0.children.iter().next().unwrap();
+        let spec = layout.ring(cr).unwrap();
+        assert_eq!(Some(link.leader), spec.nodes.iter().copied().min());
+        assert!(link.ok);
+    }
+
+    #[test]
+    fn store_levels_by_scheme() {
+        let layout = layout_h3_r3();
+        let mk = |id: u64, scheme| {
+            let cfg = ProtocolConfig { scheme, ..ProtocolConfig::default() };
+            NodeState::from_layout(&layout, NodeId(id), cfg).unwrap()
+        };
+        // TMS: root stores, middle does not, bottom stores local coverage.
+        assert!(mk(0, MembershipScheme::Tms).is_store_level());
+        let mid_id = layout.rings_at(1).next().unwrap().nodes[0].0;
+        assert!(!mk(mid_id, MembershipScheme::Tms).is_store_level());
+        let ap = layout.aps()[0].0;
+        assert!(mk(ap, MembershipScheme::Tms).is_store_level());
+        // BMS: only bottom.
+        assert!(!mk(0, MembershipScheme::Bms).is_store_level());
+        assert!(mk(ap, MembershipScheme::Bms).is_store_level());
+        // IMS level 1: middle stores.
+        assert!(mk(mid_id, MembershipScheme::Ims { level: 1 }).is_store_level());
+        assert!(!mk(0, MembershipScheme::Ims { level: 1 }).is_store_level());
+    }
+
+    #[test]
+    fn query_target_levels() {
+        let layout = layout_h3_r3();
+        let mk = |scheme| {
+            let cfg = ProtocolConfig { scheme, ..ProtocolConfig::default() };
+            NodeState::from_layout(&layout, NodeId(0), cfg).unwrap()
+        };
+        assert_eq!(mk(MembershipScheme::Tms).query_target_level(), 0);
+        assert_eq!(mk(MembershipScheme::Bms).query_target_level(), 2);
+        assert_eq!(mk(MembershipScheme::Ims { level: 1 }).query_target_level(), 1);
+        assert_eq!(mk(MembershipScheme::Ims { level: 9 }).query_target_level(), 2);
+    }
+
+    #[test]
+    fn next_prev_follow_roster() {
+        let layout = layout_h3_r3();
+        let n = NodeState::from_layout(&layout, NodeId(1), ProtocolConfig::default()).unwrap();
+        assert_eq!(n.next(), Some(NodeId(2)));
+        assert_eq!(n.prev(), Some(NodeId(0)));
+        assert_eq!(n.leader(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn change_and_query_ids_are_sequential() {
+        let layout = layout_h3_r3();
+        let mut n = NodeState::from_layout(&layout, NodeId(0), ProtocolConfig::default()).unwrap();
+        let a = n.next_change_id();
+        let b = n.next_change_id();
+        assert_eq!(a.seq + 1, b.seq);
+        assert_eq!(a.origin, NodeId(0));
+        let q1 = n.next_query_id();
+        let q2 = n.next_query_id();
+        assert_eq!(q1.seq + 1, q2.seq);
+    }
+
+    #[test]
+    fn level_ring_counts_match_layout() {
+        let layout = layout_h3_r3();
+        let n = NodeState::from_layout(&layout, NodeId(0), ProtocolConfig::default()).unwrap();
+        assert_eq!(n.level_ring_counts, vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let layout = layout_h3_r3();
+        assert!(NodeState::from_layout(&layout, NodeId(9999), ProtocolConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! The Membership-Query algorithm (paper §4.4) for the TMS, BMS and IMS
+//! maintenance schemes.
+//!
+//! The query plan is uniform across schemes; only the *target level* (where
+//! member lists are stored) differs:
+//!
+//! 1. **Ascent** — the accepting NE forwards the request parent-by-parent
+//!    until it reaches the topmost ring.
+//! 2. **Fan-out** — from the root ring the request descends towards the
+//!    target level: the entry node of each ring *spreads* the request to its
+//!    ring peers, and every node forwards it to the leaders of its child
+//!    rings.
+//! 3. **Responses** — each target-level ring answers exactly once (it is
+//!    entered exactly once, through its leader) by sending its
+//!    `ListOfRingMembers` straight back to the requesting NE, which
+//!    aggregates `r^target` partial responses into the final answer.
+//!
+//! Under TMS the target level is 0, so the "fan-out" is just the entry node
+//! answering with the global list — one request path and one response, the
+//! efficiency the paper claims for TMS. Under BMS the fan-out reaches every
+//! bottommost ring — the expensive variant the paper warns about.
+
+use crate::events::{AppEvent, Output};
+use crate::ids::NodeId;
+use crate::member::MemberList;
+use crate::message::{Msg, QueryId, QueryScope};
+use crate::node::{NodeState, QueryAgg};
+
+impl NodeState {
+    /// Application entry point: ask for the membership under `scope`.
+    pub(crate) fn start_query(&mut self, scope: QueryScope, outs: &mut Vec<Output>) {
+        let qid = self.next_query_id();
+        match scope {
+            QueryScope::Ring(ring) if ring == self.ring_id() && self.is_store_level() => {
+                // Local ring query answered from local state.
+                outs.push(Output::Deliver(AppEvent::QueryResult {
+                    qid,
+                    members: self.ring_members.clone(),
+                    responses: 0,
+                }));
+                return;
+            }
+            _ => {}
+        }
+        let target = self.query_target_level() as u8;
+        if self.level == 0 {
+            // Already at the root ring: begin (or answer) the fan-out.
+            self.pending_queries.insert(
+                qid,
+                QueryAgg { scope, received: 0, expected: None, members: MemberList::new() },
+            );
+            self.descend_query(qid, self.id, target, false, outs);
+        } else {
+            self.pending_queries.insert(
+                qid,
+                QueryAgg { scope, received: 0, expected: None, members: MemberList::new() },
+            );
+            let parent = match self.parent {
+                Some(p) => p,
+                None => return, // orphaned: cannot serve global queries
+            };
+            outs.push(Output::Send {
+                to: parent,
+                msg: Msg::QueryRequest {
+                    qid,
+                    reply_to: self.id,
+                    scope,
+                    fanout_level: None,
+                    spread: false,
+                },
+            });
+        }
+    }
+
+    /// A query request arrived at this node.
+    pub(crate) fn on_query_request(
+        &mut self,
+        qid: QueryId,
+        reply_to: NodeId,
+        scope: QueryScope,
+        fanout_level: Option<u8>,
+        spread: bool,
+        outs: &mut Vec<Output>,
+    ) {
+        match fanout_level {
+            None => {
+                // Still ascending.
+                if self.level == 0 {
+                    let target = self.query_target_level() as u8;
+                    self.descend_query(qid, reply_to, target, false, outs);
+                } else if let Some(parent) = self.parent {
+                    outs.push(Output::Send {
+                        to: parent,
+                        msg: Msg::QueryRequest {
+                            qid,
+                            reply_to,
+                            scope,
+                            fanout_level: None,
+                            spread: false,
+                        },
+                    });
+                }
+            }
+            Some(target) => self.descend_query(qid, reply_to, target, spread, outs),
+        }
+    }
+
+    /// Handle the downward fan-out phase at this node.
+    fn descend_query(
+        &mut self,
+        qid: QueryId,
+        reply_to: NodeId,
+        target: u8,
+        spread: bool,
+        outs: &mut Vec<Output>,
+    ) {
+        let target_level = target as usize;
+        if self.level == target_level {
+            // Answer for this ring.
+            let expected = self
+                .level_ring_counts
+                .get(target_level)
+                .copied()
+                .unwrap_or(1) as u32;
+            let members = self.ring_members.clone();
+            if reply_to == self.id {
+                self.absorb_response(qid, members, expected, outs);
+            } else {
+                outs.push(Output::Send {
+                    to: reply_to,
+                    msg: Msg::QueryResponse { qid, members, expected },
+                });
+            }
+            return;
+        }
+        // Intermediate level: spread around the ring once, then forward to
+        // child-ring leaders.
+        if !spread {
+            let peers: Vec<NodeId> =
+                self.roster.nodes().iter().copied().filter(|&n| n != self.id).collect();
+            for peer in peers {
+                outs.push(Output::Send {
+                    to: peer,
+                    msg: Msg::QueryRequest {
+                        qid,
+                        reply_to,
+                        scope: QueryScope::Global,
+                        fanout_level: Some(target),
+                        spread: true,
+                    },
+                });
+            }
+        }
+        let child_leaders: Vec<NodeId> =
+            self.children.values().filter(|l| l.ok).map(|l| l.leader).collect();
+        for leader in child_leaders {
+            outs.push(Output::Send {
+                to: leader,
+                msg: Msg::QueryRequest {
+                    qid,
+                    reply_to,
+                    scope: QueryScope::Global,
+                    fanout_level: Some(target),
+                    spread: false,
+                },
+            });
+        }
+    }
+
+    /// A partial response reached the requesting NE.
+    pub(crate) fn on_query_response(
+        &mut self,
+        qid: QueryId,
+        members: MemberList,
+        expected: u32,
+        outs: &mut Vec<Output>,
+    ) {
+        self.absorb_response(qid, members, expected, outs);
+    }
+
+    fn absorb_response(
+        &mut self,
+        qid: QueryId,
+        members: MemberList,
+        expected: u32,
+        outs: &mut Vec<Output>,
+    ) {
+        let Some(agg) = self.pending_queries.get_mut(&qid) else { return };
+        agg.members.merge_from(&members);
+        agg.received += 1;
+        agg.expected = Some(expected.max(1));
+        if agg.received >= agg.expected.expect("just set") {
+            let agg = self.pending_queries.remove(&qid).expect("present");
+            outs.push(Output::Deliver(AppEvent::QueryResult {
+                qid,
+                members: agg.members,
+                responses: agg.received,
+            }));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Logical-ring roster: the ordered list of network entities forming one
+//! logical ring, with successor/predecessor arithmetic, leader election and
+//! local repair (§5.2: excluding a faulty node from the ring).
+
+use crate::error::{Result, RgbError};
+use crate::ids::{NodeId, RingId, Tier};
+use serde::{Deserialize, Serialize};
+
+/// The ordered node roster of one logical ring.
+///
+/// Ring order is the insertion order of nodes (which the topology builder
+/// makes deterministic); the *leader* is tracked separately and re-elected
+/// as the minimum node id whenever the roster changes — a deterministic rule
+/// every node can apply independently, which is what lets repair stay local.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingRoster {
+    /// The ring's identity.
+    pub id: RingId,
+    /// Tier of this ring in the hierarchy.
+    pub tier: Tier,
+    /// Level below the root (0 = topmost ring).
+    pub level: usize,
+    nodes: Vec<NodeId>,
+    leader: Option<NodeId>,
+}
+
+impl RingRoster {
+    /// A new roster over `nodes` (must be non-empty for most operations).
+    /// The initial leader is the minimum node id.
+    pub fn new(id: RingId, tier: Tier, level: usize, nodes: Vec<NodeId>) -> Self {
+        let mut r = RingRoster { id, tier, level, nodes, leader: None };
+        r.elect_leader();
+        r
+    }
+
+    /// Number of nodes currently on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes remain.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes in ring order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Current leader (deterministic: minimum id), if the ring is non-empty.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// Whether `node` is on the ring.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Position of `node` in ring order.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    /// Successor of `node` in ring order (wraps around). For a single-node
+    /// ring the successor is the node itself.
+    pub fn next_of(&self, node: NodeId) -> Result<NodeId> {
+        let pos = self.position(node).ok_or(RgbError::UnknownNode(node))?;
+        Ok(self.nodes[(pos + 1) % self.nodes.len()])
+    }
+
+    /// Predecessor of `node` in ring order (wraps around).
+    pub fn prev_of(&self, node: NodeId) -> Result<NodeId> {
+        let pos = self.position(node).ok_or(RgbError::UnknownNode(node))?;
+        Ok(self.nodes[(pos + self.nodes.len() - 1) % self.nodes.len()])
+    }
+
+    /// Both logical neighbours of `node` (previous, next).
+    pub fn neighbors_of(&self, node: NodeId) -> Result<(NodeId, NodeId)> {
+        Ok((self.prev_of(node)?, self.next_of(node)?))
+    }
+
+    /// Insert `node` immediately after `after` (or at the end when `after`
+    /// is `None` or absent). Returns whether the roster changed (inserting a
+    /// present node is a no-op). Leader is re-elected.
+    pub fn insert_after(&mut self, node: NodeId, after: Option<NodeId>) -> bool {
+        if self.contains(node) {
+            return false;
+        }
+        match after.and_then(|a| self.position(a)) {
+            Some(pos) => self.nodes.insert(pos + 1, node),
+            None => self.nodes.push(node),
+        }
+        self.elect_leader();
+        true
+    }
+
+    /// Remove `node` (local repair / voluntary leave). Returns whether the
+    /// roster changed. Leader is re-elected.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        match self.position(node) {
+            Some(pos) => {
+                self.nodes.remove(pos);
+                self.elect_leader();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replace the entire roster (used when re-forming a ring after a
+    /// partition merge). Order of `nodes` becomes the new ring order.
+    pub fn reset(&mut self, nodes: Vec<NodeId>) {
+        self.nodes = nodes;
+        self.elect_leader();
+    }
+
+    /// Walk clockwise from (excluding) `from`, returning nodes in ring
+    /// order; used to find the first alive successor during repair.
+    pub fn successors_of(&self, from: NodeId) -> Vec<NodeId> {
+        let Some(pos) = self.position(from) else { return Vec::new() };
+        let n = self.nodes.len();
+        (1..n).map(|i| self.nodes[(pos + i) % n]).collect()
+    }
+
+    fn elect_leader(&mut self) {
+        self.leader = self.nodes.iter().copied().min();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(ids: &[u64]) -> RingRoster {
+        RingRoster::new(
+            RingId(1),
+            Tier::AccessProxy,
+            2,
+            ids.iter().map(|&i| NodeId(i)).collect(),
+        )
+    }
+
+    #[test]
+    fn leader_is_min_id() {
+        let r = ring(&[5, 3, 9]);
+        assert_eq!(r.leader(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn empty_ring_has_no_leader() {
+        let r = ring(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.leader(), None);
+    }
+
+    #[test]
+    fn next_and_prev_wrap() {
+        let r = ring(&[1, 2, 3]);
+        assert_eq!(r.next_of(NodeId(3)).unwrap(), NodeId(1));
+        assert_eq!(r.prev_of(NodeId(1)).unwrap(), NodeId(3));
+        assert_eq!(r.next_of(NodeId(1)).unwrap(), NodeId(2));
+    }
+
+    #[test]
+    fn single_node_ring_is_its_own_neighbor() {
+        let r = ring(&[7]);
+        assert_eq!(r.next_of(NodeId(7)).unwrap(), NodeId(7));
+        assert_eq!(r.prev_of(NodeId(7)).unwrap(), NodeId(7));
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let r = ring(&[1, 2]);
+        assert_eq!(r.next_of(NodeId(9)), Err(RgbError::UnknownNode(NodeId(9))));
+    }
+
+    #[test]
+    fn insert_after_places_correctly() {
+        let mut r = ring(&[1, 2, 3]);
+        assert!(r.insert_after(NodeId(10), Some(NodeId(2))));
+        assert_eq!(r.nodes(), &[NodeId(1), NodeId(2), NodeId(10), NodeId(3)]);
+        assert_eq!(r.next_of(NodeId(2)).unwrap(), NodeId(10));
+    }
+
+    #[test]
+    fn insert_duplicate_is_noop() {
+        let mut r = ring(&[1, 2]);
+        assert!(!r.insert_after(NodeId(2), None));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn insert_at_end_when_no_anchor() {
+        let mut r = ring(&[1, 2]);
+        assert!(r.insert_after(NodeId(9), None));
+        assert_eq!(r.nodes(), &[NodeId(1), NodeId(2), NodeId(9)]);
+    }
+
+    #[test]
+    fn remove_relinks_neighbors() {
+        let mut r = ring(&[1, 2, 3]);
+        assert!(r.remove(NodeId(2)));
+        assert_eq!(r.next_of(NodeId(1)).unwrap(), NodeId(3));
+        assert_eq!(r.prev_of(NodeId(3)).unwrap(), NodeId(1));
+        assert!(!r.remove(NodeId(2)));
+    }
+
+    #[test]
+    fn removing_leader_re_elects() {
+        let mut r = ring(&[1, 2, 3]);
+        assert_eq!(r.leader(), Some(NodeId(1)));
+        r.remove(NodeId(1));
+        assert_eq!(r.leader(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn successors_walk_clockwise() {
+        let r = ring(&[1, 2, 3, 4]);
+        assert_eq!(
+            r.successors_of(NodeId(3)),
+            vec![NodeId(4), NodeId(1), NodeId(2)]
+        );
+        assert!(ring(&[1]).successors_of(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn reset_replaces_roster() {
+        let mut r = ring(&[1, 2, 3]);
+        r.reset(vec![NodeId(9), NodeId(8)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.leader(), Some(NodeId(8)));
+        assert_eq!(r.next_of(NodeId(9)).unwrap(), NodeId(8));
+    }
+
+    #[test]
+    fn neighbors_of_pair() {
+        let r = ring(&[1, 2, 3]);
+        assert_eq!(r.neighbors_of(NodeId(2)).unwrap(), (NodeId(1), NodeId(3)));
+    }
+}

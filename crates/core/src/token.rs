@@ -1,0 +1,121 @@
+//! The ring token (paper §4.2, "Data structure of Tokens").
+//!
+//! A token carries the group id, its current holder, and the aggregated
+//! membership-change operations being agreed in the current round. We extend
+//! the paper's structure with a round sequence number (needed for
+//! retransmission-based fault detection) and with the set of nodes observed
+//! to have pending work (which lets an on-demand ring hand the fresh token
+//! to "an appropriate node", Figure 3 line 22, without extra probing).
+
+use crate::ids::{GroupId, NodeId, RingId};
+use crate::message::{ChangeId, ChangeRecord};
+use serde::{Deserialize, Serialize};
+
+/// The token that circulates around one logical ring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Group identity (paper: `GID`).
+    pub gid: GroupId,
+    /// The ring this token belongs to.
+    pub ring: RingId,
+    /// Monotonic round number, incremented every time a fresh token is
+    /// prepared.
+    pub seq: u64,
+    /// Node identity of the holder of the token (paper: `Holder`).
+    pub holder: NodeId,
+    /// Aggregated operations for this round (paper: `OP`,
+    /// `TypeOfAggregatedOperations`).
+    pub ops: Vec<ChangeRecord>,
+    /// Nodes seen during this round whose message queues were non-empty;
+    /// the holder uses this to park or hand over the fresh token under the
+    /// on-demand policy.
+    pub pending_nodes: Vec<NodeId>,
+    /// Nodes visited so far in this round (the holder is visited implicitly
+    /// at round start). Used for round-completion accounting and by tests.
+    pub visited: Vec<NodeId>,
+}
+
+impl Token {
+    /// A fresh token for round `seq` held by `holder`, loaded with `ops`.
+    pub fn fresh(
+        gid: GroupId,
+        ring: RingId,
+        seq: u64,
+        holder: NodeId,
+        ops: Vec<ChangeRecord>,
+    ) -> Self {
+        Token { gid, ring, seq, holder, ops, pending_nodes: Vec::new(), visited: Vec::new() }
+    }
+
+    /// Whether this round carries any operations.
+    pub fn is_loaded(&self) -> bool {
+        !self.ops.is_empty()
+    }
+
+    /// Ids of all changes carried this round.
+    pub fn change_ids(&self) -> Vec<ChangeId> {
+        self.ops.iter().map(|r| r.id).collect()
+    }
+
+    /// Record that `node` had pending MQ entries when the token passed it.
+    pub fn note_pending(&mut self, node: NodeId) {
+        if !self.pending_nodes.contains(&node) {
+            self.pending_nodes.push(node);
+        }
+    }
+
+    /// Record a visit.
+    pub fn note_visit(&mut self, node: NodeId) {
+        self.visited.push(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Guid;
+    use crate::message::{ChangeId, ChangeOp, ChangeRecord};
+
+    fn tok() -> Token {
+        Token::fresh(GroupId(1), RingId(0), 7, NodeId(10), vec![])
+    }
+
+    #[test]
+    fn fresh_token_is_empty() {
+        let t = tok();
+        assert!(!t.is_loaded());
+        assert!(t.change_ids().is_empty());
+        assert_eq!(t.holder, NodeId(10));
+        assert_eq!(t.seq, 7);
+    }
+
+    #[test]
+    fn loaded_token_reports_change_ids() {
+        let mut t = tok();
+        t.ops.push(ChangeRecord::new(
+            ChangeId { origin: NodeId(3), seq: 1 },
+            NodeId(3),
+            RingId(0),
+            ChangeOp::MemberLeave { guid: Guid(5) },
+        ));
+        assert!(t.is_loaded());
+        assert_eq!(t.change_ids(), vec![ChangeId { origin: NodeId(3), seq: 1 }]);
+    }
+
+    #[test]
+    fn note_pending_dedups() {
+        let mut t = tok();
+        t.note_pending(NodeId(1));
+        t.note_pending(NodeId(2));
+        t.note_pending(NodeId(1));
+        assert_eq!(t.pending_nodes, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn visits_accumulate_in_order() {
+        let mut t = tok();
+        t.note_visit(NodeId(4));
+        t.note_visit(NodeId(5));
+        assert_eq!(t.visited, vec![NodeId(4), NodeId(5)]);
+    }
+}

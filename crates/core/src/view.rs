@@ -1,0 +1,91 @@
+//! Membership views delivered to applications.
+//!
+//! A *view* is the classical group-communication object: an epoch number
+//! plus the list of currently operational members as known at one node.
+//! RGB's one-round agreement guarantees that after a token round completes,
+//! every node of the ring has applied the same ops in the same order, so
+//! views with the same `(ring, epoch)` are identical across the ring — the
+//! consistency property of §4.3 ("membership information maintained in the
+//! Function-Well hierarchy is consistent"). The simulator's oracle asserts
+//! exactly this.
+
+use crate::ids::{Guid, RingId};
+use crate::member::MemberList;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a view: the ring it pertains to plus a monotonically
+/// increasing epoch (one epoch per *loaded* token round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ViewId {
+    /// Ring the view pertains to.
+    pub ring: RingId,
+    /// Epoch, incremented on every loaded round agreed by the ring.
+    pub epoch: u64,
+}
+
+/// A membership view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    /// View identity.
+    pub id: ViewId,
+    /// Operational members, in GUID order.
+    pub members: Vec<Guid>,
+}
+
+impl View {
+    /// Build a view from a member list (operational members only).
+    pub fn from_list(id: ViewId, list: &MemberList) -> Self {
+        View { id, members: list.operational_guids() }
+    }
+
+    /// Number of members in the view.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the view has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `guid` is in the view.
+    pub fn contains(&self, guid: Guid) -> bool {
+        self.members.binary_search(&guid).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Luid, NodeId};
+    use crate::member::MemberInfo;
+
+    #[test]
+    fn view_from_list_is_sorted_and_operational_only() {
+        let mut l = MemberList::new();
+        l.upsert(MemberInfo::operational(Guid(3), Luid(1), NodeId(1)));
+        l.upsert(MemberInfo::operational(Guid(1), Luid(1), NodeId(1)));
+        l.upsert(MemberInfo::operational(Guid(2), Luid(1), NodeId(1)));
+        l.set_status(Guid(2), crate::member::MemberStatus::Failed);
+        let v = View::from_list(ViewId { ring: RingId(0), epoch: 1 }, &l);
+        assert_eq!(v.members, vec![Guid(1), Guid(3)]);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(Guid(1)));
+        assert!(!v.contains(Guid(2)));
+    }
+
+    #[test]
+    fn view_ids_order_by_ring_then_epoch() {
+        let a = ViewId { ring: RingId(0), epoch: 9 };
+        let b = ViewId { ring: RingId(1), epoch: 0 };
+        assert!(a < b);
+        let c = ViewId { ring: RingId(0), epoch: 10 };
+        assert!(a < c);
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = View::from_list(ViewId { ring: RingId(0), epoch: 0 }, &MemberList::new());
+        assert!(v.is_empty());
+    }
+}

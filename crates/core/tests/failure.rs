@@ -1,0 +1,209 @@
+//! Fault-detection and local-repair tests (§5.2): token retransmission,
+//! exclusion of faulty successors, leader re-election, token regeneration,
+//! and re-attachment of orphaned rings.
+
+use rgb_core::prelude::*;
+use rgb_core::testing::Loopback;
+
+fn live_cfg() -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::live();
+    cfg.token_interval = 10;
+    cfg.token_retransmit_timeout = 5;
+    cfg.token_retransmit_limit = 2;
+    cfg.token_lost_timeout = 200;
+    cfg.heartbeat_interval = 25;
+    cfg.parent_timeout = 100;
+    cfg.child_timeout = 100;
+    cfg
+}
+
+fn single_ring(r: usize) -> (HierarchyLayout, Loopback) {
+    let layout = HierarchySpec::new(1, r).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &live_cfg());
+    net.boot_all();
+    (layout, net)
+}
+
+#[test]
+fn crashed_successor_is_excluded_and_ring_keeps_working() {
+    let (layout, mut net) = single_ring(5);
+    let nodes = layout.root_ring().nodes.clone();
+    let victim = nodes[2];
+    net.run_until(100); // let the token circulate
+    net.crash(victim);
+    net.run_until(1_500);
+    // Every surviving node eventually drops the victim from its roster.
+    for &n in &nodes {
+        if n == victim {
+            continue;
+        }
+        assert!(
+            !net.node(n).roster.contains(victim),
+            "node {n} still lists crashed {victim}"
+        );
+        assert_eq!(net.node(n).roster.len(), 4);
+    }
+    // And the repair event was delivered somewhere.
+    let repaired = nodes.iter().any(|&n| {
+        net.events_at(n)
+            .iter()
+            .any(|e| matches!(e, AppEvent::RingRepaired { excluded, .. } if *excluded == victim))
+    });
+    assert!(repaired, "no RingRepaired event observed");
+}
+
+#[test]
+fn ring_still_agrees_on_changes_after_repair() {
+    let (layout, mut net) = single_ring(5);
+    let nodes = layout.root_ring().nodes.clone();
+    let victim = nodes[3];
+    net.run_until(100);
+    net.crash(victim);
+    net.run_until(1_500);
+    // New membership change after repair.
+    let ap = nodes[1];
+    net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(77), luid: Luid(1) }));
+    net.run_until(2_500);
+    for &n in &nodes {
+        if n == victim {
+            continue;
+        }
+        assert!(
+            net.node(n).ring_members.contains_operational(Guid(77)),
+            "post-repair change missing at {n}"
+        );
+    }
+}
+
+#[test]
+fn crashed_leader_triggers_re_election() {
+    let (layout, mut net) = single_ring(5);
+    let nodes = layout.root_ring().nodes.clone();
+    let leader = nodes.iter().copied().min().unwrap();
+    net.run_until(100);
+    net.crash(leader);
+    net.run_until(2_000);
+    let expected_new = nodes.iter().copied().filter(|&n| n != leader).min().unwrap();
+    for &n in &nodes {
+        if n == leader {
+            continue;
+        }
+        assert_eq!(
+            net.node(n).leader(),
+            Some(expected_new),
+            "node {n} disagrees on the new leader"
+        );
+    }
+}
+
+#[test]
+fn two_adjacent_crashes_are_survived_by_greedy_repair() {
+    // The analytical model counts ≥2 faults as a partition; the
+    // implementation is stronger and repairs past consecutive failures.
+    let (layout, mut net) = single_ring(6);
+    let nodes = layout.root_ring().nodes.clone();
+    net.run_until(100);
+    net.crash(nodes[2]);
+    net.crash(nodes[3]);
+    net.run_until(3_000);
+    for &n in &nodes {
+        if n == nodes[2] || n == nodes[3] {
+            continue;
+        }
+        assert_eq!(net.node(n).roster.len(), 4, "roster wrong at {n}");
+    }
+    // Ring still functional.
+    net.inject(nodes[5], Input::Mh(MhEvent::Join { guid: Guid(5), luid: Luid(1) }));
+    net.run_until(4_000);
+    for &n in &nodes {
+        if n == nodes[2] || n == nodes[3] {
+            continue;
+        }
+        assert!(net.node(n).ring_members.contains_operational(Guid(5)));
+    }
+}
+
+#[test]
+fn orphaned_ring_reattaches_to_another_parent_node() {
+    let layout = HierarchySpec::new(2, 3).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &live_cfg());
+    net.boot_all();
+    net.run_until(200); // heartbeats established, rosters cached
+    // Find a bottom ring and crash its sponsor.
+    let bottom = layout.rings_at(1).next().unwrap().clone();
+    let sponsor = bottom.parent_node.unwrap();
+    net.crash(sponsor);
+    net.run_until(2_000);
+    // The bottom ring's leader must have re-attached to a surviving root node.
+    let leader_now = net
+        .nodes
+        .iter()
+        .find(|(id, n)| bottom.nodes.contains(id) && n.is_leader())
+        .map(|(_, n)| n)
+        .expect("bottom ring has a leader");
+    let new_parent = leader_now.parent.expect("has a parent");
+    assert_ne!(new_parent, sponsor, "still attached to the crashed sponsor");
+    assert!(layout.root_ring().nodes.contains(&new_parent));
+    assert!(leader_now.parent_ok);
+    // And the adopting node lists the ring as its child.
+    let adopted = net.node(new_parent).children.get(&bottom.id).expect("adopted");
+    assert!(adopted.ok);
+}
+
+#[test]
+fn changes_flow_to_root_after_reattachment() {
+    let layout = HierarchySpec::new(2, 3).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &live_cfg());
+    net.boot_all();
+    net.run_until(200);
+    let bottom = layout.rings_at(1).next().unwrap().clone();
+    let sponsor = bottom.parent_node.unwrap();
+    net.crash(sponsor);
+    net.run_until(2_000);
+    // A join in the re-attached ring must still reach the (surviving) root.
+    let ap = bottom.nodes[1];
+    net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(42), luid: Luid(1) }));
+    net.run_until(4_000);
+    for &root_node in layout.root_ring().nodes.iter() {
+        if root_node == sponsor {
+            continue;
+        }
+        assert!(
+            net.node(root_node).ring_members.contains_operational(Guid(42)),
+            "root node {root_node} missed the post-reattach join"
+        );
+    }
+}
+
+#[test]
+fn retransmissions_happen_before_exclusion() {
+    let (layout, mut net) = single_ring(4);
+    let nodes = layout.root_ring().nodes.clone();
+    net.run_until(100);
+    net.crash(nodes[1]);
+    net.run_until(1_000);
+    let retransmits: u64 = nodes.iter().map(|&n| net.node(n).stats.retransmits).sum();
+    assert!(retransmits >= 2, "exclusion without retransmission attempts");
+}
+
+#[test]
+fn token_lost_regeneration_restores_circulation() {
+    // Crash the node that currently holds/forwards the token *and* its
+    // successor's ack: the simplest reproduction is crashing two nodes at
+    // once; the leader's TokenLost timer must regenerate.
+    let (layout, mut net) = single_ring(5);
+    let nodes = layout.root_ring().nodes.clone();
+    net.run_until(50);
+    net.crash(nodes[4]);
+    net.crash(nodes[3]);
+    net.run_until(5_000);
+    let alive: Vec<_> = nodes[..3].to_vec();
+    let rounds: u64 = alive.iter().map(|&n| net.node(n).stats.rounds_completed).sum();
+    assert!(rounds > 0, "no rounds completed after double crash");
+    // Ring usable again.
+    net.inject(alive[2], Input::Mh(MhEvent::Join { guid: Guid(9), luid: Luid(1) }));
+    net.run_until(7_000);
+    for &n in &alive {
+        assert!(net.node(n).ring_members.contains_operational(Guid(9)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Lifecycle tests: member disconnection/resume (§1's disconnection
+//! taxonomy, §4.2's `Disconnected` status) and runtime NE-Join/Leave with
+//! ring-state transfer (§4.3's AP join procedure).
+
+use rgb_core::prelude::*;
+use rgb_core::testing::Loopback;
+
+fn single_ring(r: usize) -> (HierarchyLayout, Loopback) {
+    let layout = HierarchySpec::new(1, r).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+    net.boot_all();
+    (layout, net)
+}
+
+// ---------------------------------------------------------------------
+// disconnection / resume
+// ---------------------------------------------------------------------
+
+#[test]
+fn disconnect_leaves_member_on_list_but_out_of_view() {
+    let (layout, mut net) = single_ring(4);
+    let ap = layout.aps()[1];
+    net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(5), luid: Luid(1) }));
+    assert!(net.run_until_quiet(100_000));
+    net.inject(ap, Input::Mh(MhEvent::Disconnect { guid: Guid(5) }));
+    assert!(net.run_until_quiet(100_000));
+    for &n in layout.root_ring().nodes.iter() {
+        let node = net.node(n);
+        assert!(!node.ring_members.contains_operational(Guid(5)), "still operational at {n}");
+        let rec = node.ring_members.get(Guid(5)).expect("record retained");
+        assert_eq!(rec.status, MemberStatus::Disconnected);
+    }
+}
+
+#[test]
+fn resume_at_same_cell_restores_operational_status() {
+    let (layout, mut net) = single_ring(4);
+    let ap = layout.aps()[1];
+    net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(5), luid: Luid(1) }));
+    net.inject(ap, Input::Mh(MhEvent::Disconnect { guid: Guid(5) }));
+    assert!(net.run_until_quiet(100_000));
+    net.inject(ap, Input::Mh(MhEvent::Resume { guid: Guid(5), luid: Luid(2) }));
+    assert!(net.run_until_quiet(100_000));
+    for &n in layout.root_ring().nodes.iter() {
+        let rec = net.node(n).ring_members.get(Guid(5)).expect("present");
+        assert_eq!(rec.status, MemberStatus::Operational);
+        assert_eq!(rec.ap, ap);
+        assert_eq!(rec.luid, Luid(2));
+    }
+}
+
+#[test]
+fn resume_at_another_cell_moves_the_member() {
+    // §1: "voluntary disconnection … after an arbitrary period of time may
+    // reconnect at any other cell and resume normal operation".
+    let (layout, mut net) = single_ring(5);
+    let a = layout.aps()[1];
+    let b = layout.aps()[3];
+    net.inject(a, Input::Mh(MhEvent::Join { guid: Guid(5), luid: Luid(1) }));
+    net.inject(a, Input::Mh(MhEvent::Disconnect { guid: Guid(5) }));
+    assert!(net.run_until_quiet(100_000));
+    net.inject(b, Input::Mh(MhEvent::Resume { guid: Guid(5), luid: Luid(2) }));
+    assert!(net.run_until_quiet(100_000));
+    for &n in layout.root_ring().nodes.iter() {
+        let rec = net.node(n).ring_members.get(Guid(5)).expect("present");
+        assert_eq!(rec.status, MemberStatus::Operational);
+        assert_eq!(rec.ap, b, "resume did not move the member at {n}");
+    }
+}
+
+#[test]
+fn disconnected_members_are_absent_from_views_and_queries() {
+    let layout = HierarchySpec::new(2, 3).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+    net.boot_all();
+    let aps = layout.aps();
+    for (i, &ap) in aps.iter().enumerate() {
+        net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) }));
+    }
+    assert!(net.run_until_quiet(10_000_000));
+    net.inject(aps[0], Input::Mh(MhEvent::Disconnect { guid: Guid(0) }));
+    assert!(net.run_until_quiet(10_000_000));
+    net.inject(aps[1], Input::StartQuery { scope: QueryScope::Global });
+    assert!(net.run_until_quiet(10_000_000));
+    let members = net
+        .events_at(aps[1])
+        .iter()
+        .find_map(|e| match e {
+            AppEvent::QueryResult { members, .. } => Some(members.clone()),
+            _ => None,
+        })
+        .expect("answered");
+    assert_eq!(members.operational_count(), aps.len() - 1);
+    assert!(!members.contains_operational(Guid(0)));
+}
+
+#[test]
+fn disconnect_then_failure_upgrades_to_removal() {
+    let (layout, mut net) = single_ring(3);
+    let ap = layout.aps()[0];
+    net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(5), luid: Luid(1) }));
+    assert!(net.run_until_quiet(100_000));
+    net.inject(ap, Input::Mh(MhEvent::Disconnect { guid: Guid(5) }));
+    net.inject(ap, Input::Mh(MhEvent::FailureDetected { guid: Guid(5) }));
+    assert!(net.run_until_quiet(100_000));
+    for &n in layout.root_ring().nodes.iter() {
+        assert!(net.node(n).ring_members.get(Guid(5)).is_none(), "tombstone left at {n}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// runtime NE-Join / NE-Leave
+// ---------------------------------------------------------------------
+
+/// Drive a standalone node joining ring 0 of a live loopback network.
+fn join_standalone(net: &mut Loopback, layout: &HierarchyLayout, new_id: u64) -> NodeId {
+    let joiner_id = NodeId(new_id);
+    let joiner = NodeState::standalone(
+        ProtocolConfig::default(),
+        GroupId(1),
+        joiner_id,
+        RingId(1_000),
+        layout.height() - 1,
+        layout.height(),
+    );
+    net.nodes.insert(joiner_id, joiner);
+    let contact = layout.aps()[0];
+    let outs = net.nodes.get_mut(&joiner_id).unwrap().request_join(contact);
+    // feed the outputs through the loopback manually
+    for out in outs {
+        if let Output::Send { to, msg } = out {
+            net.inject(to, Input::Msg { from: joiner_id, msg });
+        }
+    }
+    assert!(net.run_until_quiet(1_000_000));
+    joiner_id
+}
+
+#[test]
+fn standalone_node_is_its_own_leader_and_serves_members() {
+    let mut node = NodeState::standalone(
+        ProtocolConfig::default(),
+        GroupId(1),
+        NodeId(500),
+        RingId(77),
+        0,
+        1,
+    );
+    assert!(node.is_leader());
+    assert!(node.is_bottom());
+    let outs = node.handle(Input::Mh(MhEvent::Join { guid: Guid(1), luid: Luid(1) }));
+    // single-node ring agrees instantly, no messages needed
+    assert!(outs.iter().all(|o| o.as_send().is_none()));
+    assert!(node.ring_members.contains_operational(Guid(1)));
+}
+
+#[test]
+fn joiner_is_admitted_and_installed() {
+    let layout = HierarchySpec::new(1, 3).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+    net.boot_all();
+    let joiner_id = join_standalone(&mut net, &layout, 900);
+    // every original node's roster now contains the joiner
+    for &n in layout.root_ring().nodes.iter() {
+        assert!(net.node(n).roster.contains(joiner_id), "roster missing joiner at {n}");
+        assert_eq!(net.node(n).roster.len(), 4);
+    }
+    // the joiner installed the ring state
+    let joiner = net.node(joiner_id);
+    assert_eq!(joiner.ring_id(), layout.root_ring().id);
+    assert_eq!(joiner.roster.len(), 4);
+    let joined = net
+        .events_at(joiner_id)
+        .iter()
+        .any(|e| matches!(e, AppEvent::JoinedRing { .. }));
+    assert!(joined, "JoinedRing never delivered");
+}
+
+#[test]
+fn joiner_sees_existing_members_and_future_changes() {
+    let layout = HierarchySpec::new(1, 3).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+    net.boot_all();
+    // existing member before the join
+    net.inject(layout.aps()[1], Input::Mh(MhEvent::Join { guid: Guid(1), luid: Luid(1) }));
+    assert!(net.run_until_quiet(1_000_000));
+    let joiner_id = join_standalone(&mut net, &layout, 901);
+    assert!(
+        net.node(joiner_id).ring_members.contains_operational(Guid(1)),
+        "state transfer missed the existing member"
+    );
+    // future change reaches the joiner through normal rounds
+    net.inject(layout.aps()[2], Input::Mh(MhEvent::Join { guid: Guid(2), luid: Luid(1) }));
+    assert!(net.run_until_quiet(1_000_000));
+    assert!(net.node(joiner_id).ring_members.contains_operational(Guid(2)));
+    // and a member joining *at the joiner* reaches everyone else
+    net.inject(joiner_id, Input::Mh(MhEvent::Join { guid: Guid(3), luid: Luid(1) }));
+    assert!(net.run_until_quiet(1_000_000));
+    for &n in layout.root_ring().nodes.iter() {
+        assert!(net.node(n).ring_members.contains_operational(Guid(3)));
+    }
+}
+
+#[test]
+fn duplicate_join_request_is_idempotent() {
+    let layout = HierarchySpec::new(1, 3).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+    net.boot_all();
+    let joiner_id = join_standalone(&mut net, &layout, 902);
+    // retry the request; rosters must not duplicate
+    let outs = net.nodes.get_mut(&joiner_id).unwrap().request_join(layout.aps()[0]);
+    for out in outs {
+        if let Output::Send { to, msg } = out {
+            net.inject(to, Input::Msg { from: joiner_id, msg });
+        }
+    }
+    assert!(net.run_until_quiet(1_000_000));
+    for &n in layout.root_ring().nodes.iter() {
+        assert_eq!(net.node(n).roster.len(), 4, "duplicate admission at {n}");
+    }
+}
+
+#[test]
+fn voluntary_leave_shrinks_every_roster() {
+    let layout = HierarchySpec::new(1, 4).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+    net.boot_all();
+    let leaver = layout.aps()[2];
+    let outs = net.nodes.get_mut(&leaver).unwrap().request_leave();
+    for out in outs {
+        if let Output::Send { to, msg } = out {
+            net.inject(to, Input::Msg { from: leaver, msg });
+        }
+    }
+    assert!(net.run_until_quiet(1_000_000));
+    for &n in layout.root_ring().nodes.iter() {
+        if n == leaver {
+            continue;
+        }
+        assert!(!net.node(n).roster.contains(leaver), "roster still lists leaver at {n}");
+        assert_eq!(net.node(n).roster.len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Membership-Query tests (§4.4): correctness of TMS/BMS/IMS answers and
+//! the efficiency ordering the paper claims (TMS queries are cheap, BMS
+//! queries are expensive).
+
+use rgb_core::prelude::*;
+use rgb_core::testing::Loopback;
+
+fn populated(h: usize, r: usize, scheme: MembershipScheme) -> (HierarchyLayout, Loopback) {
+    let cfg = ProtocolConfig { scheme, ..ProtocolConfig::default() };
+    let layout = HierarchySpec::new(h, r).build(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &cfg);
+    net.boot_all();
+    for (i, &ap) in layout.aps().iter().enumerate() {
+        net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) }));
+    }
+    assert!(net.run_until_quiet(50_000_000));
+    (layout, net)
+}
+
+fn query_result(net: &Loopback, node: NodeId) -> Option<(MemberList, u32)> {
+    net.events_at(node).iter().rev().find_map(|e| match e {
+        AppEvent::QueryResult { members, responses, .. } => {
+            Some((members.clone(), *responses))
+        }
+        _ => None,
+    })
+}
+
+#[test]
+fn tms_query_from_an_ap_returns_global_membership() {
+    let (layout, mut net) = populated(3, 3, MembershipScheme::Tms);
+    let ap = layout.aps()[7];
+    net.inject(ap, Input::StartQuery { scope: QueryScope::Global });
+    assert!(net.run_until_quiet(1_000_000));
+    let (members, responses) = query_result(&net, ap).expect("query answered");
+    assert_eq!(members.operational_count(), 27);
+    assert_eq!(responses, 1, "TMS needs a single response");
+}
+
+#[test]
+fn tms_query_from_root_is_local() {
+    let (_layout, mut net) = populated(3, 3, MembershipScheme::Tms);
+    let before = net.sent_total;
+    net.inject(NodeId(0), Input::StartQuery { scope: QueryScope::Global });
+    assert!(net.run_until_quiet(1_000_000));
+    let (members, _) = query_result(&net, NodeId(0)).expect("answered");
+    assert_eq!(members.operational_count(), 27);
+    assert_eq!(net.sent_total, before, "root-ring TMS query needs no messages");
+}
+
+#[test]
+fn bms_query_aggregates_every_bottom_ring() {
+    let (layout, mut net) = populated(3, 3, MembershipScheme::Bms);
+    let ap = layout.aps()[0];
+    net.inject(ap, Input::StartQuery { scope: QueryScope::Global });
+    assert!(net.run_until_quiet(1_000_000));
+    let (members, responses) = query_result(&net, ap).expect("query answered");
+    assert_eq!(members.operational_count(), 27);
+    assert_eq!(responses, 9, "one response per bottommost ring");
+}
+
+#[test]
+fn ims_query_aggregates_middle_level() {
+    let (layout, mut net) = populated(3, 3, MembershipScheme::Ims { level: 1 });
+    let ap = layout.aps()[11];
+    net.inject(ap, Input::StartQuery { scope: QueryScope::Global });
+    assert!(net.run_until_quiet(1_000_000));
+    let (members, responses) = query_result(&net, ap).expect("query answered");
+    assert_eq!(members.operational_count(), 27);
+    assert_eq!(responses, 3, "one response per level-1 ring");
+}
+
+#[test]
+fn query_cost_ordering_tms_ims_bms() {
+    // Same hierarchy, same data, same querying AP — message cost must
+    // be TMS < IMS{1} < BMS, the paper's efficiency claim.
+    let mut costs = Vec::new();
+    for scheme in [
+        MembershipScheme::Tms,
+        MembershipScheme::Ims { level: 1 },
+        MembershipScheme::Bms,
+    ] {
+        let (layout, mut net) = populated(3, 3, scheme);
+        let before = net.sent_total;
+        let ap = layout.aps()[4];
+        net.inject(ap, Input::StartQuery { scope: QueryScope::Global });
+        assert!(net.run_until_quiet(1_000_000));
+        assert!(query_result(&net, ap).is_some());
+        costs.push(net.sent_total - before);
+    }
+    assert!(costs[0] < costs[1], "TMS {} !< IMS {}", costs[0], costs[1]);
+    assert!(costs[1] < costs[2], "IMS {} !< BMS {}", costs[1], costs[2]);
+}
+
+#[test]
+fn ring_scope_query_is_answered_locally_at_store_level() {
+    let (layout, mut net) = populated(2, 4, MembershipScheme::Tms);
+    let ap = layout.aps()[5];
+    let ring = layout.placement(ap).unwrap().ring;
+    let before = net.sent_total;
+    net.inject(ap, Input::StartQuery { scope: QueryScope::Ring(ring) });
+    assert!(net.run_until_quiet(1_000_000));
+    let (members, _) = query_result(&net, ap).expect("answered");
+    assert_eq!(members.operational_count(), 4, "own ring coverage");
+    assert_eq!(net.sent_total, before);
+}
+
+#[test]
+fn queries_reflect_later_changes() {
+    let (layout, mut net) = populated(2, 3, MembershipScheme::Tms);
+    let ap = layout.aps()[0];
+    // member 0 leaves, member 100 joins
+    net.inject(ap, Input::Mh(MhEvent::Leave { guid: Guid(0) }));
+    net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(100), luid: Luid(9) }));
+    assert!(net.run_until_quiet(1_000_000));
+    net.inject(ap, Input::StartQuery { scope: QueryScope::Global });
+    assert!(net.run_until_quiet(1_000_000));
+    let (members, _) = query_result(&net, ap).expect("answered");
+    assert!(!members.contains_operational(Guid(0)));
+    assert!(members.contains_operational(Guid(100)));
+    assert_eq!(members.operational_count(), 9);
+}
+
+#[test]
+fn two_concurrent_queries_get_separate_answers() {
+    let (layout, mut net) = populated(2, 3, MembershipScheme::Tms);
+    let a = layout.aps()[1];
+    let b = layout.aps()[7];
+    net.inject(a, Input::StartQuery { scope: QueryScope::Global });
+    net.inject(b, Input::StartQuery { scope: QueryScope::Global });
+    assert!(net.run_until_quiet(1_000_000));
+    let (ma, _) = query_result(&net, a).expect("a answered");
+    let (mb, _) = query_result(&net, b).expect("b answered");
+    assert_eq!(ma.operational_count(), 9);
+    assert_eq!(mb.operational_count(), 9);
+}

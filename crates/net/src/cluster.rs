@@ -1,0 +1,156 @@
+//! The live cluster: spawn the whole ring-based hierarchy as concurrent
+//! node threads and drive it through an operator API.
+
+use crate::runtime::{run_node, NodeSnapshot};
+use crate::transport::{Router, ToNode};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use rgb_core::config::ProtocolConfig;
+use rgb_core::events::AppEvent;
+use rgb_core::node::NodeState;
+use rgb_core::prelude::*;
+use rgb_core::topology::HierarchyLayout;
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running RGB deployment (one thread per network entity).
+pub struct LiveCluster {
+    /// The deployed hierarchy.
+    pub layout: HierarchyLayout,
+    router: Router,
+    events_rx: Receiver<(NodeId, AppEvent)>,
+    events_tx: Sender<(NodeId, AppEvent)>,
+    handles: HashMap<NodeId, JoinHandle<()>>,
+    tick: Duration,
+}
+
+impl LiveCluster {
+    /// Spawn every node of `layout` with configuration `cfg`; one protocol
+    /// tick lasts `tick` of real time.
+    pub fn start(layout: HierarchyLayout, cfg: &ProtocolConfig, tick: Duration) -> Self {
+        let router = Router::new();
+        let (events_tx, events_rx) = unbounded();
+        let mut handles = HashMap::new();
+        // Register all inboxes before starting any thread so early messages
+        // are never dropped.
+        let mut inboxes: Vec<(NodeId, Receiver<ToNode>)> = Vec::new();
+        for &id in layout.nodes.keys() {
+            let (tx, rx) = unbounded();
+            router.register(id, tx);
+            inboxes.push((id, rx));
+        }
+        for (id, rx) in inboxes {
+            let state =
+                NodeState::from_layout(&layout, id, cfg.clone()).expect("valid layout");
+            let router2 = router.clone();
+            let events2 = events_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("rgb-{id}"))
+                .spawn(move || run_node(state, rx, router2, events2, tick))
+                .expect("spawn node thread");
+            handles.insert(id, handle);
+        }
+        LiveCluster { layout, router, events_rx, events_tx, handles, tick }
+    }
+
+    /// One protocol tick's real-time duration.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Deliver a mobile-host event to an access proxy.
+    pub fn mh_event(&self, ap: NodeId, event: MhEvent) {
+        if let Some(tx) = self.router.inbox(ap) {
+            let _ = tx.send(ToNode::Mh(event));
+        }
+    }
+
+    /// Start a membership query at `node`; the result arrives on the event
+    /// stream.
+    pub fn query(&self, node: NodeId, scope: QueryScope) {
+        if let Some(tx) = self.router.inbox(node) {
+            let _ = tx.send(ToNode::Query(scope));
+        }
+    }
+
+    /// Snapshot a node's state (blocks up to `timeout`).
+    pub fn snapshot(&self, node: NodeId, timeout: Duration) -> Option<NodeSnapshot> {
+        let tx = self.router.inbox(node)?;
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(ToNode::Snapshot(reply_tx)).ok()?;
+        reply_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Crash a node: its thread stops and its address routes to nowhere.
+    pub fn crash(&mut self, node: NodeId) {
+        if let Some(tx) = self.router.inbox(node) {
+            let _ = tx.send(ToNode::Stop);
+        }
+        self.router.deregister(node);
+        if let Some(handle) = self.handles.remove(&node) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Drain application events until `pred` returns `Some`, up to
+    /// `timeout`.
+    pub fn wait_event<T, F: FnMut(NodeId, &AppEvent) -> Option<T>>(
+        &self,
+        timeout: Duration,
+        mut pred: F,
+    ) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.events_rx.recv_timeout(remaining) {
+                Ok((node, ev)) => {
+                    if let Some(t) = pred(node, &ev) {
+                        return Some(t);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Poll until `guid` is operational in `node`'s ring membership.
+    pub fn wait_member_at(&self, node: NodeId, guid: Guid, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if let Some(snap) = self.snapshot(node, Duration::from_millis(500)) {
+                if snap.ring_members.contains_operational(guid) {
+                    return true;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    /// Messages dropped by the router (to crashed/unknown nodes).
+    pub fn dropped_messages(&self) -> u64 {
+        self.router.dropped()
+    }
+
+    /// A clone of the event sender (lets tests inject synthetic events).
+    pub fn event_sender(&self) -> Sender<(NodeId, AppEvent)> {
+        self.events_tx.clone()
+    }
+
+    /// Stop every node and join the threads.
+    pub fn shutdown(mut self) {
+        let ids: Vec<NodeId> = self.handles.keys().copied().collect();
+        for id in ids {
+            if let Some(tx) = self.router.inbox(id) {
+                let _ = tx.send(ToNode::Stop);
+            }
+            self.router.deregister(id);
+        }
+        for (_, handle) in self.handles.drain() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-node runtime thread: owns one sans-IO [`NodeState`], drives its
+//! timers with real wall-clock deadlines, and exchanges wire frames through
+//! the [`Router`] — the "parallel and distributed way" of §4.3 made
+//! literal: every network entity runs concurrently on its own thread.
+
+use crate::transport::{Router, ToNode};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use rgb_core::events::{AppEvent, Input, Output, TimerKind};
+use rgb_core::member::MemberList;
+use rgb_core::node::NodeState;
+use rgb_core::prelude::NodeId;
+use rgb_core::wire;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A point-in-time copy of the interesting parts of a node's state.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// The node.
+    pub id: NodeId,
+    /// Its current view epoch.
+    pub epoch: u64,
+    /// Its ring membership list.
+    pub ring_members: MemberList,
+    /// Locally attached members (APs).
+    pub local_members: MemberList,
+    /// Current ring roster size.
+    pub roster_len: usize,
+    /// Current leader, if any.
+    pub leader: Option<NodeId>,
+    /// RingOK flag.
+    pub ring_ok: bool,
+}
+
+/// Run one node until a `Stop` message arrives. `tick` is the real-time
+/// duration of one protocol tick.
+pub fn run_node(
+    mut state: NodeState,
+    rx: Receiver<ToNode>,
+    router: Router,
+    events: Sender<(NodeId, AppEvent)>,
+    tick: Duration,
+) {
+    let id = state.id;
+    let gid = state.gid;
+    let start = Instant::now();
+    let mut timers: BTreeMap<TimerKind, Instant> = BTreeMap::new();
+
+    let process = |state: &mut NodeState,
+                       outs: Vec<Output>,
+                       timers: &mut BTreeMap<TimerKind, Instant>| {
+        let _ = state;
+        for out in outs {
+            match out {
+                Output::Send { to, msg } => router.send(gid, id, to, msg),
+                Output::SetTimer { kind, after } => {
+                    timers.insert(kind, Instant::now() + tick * after as u32);
+                }
+                Output::CancelTimer { kind } => {
+                    timers.remove(&kind);
+                }
+                Output::Deliver(ev) => {
+                    let _ = events.send((id, ev));
+                }
+            }
+        }
+    };
+
+    let outs = state.handle(Input::Boot);
+    process(&mut state, outs, &mut timers);
+
+    loop {
+        // Fire any due timers first.
+        let now = Instant::now();
+        let due: Vec<TimerKind> = timers
+            .iter()
+            .filter(|(_, &at)| at <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for kind in due {
+            timers.remove(&kind);
+            let outs = state.handle(Input::Timer(kind));
+            process(&mut state, outs, &mut timers);
+        }
+        // Wait for the next message or the next timer deadline.
+        let timeout = timers
+            .values()
+            .min()
+            .map(|&at| at.saturating_duration_since(Instant::now()))
+            .unwrap_or_else(|| Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(ToNode::Net { from, frame }) => match wire::decode(&frame) {
+                Ok(env) if env.gid == gid => {
+                    let outs = state.handle(Input::Msg { from, msg: env.msg });
+                    process(&mut state, outs, &mut timers);
+                }
+                _ => {} // foreign group or corrupt frame: drop
+            },
+            Ok(ToNode::Mh(event)) => {
+                let outs = state.handle(Input::Mh(event));
+                process(&mut state, outs, &mut timers);
+            }
+            Ok(ToNode::Query(scope)) => {
+                let outs = state.handle(Input::StartQuery { scope });
+                process(&mut state, outs, &mut timers);
+            }
+            Ok(ToNode::Snapshot(reply)) => {
+                let _ = reply.send(NodeSnapshot {
+                    id,
+                    epoch: state.epoch,
+                    ring_members: state.ring_members.clone(),
+                    local_members: state.local_members.clone(),
+                    roster_len: state.roster.len(),
+                    leader: state.leader(),
+                    ring_ok: state.ring_ok,
+                });
+            }
+            Ok(ToNode::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => {} // loop fires due timers
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        // Defensive bound for runaway tests: stop after an hour of wall time.
+        if start.elapsed() > Duration::from_secs(3600) {
+            break;
+        }
+    }
+}

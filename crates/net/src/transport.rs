@@ -1,0 +1,146 @@
+//! Transport abstraction for the live runtime.
+//!
+//! Messages between node threads travel as length-delimited binary frames
+//! produced by `rgb_core::wire`, so the wire format is exercised end-to-end
+//! exactly as a socket deployment would — the in-process channel stands in
+//! for TCP only at the byte layer.
+
+use bytes::Bytes;
+use crossbeam::channel::{Sender, TrySendError};
+use parking_lot::RwLock;
+use rgb_core::prelude::{Envelope, GroupId, Msg, NodeId};
+use rgb_core::wire;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Input messages a node thread can receive.
+#[derive(Debug)]
+pub enum ToNode {
+    /// An encoded envelope from another node.
+    Net {
+        /// Sender node.
+        from: NodeId,
+        /// Encoded [`Envelope`].
+        frame: Bytes,
+    },
+    /// A mobile-host event from the operator API.
+    Mh(rgb_core::prelude::MhEvent),
+    /// Start a membership query.
+    Query(rgb_core::prelude::QueryScope),
+    /// Request a state snapshot (reply through the provided channel).
+    Snapshot(Sender<crate::runtime::NodeSnapshot>),
+    /// Stop the node thread.
+    Stop,
+}
+
+/// Shared routing table: node id → that node's inbox.
+#[derive(Clone, Default)]
+pub struct Router {
+    inner: Arc<RwLock<HashMap<NodeId, Sender<ToNode>>>>,
+    /// Messages dropped because the destination was unknown or stopped.
+    drops: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Router {
+    /// Fresh empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a node's inbox.
+    pub fn register(&self, node: NodeId, tx: Sender<ToNode>) {
+        self.inner.write().insert(node, tx);
+    }
+
+    /// Remove a node (its future messages are dropped — a crash).
+    pub fn deregister(&self, node: NodeId) {
+        self.inner.write().remove(&node);
+    }
+
+    /// Encode and deliver `msg` from `from` to `to`. Messages to unknown
+    /// nodes are dropped silently, exactly like packets to a dead host.
+    pub fn send(&self, gid: GroupId, from: NodeId, to: NodeId, msg: Msg) {
+        let frame = wire::encode(&Envelope { gid, msg });
+        let guard = self.inner.read();
+        let Some(tx) = guard.get(&to) else {
+            self.note_drop();
+            return;
+        };
+        match tx.try_send(ToNode::Net { from, frame }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => self.note_drop(),
+        }
+    }
+
+    fn note_drop(&self) {
+        self.drops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.drops.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Look up an inbox (for the cluster API).
+    pub fn inbox(&self, node: NodeId) -> Option<Sender<ToNode>> {
+        self.inner.read().get(&node).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use rgb_core::prelude::RingId;
+
+    #[test]
+    fn routes_and_decodes() {
+        let router = Router::new();
+        let (tx, rx) = unbounded();
+        router.register(NodeId(2), tx);
+        router.send(
+            GroupId(1),
+            NodeId(1),
+            NodeId(2),
+            Msg::TokenAck { ring: RingId(0), seq: 9 },
+        );
+        match rx.recv().unwrap() {
+            ToNode::Net { from, frame } => {
+                assert_eq!(from, NodeId(1));
+                let env = wire::decode(&frame).unwrap();
+                assert_eq!(env.gid, GroupId(1));
+                assert_eq!(env.msg, Msg::TokenAck { ring: RingId(0), seq: 9 });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_destination_is_counted_as_drop() {
+        let router = Router::new();
+        router.send(GroupId(1), NodeId(1), NodeId(9), Msg::TokenAck { ring: RingId(0), seq: 1 });
+        assert_eq!(router.dropped(), 1);
+    }
+
+    #[test]
+    fn deregister_turns_node_into_black_hole() {
+        let router = Router::new();
+        let (tx, _rx) = unbounded();
+        router.register(NodeId(3), tx);
+        assert_eq!(router.len(), 1);
+        router.deregister(NodeId(3));
+        assert!(router.is_empty());
+        router.send(GroupId(1), NodeId(1), NodeId(3), Msg::TokenAck { ring: RingId(0), seq: 1 });
+        assert_eq!(router.dropped(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end tests of the live threaded runtime: a real concurrent RGB
+//! deployment (one thread per NE, wire-encoded frames) doing joins,
+//! queries, handoffs and crash recovery.
+
+use rgb_core::prelude::*;
+use rgb_net::LiveCluster;
+use std::time::Duration;
+
+fn fast_cfg() -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::live();
+    cfg.token_interval = 5;
+    cfg.token_retransmit_timeout = 20;
+    cfg.token_retransmit_limit = 2;
+    cfg.token_lost_timeout = 150;
+    cfg.heartbeat_interval = 20;
+    cfg.parent_timeout = 100;
+    cfg.child_timeout = 100;
+    cfg
+}
+
+fn start(h: usize, r: usize) -> LiveCluster {
+    let layout = HierarchySpec::new(h, r).build(GroupId(1)).unwrap();
+    // 1 tick = 1 ms of real time.
+    LiveCluster::start(layout, &fast_cfg(), Duration::from_millis(1))
+}
+
+#[test]
+fn live_join_reaches_the_root_ring() {
+    let cluster = start(2, 3);
+    let ap = cluster.layout.aps()[4];
+    cluster.mh_event(ap, MhEvent::Join { guid: Guid(42), luid: Luid(1) });
+    let root = cluster.layout.root_ring().nodes[0];
+    assert!(
+        cluster.wait_member_at(root, Guid(42), Duration::from_secs(10)),
+        "join never reached the root ring"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn live_concurrent_joins_from_every_proxy() {
+    let cluster = start(2, 3);
+    let aps = cluster.layout.aps();
+    for (i, &ap) in aps.iter().enumerate() {
+        cluster.mh_event(ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+    }
+    let root = cluster.layout.root_ring().nodes[0];
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let mut done = false;
+    while std::time::Instant::now() < deadline {
+        if let Some(snap) = cluster.snapshot(root, Duration::from_secs(1)) {
+            if snap.ring_members.operational_count() == aps.len() {
+                done = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(done, "root never saw all {} members", aps.len());
+    cluster.shutdown();
+}
+
+#[test]
+fn live_query_returns_global_membership() {
+    let cluster = start(2, 3);
+    let aps = cluster.layout.aps();
+    for (i, &ap) in aps.iter().enumerate() {
+        cluster.mh_event(ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+    }
+    let root = cluster.layout.root_ring().nodes[0];
+    assert!(cluster.wait_member_at(root, Guid(8), Duration::from_secs(10)));
+    // wait until all 9 reached the root, then query from an AP
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        let snap = cluster.snapshot(root, Duration::from_secs(1)).unwrap();
+        if snap.ring_members.operational_count() == 9 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.query(aps[0], QueryScope::Global);
+    let members = cluster.wait_event(Duration::from_secs(10), |node, ev| match ev {
+        AppEvent::QueryResult { members, .. } if node == aps[0] => Some(members.clone()),
+        _ => None,
+    });
+    let members = members.expect("query answered");
+    assert_eq!(members.operational_count(), 9);
+    cluster.shutdown();
+}
+
+#[test]
+fn live_leave_is_removed_at_the_root() {
+    let cluster = start(2, 3);
+    let ap = cluster.layout.aps()[0];
+    let root = cluster.layout.root_ring().nodes[0];
+    cluster.mh_event(ap, MhEvent::Join { guid: Guid(7), luid: Luid(1) });
+    assert!(cluster.wait_member_at(root, Guid(7), Duration::from_secs(10)));
+    cluster.mh_event(ap, MhEvent::Leave { guid: Guid(7) });
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut gone = false;
+    while std::time::Instant::now() < deadline {
+        let snap = cluster.snapshot(root, Duration::from_secs(1)).unwrap();
+        if !snap.ring_members.contains_operational(Guid(7)) {
+            gone = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(gone, "leave never propagated");
+    cluster.shutdown();
+}
+
+#[test]
+fn live_crash_is_repaired_and_protocol_continues() {
+    let mut cluster = start(1, 4); // a single ring of four proxies
+    let nodes = cluster.layout.root_ring().nodes.clone();
+    // Let the ring circulate, then kill a non-leader node.
+    std::thread::sleep(Duration::from_millis(100));
+    let victim = nodes[2];
+    cluster.crash(victim);
+    // Survivors must exclude the victim from their rosters.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let mut repaired = false;
+    while std::time::Instant::now() < deadline {
+        let ok = nodes
+            .iter()
+            .filter(|&&n| n != victim)
+            .all(|&n| {
+                cluster
+                    .snapshot(n, Duration::from_secs(1))
+                    .map(|s| s.roster_len == 3)
+                    .unwrap_or(false)
+            });
+        if ok {
+            repaired = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(repaired, "ring never repaired after crash");
+    // The repaired ring still agrees on new members.
+    cluster.mh_event(nodes[0], MhEvent::Join { guid: Guid(5), luid: Luid(1) });
+    assert!(
+        cluster.wait_member_at(nodes[1], Guid(5), Duration::from_secs(10)),
+        "post-repair join failed"
+    );
+    assert!(cluster.dropped_messages() > 0, "crash produced no drops");
+    cluster.shutdown();
+}
+
+#[test]
+fn live_handoff_moves_member_between_proxies() {
+    let cluster = start(1, 4);
+    let nodes = cluster.layout.root_ring().nodes.clone();
+    let (a, b) = (nodes[1], nodes[2]);
+    cluster.mh_event(a, MhEvent::Join { guid: Guid(3), luid: Luid(1) });
+    assert!(cluster.wait_member_at(b, Guid(3), Duration::from_secs(10)));
+    cluster.mh_event(b, MhEvent::HandoffIn { guid: Guid(3), luid: Luid(2), from: Some(a) });
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut moved = false;
+    while std::time::Instant::now() < deadline {
+        let snap = cluster.snapshot(nodes[0], Duration::from_secs(1)).unwrap();
+        if snap.ring_members.get(Guid(3)).map(|m| m.ap) == Some(b) {
+            moved = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(moved, "handoff never updated the member location");
+    cluster.shutdown();
+}
+
+#[test]
+fn shutdown_joins_all_threads() {
+    let cluster = start(2, 2);
+    cluster.shutdown(); // must not hang
+}

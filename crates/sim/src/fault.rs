@@ -1,0 +1,113 @@
+//! Fault-injection plans implementing the §5.2 model: every network entity
+//! is independently faulty with probability `f` (node faults only; the
+//! paper folds link faults into node faults).
+
+use crate::rng::SplitMix64;
+use rgb_core::prelude::NodeId;
+use rgb_core::topology::HierarchyLayout;
+
+/// A planned crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedCrash {
+    /// When the node dies.
+    pub at: u64,
+    /// Which node.
+    pub node: NodeId,
+}
+
+/// Bernoulli fault plan: each NE crashes with probability `f`, at a time
+/// uniform in `[window.0, window.1)`.
+pub fn bernoulli_crashes(
+    layout: &HierarchyLayout,
+    f: f64,
+    window: (u64, u64),
+    seed: u64,
+) -> Vec<PlannedCrash> {
+    let mut rng = SplitMix64::new(seed);
+    let mut crashes = Vec::new();
+    for &node in layout.nodes.keys() {
+        if rng.chance(f) {
+            let at = if window.1 > window.0 { rng.range(window.0, window.1) } else { window.0 };
+            crashes.push(PlannedCrash { at, node });
+        }
+    }
+    crashes.sort_by_key(|c| (c.at, c.node));
+    crashes
+}
+
+/// Crash exactly `count` distinct nodes of one ring (model experiments).
+pub fn crash_in_ring(
+    layout: &HierarchyLayout,
+    ring: rgb_core::prelude::RingId,
+    count: usize,
+    at: u64,
+) -> Vec<PlannedCrash> {
+    layout
+        .ring(ring)
+        .map(|spec| {
+            spec.nodes
+                .iter()
+                .take(count)
+                .map(|&node| PlannedCrash { at, node })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgb_core::prelude::*;
+
+    fn layout() -> HierarchyLayout {
+        HierarchySpec::new(3, 5).build(GroupId(1)).unwrap()
+    }
+
+    #[test]
+    fn bernoulli_rate_tracks_f() {
+        let l = layout();
+        let mut total = 0usize;
+        let runs = 200;
+        for seed in 0..runs {
+            total += bernoulli_crashes(&l, 0.05, (0, 100), seed).len();
+        }
+        let mean = total as f64 / runs as f64;
+        let expect = l.node_count() as f64 * 0.05;
+        assert!(
+            (mean - expect).abs() < expect * 0.2,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn crash_times_within_window() {
+        let l = layout();
+        for c in bernoulli_crashes(&l, 0.2, (50, 150), 1) {
+            assert!((50..150).contains(&c.at));
+        }
+    }
+
+    #[test]
+    fn zero_f_never_crashes() {
+        assert!(bernoulli_crashes(&layout(), 0.0, (0, 10), 1).is_empty());
+    }
+
+    #[test]
+    fn crash_in_ring_picks_distinct_ring_nodes() {
+        let l = layout();
+        let ring = l.rings_at(2).next().unwrap().id;
+        let crashes = crash_in_ring(&l, ring, 2, 7);
+        assert_eq!(crashes.len(), 2);
+        assert_ne!(crashes[0].node, crashes[1].node);
+        for c in &crashes {
+            assert_eq!(l.placement(c.node).unwrap().ring, ring);
+            assert_eq!(c.at, 7);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let l = layout();
+        assert_eq!(bernoulli_crashes(&l, 0.1, (0, 50), 3), bernoulli_crashes(&l, 0.1, (0, 50), 3));
+    }
+}

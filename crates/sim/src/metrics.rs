@@ -1,0 +1,172 @@
+//! Simulation metrics: message counters by label and link class, and a
+//! simple quantile-capable histogram for latencies.
+
+use crate::network::LinkClass;
+use std::collections::BTreeMap;
+
+/// A latency histogram backed by a sorted sample vector (simulations are
+/// small enough that exact quantiles are affordable).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 for empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Exact quantile by nearest-rank (`q` in [0,1]); `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+}
+
+/// Counters collected during a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Messages sent, by [`rgb_core::prelude::Msg::label`].
+    pub sent_by_label: BTreeMap<&'static str, u64>,
+    /// Messages sent, by link class.
+    pub sent_by_class: BTreeMap<LinkClass, u64>,
+    /// Messages lost in the network.
+    pub lost: u64,
+    /// Total messages sent (including lost).
+    pub sent_total: u64,
+    /// Application events delivered.
+    pub app_events: u64,
+    /// Per-change end-to-end latency (injection → root execution).
+    pub change_latency: Histogram,
+    /// Per-query latency (request → result).
+    pub query_latency: Histogram,
+}
+
+impl Metrics {
+    /// Count of a single label.
+    pub fn sent(&self, label: &str) -> u64 {
+        self.sent_by_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Sum over a set of labels.
+    pub fn sent_any(&self, labels: &[&str]) -> u64 {
+        labels.iter().map(|l| self.sent(l)).sum()
+    }
+
+    /// The paper's "proposal" traffic: everything except acknowledgements
+    /// and heartbeats (formulas (1)–(6) count proposal hops only).
+    pub fn proposal_hops(&self) -> u64 {
+        self.sent_any(&["token", "notify_parent", "notify_child", "mq_local", "from_mh"])
+    }
+
+    /// Take a snapshot of the counter totals (for differencing).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sent_total: self.sent_total,
+            proposal_hops: self.proposal_hops(),
+            sent_by_label: self.sent_by_label.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Total messages at snapshot time.
+    pub sent_total: u64,
+    /// Proposal hops at snapshot time.
+    pub proposal_hops: u64,
+    /// Per-label counts at snapshot time.
+    pub sent_by_label: BTreeMap<&'static str, u64>,
+}
+
+impl MetricsSnapshot {
+    /// Per-label difference `now - self`.
+    pub fn delta(&self, now: &Metrics) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for (&label, &count) in &now.sent_by_label {
+            let before = self.sent_by_label.get(label).copied().unwrap_or(0);
+            if count > before {
+                out.insert(label, count - before);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in [5u64, 1, 9, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(1.0), Some(9));
+        assert_eq!(h.max(), Some(9));
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn metrics_sums_and_deltas() {
+        let mut m = Metrics::default();
+        *m.sent_by_label.entry("token").or_insert(0) += 10;
+        *m.sent_by_label.entry("token_ack").or_insert(0) += 10;
+        *m.sent_by_label.entry("notify_parent").or_insert(0) += 2;
+        m.sent_total = 22;
+        assert_eq!(m.sent("token"), 10);
+        assert_eq!(m.proposal_hops(), 12);
+        let snap = m.snapshot();
+        *m.sent_by_label.entry("token").or_insert(0) += 5;
+        let delta = snap.delta(&m);
+        assert_eq!(delta.get("token"), Some(&5));
+        assert_eq!(delta.get("token_ack"), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! Mobile-host population and mobility model.
+//!
+//! The paper motivates RGB with frequent handoffs between small wireless
+//! cells (§1). We model the access proxies of the bottommost tier as a
+//! line/ring of geographic cells: each AP's neighbours are its ring
+//! neighbours, and the last AP of one bottom ring abuts the first AP of
+//! the next — so mobile hosts roam both within and across logical rings.
+//! Dwell times are exponential; every move produces a `HandoffIn` at the
+//! destination proxy.
+
+use crate::rng::SplitMix64;
+use rgb_core::prelude::*;
+use rgb_core::topology::HierarchyLayout;
+use std::collections::BTreeMap;
+
+/// One simulated mobile host.
+#[derive(Debug, Clone)]
+pub struct MobileHost {
+    /// Globally unique id.
+    pub guid: Guid,
+    /// Proxy currently attached to.
+    pub ap: NodeId,
+    /// Next care-of id to assign.
+    luid_seq: u64,
+}
+
+impl MobileHost {
+    fn next_luid(&mut self) -> Luid {
+        self.luid_seq += 1;
+        Luid(self.guid.0 * 1_000_000 + self.luid_seq)
+    }
+}
+
+/// A timed mobile-host event bound for an access proxy.
+pub type TimedEvent = (u64, NodeId, MhEvent);
+
+/// The mobility model: a population of MHs roaming the AP cells.
+#[derive(Debug, Clone)]
+pub struct MobilityModel {
+    /// The population.
+    pub mhs: Vec<MobileHost>,
+    adjacency: BTreeMap<NodeId, Vec<NodeId>>,
+    rng: SplitMix64,
+    /// Mean dwell time between handoffs (ticks).
+    pub mean_dwell: f64,
+}
+
+impl MobilityModel {
+    /// Create `population` MHs spread uniformly over the APs of `layout`.
+    pub fn new(layout: &HierarchyLayout, population: usize, mean_dwell: f64, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let aps = layout.aps();
+        let adjacency = Self::build_adjacency(layout);
+        let mhs = (0..population)
+            .map(|i| MobileHost {
+                guid: Guid(i as u64),
+                ap: *rng.pick(&aps),
+                luid_seq: 0,
+            })
+            .collect();
+        MobilityModel { mhs, adjacency, rng, mean_dwell }
+    }
+
+    /// Geographic neighbourhood of each AP: ring neighbours plus the seam
+    /// to the adjacent bottom ring.
+    fn build_adjacency(layout: &HierarchyLayout) -> BTreeMap<NodeId, Vec<NodeId>> {
+        let bottom = layout.height() - 1;
+        let rings: Vec<_> = layout.rings_at(bottom).collect();
+        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for ring in &rings {
+            let n = ring.nodes.len();
+            for (i, &node) in ring.nodes.iter().enumerate() {
+                let mut neigh = Vec::new();
+                if n > 1 {
+                    neigh.push(ring.nodes[(i + 1) % n]);
+                    neigh.push(ring.nodes[(i + n - 1) % n]);
+                }
+                adj.insert(node, neigh);
+            }
+        }
+        // seams between consecutive rings
+        for w in rings.windows(2) {
+            let last = *w[0].nodes.last().expect("non-empty ring");
+            let first = w[1].nodes[0];
+            adj.entry(last).or_default().push(first);
+            adj.entry(first).or_default().push(last);
+        }
+        adj
+    }
+
+    /// Generate the full event schedule for `duration` ticks: initial joins
+    /// at time ~0, then exponential-dwell handoffs. Events are returned
+    /// sorted by time.
+    pub fn generate(&mut self, duration: u64) -> Vec<TimedEvent> {
+        let mut events: Vec<TimedEvent> = Vec::new();
+        let count = self.mhs.len();
+        for idx in 0..count {
+            let join_at = self.rng.range(0, 10);
+            let (guid, ap, luid) = {
+                let mh = &mut self.mhs[idx];
+                (mh.guid, mh.ap, mh.next_luid())
+            };
+            events.push((join_at, ap, MhEvent::Join { guid, luid }));
+            let mut t = join_at as f64;
+            loop {
+                t += self.rng.exponential(self.mean_dwell).max(1.0);
+                if t >= duration as f64 {
+                    break;
+                }
+                let from = self.mhs[idx].ap;
+                let options = self.adjacency.get(&from).cloned().unwrap_or_default();
+                if options.is_empty() {
+                    break;
+                }
+                let to = *self.rng.pick(&options);
+                let luid = self.mhs[idx].next_luid();
+                self.mhs[idx].ap = to;
+                events.push((
+                    t as u64,
+                    to,
+                    MhEvent::HandoffIn { guid: self.mhs[idx].guid, luid, from: Some(from) },
+                ));
+            }
+        }
+        events.sort_by_key(|&(t, ap, _)| (t, ap));
+        events
+    }
+
+    /// Count of handoff events in a schedule.
+    pub fn handoff_count(events: &[TimedEvent]) -> usize {
+        events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, MhEvent::HandoffIn { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> HierarchyLayout {
+        HierarchySpec::new(2, 4).build(GroupId(1)).unwrap()
+    }
+
+    #[test]
+    fn population_joins_once_each() {
+        let l = layout();
+        let mut m = MobilityModel::new(&l, 20, 100.0, 1);
+        let events = m.generate(1_000);
+        let joins = events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, MhEvent::Join { .. }))
+            .count();
+        assert_eq!(joins, 20);
+    }
+
+    #[test]
+    fn handoffs_move_between_adjacent_aps() {
+        let l = layout();
+        let mut m = MobilityModel::new(&l, 10, 50.0, 2);
+        let adj = MobilityModel::build_adjacency(&l);
+        let events = m.generate(2_000);
+        for (_, to, e) in &events {
+            if let MhEvent::HandoffIn { from: Some(from), .. } = e {
+                assert!(
+                    adj[from].contains(to),
+                    "handoff {from}->{to} not between adjacent cells"
+                );
+            }
+        }
+        assert!(MobilityModel::handoff_count(&events) > 10);
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_bounded() {
+        let l = layout();
+        let mut m = MobilityModel::new(&l, 15, 80.0, 3);
+        let duration = 3_000;
+        let events = m.generate(duration);
+        for w in events.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(events.iter().all(|&(t, _, _)| t < duration));
+    }
+
+    #[test]
+    fn shorter_dwell_means_more_handoffs() {
+        let l = layout();
+        let fast = MobilityModel::new(&l, 20, 20.0, 4).generate(2_000);
+        let slow = MobilityModel::new(&l, 20, 200.0, 4).generate(2_000);
+        assert!(
+            MobilityModel::handoff_count(&fast) > 2 * MobilityModel::handoff_count(&slow),
+            "dwell time had no effect"
+        );
+    }
+
+    #[test]
+    fn adjacency_covers_every_ap_and_is_symmetric() {
+        let l = layout();
+        let adj = MobilityModel::build_adjacency(&l);
+        assert_eq!(adj.len(), l.aps().len());
+        for (ap, neighbors) in &adj {
+            for n in neighbors {
+                assert!(adj[n].contains(ap), "asymmetric adjacency {ap} vs {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let l = layout();
+        let a = MobilityModel::new(&l, 10, 50.0, 9).generate(1_000);
+        let b = MobilityModel::new(&l, 10, 50.0, 9).generate(1_000);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+}

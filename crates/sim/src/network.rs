@@ -1,0 +1,237 @@
+//! The network model: per-link-class latency distributions and message
+//! loss, standing in for the paper's mobile Internet (wireless access hop,
+//! intra-AS links between ring peers, inter-AS links between tiers).
+
+use crate::rng::SplitMix64;
+use rgb_core::prelude::{NodeId, Tier};
+use rgb_core::topology::HierarchyLayout;
+use serde::{Deserialize, Serialize};
+
+/// Classification of one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Mobile host to access proxy (wireless last hop).
+    Wireless,
+    /// Between two nodes of the same ring (intra-AS / local area).
+    IntraRing,
+    /// Between a ring node and its sponsor / child (inter-tier).
+    InterTier,
+    /// Any other NE-to-NE path (query shortcuts, re-attachment probes).
+    WideArea,
+}
+
+/// Latency band for one link class, in simulator ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBand {
+    /// Minimum latency.
+    pub min: u64,
+    /// Maximum latency (inclusive; uniform within the band).
+    pub max: u64,
+}
+
+impl LatencyBand {
+    /// A fixed latency.
+    pub fn fixed(v: u64) -> Self {
+        LatencyBand { min: v, max: v }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if self.max <= self.min {
+            self.min
+        } else {
+            rng.range(self.min, self.max + 1)
+        }
+    }
+}
+
+/// Network configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Wireless last-hop latency.
+    pub wireless: LatencyBand,
+    /// Intra-ring latency.
+    pub intra_ring: LatencyBand,
+    /// Parent/child (inter-tier) latency.
+    pub inter_tier: LatencyBand,
+    /// Everything else.
+    pub wide_area: LatencyBand,
+    /// Probability an NE-to-NE message is silently lost.
+    pub loss: f64,
+    /// Probability the wireless hop loses a message.
+    pub wireless_loss: f64,
+}
+
+impl Default for NetConfig {
+    /// A mobile-Internet-flavoured default: fast LAN-ish rings, slower
+    /// inter-tier links, slowest wireless hop. One tick ≈ 0.1 ms.
+    fn default() -> Self {
+        NetConfig {
+            wireless: LatencyBand { min: 20, max: 60 },
+            intra_ring: LatencyBand { min: 5, max: 15 },
+            inter_tier: LatencyBand { min: 10, max: 40 },
+            wide_area: LatencyBand { min: 10, max: 40 },
+            loss: 0.0,
+            wireless_loss: 0.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Zero-latency, lossless network (pure hop counting).
+    pub fn instant() -> Self {
+        NetConfig {
+            wireless: LatencyBand::fixed(0),
+            intra_ring: LatencyBand::fixed(0),
+            inter_tier: LatencyBand::fixed(0),
+            wide_area: LatencyBand::fixed(0),
+            loss: 0.0,
+            wireless_loss: 0.0,
+        }
+    }
+
+    /// Fixed unit latency (deterministic ordering tests).
+    pub fn unit() -> Self {
+        NetConfig {
+            wireless: LatencyBand::fixed(1),
+            intra_ring: LatencyBand::fixed(1),
+            inter_tier: LatencyBand::fixed(1),
+            wide_area: LatencyBand::fixed(1),
+            loss: 0.0,
+            wireless_loss: 0.0,
+        }
+    }
+
+    fn band(&self, class: LinkClass) -> LatencyBand {
+        match class {
+            LinkClass::Wireless => self.wireless,
+            LinkClass::IntraRing => self.intra_ring,
+            LinkClass::InterTier => self.inter_tier,
+            LinkClass::WideArea => self.wide_area,
+        }
+    }
+}
+
+/// Stateful network model: classifies links against the layout and samples
+/// latency / loss.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    cfg: NetConfig,
+}
+
+impl NetworkModel {
+    /// New model over a configuration.
+    pub fn new(cfg: NetConfig) -> Self {
+        NetworkModel { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Classify an NE-to-NE transmission.
+    pub fn classify(&self, layout: &HierarchyLayout, from: NodeId, to: NodeId) -> LinkClass {
+        let (Ok(a), Ok(b)) = (layout.placement(from), layout.placement(to)) else {
+            return LinkClass::WideArea;
+        };
+        if a.ring == b.ring {
+            return LinkClass::IntraRing;
+        }
+        let parent_child = a.parent_node == Some(to)
+            || b.parent_node == Some(from)
+            || a.child_ring.map(|r| r == b.ring).unwrap_or(false)
+            || b.child_ring.map(|r| r == a.ring).unwrap_or(false);
+        if parent_child {
+            LinkClass::InterTier
+        } else {
+            LinkClass::WideArea
+        }
+    }
+
+    /// Sample delivery latency for a class.
+    pub fn latency(&self, class: LinkClass, rng: &mut SplitMix64) -> u64 {
+        self.cfg.band(class).sample(rng)
+    }
+
+    /// Sample whether a transmission of this class is lost.
+    pub fn lost(&self, class: LinkClass, rng: &mut SplitMix64) -> bool {
+        let p = match class {
+            LinkClass::Wireless => self.cfg.wireless_loss,
+            _ => self.cfg.loss,
+        };
+        p > 0.0 && rng.chance(p)
+    }
+
+    /// Tier of a node (diagnostics).
+    pub fn tier(&self, layout: &HierarchyLayout, node: NodeId) -> Option<Tier> {
+        layout.placement(node).ok().map(|p| p.tier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgb_core::prelude::*;
+
+    fn layout() -> HierarchyLayout {
+        HierarchySpec::new(3, 3).build(GroupId(1)).unwrap()
+    }
+
+    #[test]
+    fn classifies_intra_ring() {
+        let l = layout();
+        let m = NetworkModel::new(NetConfig::default());
+        let ring = l.rings_at(2).next().unwrap();
+        assert_eq!(m.classify(&l, ring.nodes[0], ring.nodes[1]), LinkClass::IntraRing);
+    }
+
+    #[test]
+    fn classifies_inter_tier_both_directions() {
+        let l = layout();
+        let m = NetworkModel::new(NetConfig::default());
+        let ring = l.rings_at(2).next().unwrap();
+        let sponsor = ring.parent_node.unwrap();
+        assert_eq!(m.classify(&l, ring.nodes[0], sponsor), LinkClass::InterTier);
+        assert_eq!(m.classify(&l, sponsor, ring.nodes[0]), LinkClass::InterTier);
+    }
+
+    #[test]
+    fn classifies_wide_area() {
+        let l = layout();
+        let m = NetworkModel::new(NetConfig::default());
+        // two APs in different subtrees
+        let aps = l.aps();
+        let a = aps[0];
+        let b = aps[aps.len() - 1];
+        assert_eq!(m.classify(&l, a, b), LinkClass::WideArea);
+    }
+
+    #[test]
+    fn latency_respects_band() {
+        let m = NetworkModel::new(NetConfig::default());
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let v = m.latency(LinkClass::IntraRing, &mut rng);
+            assert!((5..=15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn instant_config_is_zero_latency_lossless() {
+        let m = NetworkModel::new(NetConfig::instant());
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(m.latency(LinkClass::Wireless, &mut rng), 0);
+        assert!(!m.lost(LinkClass::IntraRing, &mut rng));
+    }
+
+    #[test]
+    fn loss_frequency_tracks_probability() {
+        let cfg = NetConfig { loss: 0.25, ..NetConfig::default() };
+        let m = NetworkModel::new(cfg);
+        let mut rng = SplitMix64::new(5);
+        let n = 100_000;
+        let lost = (0..n).filter(|_| m.lost(LinkClass::IntraRing, &mut rng)).count();
+        let freq = lost as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+    }
+}

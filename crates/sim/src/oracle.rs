@@ -1,0 +1,116 @@
+//! Global invariant checks over a simulation — the things the protocol
+//! promises (§4.3 consistency; §5.2 Function-Well semantics) asserted from
+//! the outside.
+
+use crate::sim::Simulation;
+use rgb_core::hierarchy::{assess, FunctionWellReport};
+use std::fmt::Write as _;
+
+/// Check ring-level agreement: at quiescence, every pair of alive nodes of
+/// the same ring with the same epoch must hold identical ring membership,
+/// and all alive nodes of a ring must be at the same epoch.
+///
+/// Returns a human-readable violation description, or `Ok(())`.
+pub fn check_ring_consistency(sim: &Simulation) -> Result<(), String> {
+    for ring in &sim.layout.rings {
+        let alive = sim.alive_ring_nodes(ring.id);
+        let Some(&first) = alive.first() else { continue };
+        let reference = &sim.nodes[&first];
+        for &n in &alive[1..] {
+            let node = &sim.nodes[&n];
+            if node.epoch != reference.epoch {
+                let mut msg = String::new();
+                let _ = write!(
+                    msg,
+                    "ring {}: epoch mismatch {}@{} vs {}@{}",
+                    ring.id, reference.epoch, first, node.epoch, n
+                );
+                return Err(msg);
+            }
+            if node.ring_members != reference.ring_members {
+                return Err(format!(
+                    "ring {}: membership mismatch between {first} and {n}",
+                    ring.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that no alive node still lists a crashed node on its roster
+/// (complete local repair).
+pub fn check_repair_complete(sim: &Simulation) -> Result<(), String> {
+    for (id, node) in &sim.nodes {
+        if sim.crashed.contains(id) {
+            continue;
+        }
+        for dead in &sim.crashed {
+            if node.roster.contains(*dead)
+                && sim.layout.placement(*dead).map(|p| p.ring) == Ok(node.ring_id())
+            {
+                return Err(format!("node {id} still lists crashed {dead}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The paper-model Function-Well assessment of the current crash set.
+pub fn function_well_report(sim: &Simulation) -> FunctionWellReport {
+    assess(&sim.layout, &sim.crashed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetConfig;
+    use rgb_core::prelude::*;
+
+    #[test]
+    fn consistency_holds_after_churn() {
+        let mut sim =
+            Simulation::full(3, 3, &ProtocolConfig::default(), NetConfig::default(), 2);
+        sim.boot_all();
+        for (i, &ap) in sim.layout.aps().iter().enumerate() {
+            sim.schedule_mh(i as u64, ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+            if i % 2 == 0 {
+                sim.schedule_mh(
+                    100 + i as u64,
+                    ap,
+                    MhEvent::Leave { guid: Guid(i as u64) },
+                );
+            }
+        }
+        assert!(sim.run_until_quiet(50_000_000));
+        check_ring_consistency(&sim).unwrap();
+    }
+
+    #[test]
+    fn repair_check_flags_unrepaired_rosters() {
+        let mut sim =
+            Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 2);
+        sim.boot_all();
+        let victim = sim.layout.aps()[1];
+        sim.crash_at(0, victim);
+        sim.step();
+        // OnDemand policy performs no detection, so the roster still lists
+        // the crashed node: the check must fail.
+        assert!(check_repair_complete(&sim).is_err());
+    }
+
+    #[test]
+    fn function_well_report_tracks_crashes() {
+        let mut sim =
+            Simulation::full(3, 3, &ProtocolConfig::default(), NetConfig::instant(), 2);
+        sim.boot_all();
+        let ring = sim.layout.rings_at(2).next().unwrap().clone();
+        sim.crash_at(0, ring.nodes[0]);
+        sim.crash_at(0, ring.nodes[1]);
+        while sim.step() {}
+        let report = function_well_report(&sim);
+        assert_eq!(report.bad_count(), 1);
+        assert!(!report.function_well(1));
+        assert!(report.function_well(2));
+    }
+}

@@ -1,0 +1,92 @@
+//! Live deployment: the hierarchy as real concurrency — one OS thread per
+//! network entity, binary wire frames between them (the §4.3 "parallel and
+//! distributed way"). Joins stream in from several operator threads, a
+//! node is crashed mid-run, and the cluster keeps agreeing.
+//!
+//! ```text
+//! cargo run --release --example live_cluster
+//! ```
+
+use rgb::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = ProtocolConfig::live();
+    cfg.token_interval = 5;
+    cfg.token_retransmit_timeout = 20;
+    cfg.token_lost_timeout = 150;
+    cfg.heartbeat_interval = 20;
+    cfg.parent_timeout = 100;
+    cfg.child_timeout = 100;
+
+    let layout = HierarchySpec::new(2, 4).build(GroupId(7)).expect("valid spec");
+    let mut cluster = LiveCluster::start(layout, &cfg, Duration::from_millis(1));
+    println!(
+        "live cluster: {} node threads across {} rings",
+        cluster.layout.node_count(),
+        cluster.layout.ring_count()
+    );
+
+    // Concurrent joins from three operator threads.
+    let aps = cluster.layout.aps();
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let cluster = &cluster;
+            let aps = aps.clone();
+            scope.spawn(move || {
+                for i in 0..5u64 {
+                    let guid = Guid(t * 100 + i);
+                    let ap = aps[((t * 5 + i) % aps.len() as u64) as usize];
+                    cluster.mh_event(ap, MhEvent::Join { guid, luid: Luid(1) });
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            });
+        }
+    });
+
+    // Wait for the root ring to see all 15 members.
+    let root = cluster.layout.root_ring().nodes[0];
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let snap = cluster.snapshot(root, Duration::from_secs(2)).expect("snapshot");
+        println!(
+            "root {} view epoch {} — {} members",
+            root,
+            snap.epoch,
+            snap.ring_members.operational_count()
+        );
+        if snap.ring_members.operational_count() == 15 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "cluster never converged");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Crash a bottom-ring node; the ring repairs and keeps serving.
+    let bottom_ring = cluster.layout.rings_at(1).next().unwrap().clone();
+    let victim = bottom_ring.nodes[1];
+    println!("\ncrashing {victim} ...");
+    cluster.crash(victim);
+    let survivor = bottom_ring.nodes[0];
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(snap) = cluster.snapshot(survivor, Duration::from_secs(2)) {
+            if snap.roster_len == bottom_ring.nodes.len() - 1 {
+                println!("ring {} repaired: roster is now {} nodes", bottom_ring.id, snap.roster_len);
+                break;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "repair never happened");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // A post-crash join still reaches agreement.
+    cluster.mh_event(survivor, MhEvent::Join { guid: Guid(777), luid: Luid(1) });
+    assert!(
+        cluster.wait_member_at(root, Guid(777), Duration::from_secs(30)),
+        "post-crash join failed"
+    );
+    println!("post-crash join agreed; {} router drops", cluster.dropped_messages());
+    cluster.shutdown();
+    println!("clean shutdown");
+}

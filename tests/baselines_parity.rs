@@ -1,0 +1,102 @@
+//! Cross-crate baseline checks: the §5.2 transformation-hierarchy
+//! reduction, tree-vs-ring scalability orderings, and the flat-ring
+//! degradation that motivates the hierarchy.
+
+use rgb::analysis::{hcn_ring, hcn_tree};
+use rgb::baselines::{
+    hcn_flat, measured_change_hops, prob_fw_flat, single_fault_fw_with_reps,
+    single_fault_fw_without_reps, TransformHierarchy, TreeHierarchy,
+};
+use rgb::core::prelude::*;
+use rgb::core::testing::Loopback;
+
+#[test]
+fn transformation_reduction_is_the_rgb_hierarchy() {
+    for &(h, r) in &[(3u32, 3u64), (3, 5), (4, 2)] {
+        let tr = TransformHierarchy::new(h, r);
+        let reduced = tr.reduce_to_ring_hierarchy(GroupId(1)).unwrap();
+        let native = HierarchySpec::new((h - 1) as usize, r as usize)
+            .build(GroupId(1))
+            .unwrap();
+        assert_eq!(reduced.height(), native.height());
+        assert_eq!(reduced.ring_count(), native.ring_count());
+        assert_eq!(reduced.node_count(), native.node_count());
+        // ring-by-ring structural equality (levels, sizes, sponsorship)
+        for (a, b) in reduced.rings.iter().zip(&native.rings) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.nodes.len(), b.nodes.len());
+            assert_eq!(a.parent_ring, b.parent_ring);
+        }
+    }
+}
+
+#[test]
+fn protocol_runs_identically_on_reduced_layout() {
+    let tr = TransformHierarchy::new(3, 4);
+    let layout = tr.reduce_to_ring_hierarchy(GroupId(1)).unwrap();
+    let mut net = Loopback::from_layout(&layout, &ProtocolConfig::default());
+    net.boot_all();
+    for (i, &ap) in layout.aps().iter().enumerate() {
+        net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) }));
+    }
+    assert!(net.run_until_quiet(50_000_000));
+    for &n in layout.root_ring().nodes.iter() {
+        assert_eq!(net.node(n).ring_members.operational_count(), 16);
+    }
+}
+
+#[test]
+fn tree_hops_and_ring_hops_grow_together() {
+    // At every scale, tree and ring normalized hop counts stay within a
+    // 25% band of each other — the "comparable scalability" of §5.1.
+    for &(tree_h, r) in &[(3u32, 5u64), (4, 5), (5, 5), (3, 10), (4, 10)] {
+        let t = hcn_tree(tree_h, r) as f64;
+        let g = hcn_ring(tree_h - 1, r) as f64;
+        assert!(g / t < 1.25, "h={tree_h} r={r}: {g}/{t}");
+        assert!(g > t, "ring pays the ring premium at h={tree_h} r={r}");
+    }
+}
+
+#[test]
+fn measured_tree_hops_are_cheaper_with_representatives() {
+    for &(h, r) in &[(3u32, 5u64), (4, 3)] {
+        let tree = TreeHierarchy::new(h, r);
+        for leaf in [0, tree.leaf_count() / 2, tree.leaf_count() - 1] {
+            assert!(
+                tree.change_hops_total(leaf, true) <= tree.change_hops_total(leaf, false),
+                "h={h} r={r} leaf={leaf}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flat_ring_loses_to_hierarchy_at_scale() {
+    // Hop count: flat n=625 ring costs n = 625 hops/change; the (4,5)
+    // hierarchy costs 935 — flat looks cheaper per change...
+    assert!(hcn_flat(625) < hcn_ring(4, 5));
+    // ...but its reliability collapses: at f = 0.5% the 625-node single
+    // ring survives with < 5% probability, the hierarchy with > 99%.
+    let flat = prob_fw_flat(625, 0.005);
+    let hier = rgb::analysis::prob_fw_hierarchy(4, 5, 0.005, 3);
+    assert!(flat < 0.20, "flat fw {flat}");
+    assert!(hier > 0.99, "hierarchy fw {hier}");
+    // and its round latency grows linearly: a 625-hop round vs 5-hop rounds.
+    let measured = measured_change_hops(32, 5);
+    assert!(measured >= 32);
+}
+
+#[test]
+fn representative_trees_are_the_most_fragile_per_fault() {
+    for &(h, r) in &[(3u32, 5u64), (3, 10)] {
+        let tree = TreeHierarchy::new(h, r);
+        let with = single_fault_fw_with_reps(&tree);
+        let without = single_fault_fw_without_reps(&tree);
+        assert!(without > with, "h={h} r={r}: {without} !> {with}");
+        // RGB never partitions on a single fault.
+        assert_eq!(
+            rgb::baselines::mean_partitions_single_fault_ring((h - 1) as usize, r as usize),
+            1.0
+        );
+    }
+}

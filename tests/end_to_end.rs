@@ -1,0 +1,127 @@
+//! End-to-end workloads across crates: churn and mobility through the
+//! discrete-event simulator with oracle checks, and queries over the
+//! resulting state.
+
+use rgb::prelude::*;
+use rgb::sim::{
+    check_ring_consistency, churn, expected_members, ChurnParams, MobilityModel, Simulation,
+};
+
+#[test]
+fn churn_workload_converges_to_expected_membership() {
+    let cfg = ProtocolConfig::default();
+    let mut sim = Simulation::full(3, 3, &cfg, NetConfig::default(), 42);
+    sim.boot_all();
+    let params = ChurnParams {
+        initial_members: 40,
+        mean_join_interval: 200.0,
+        mean_lifetime: 3_000.0,
+        failure_fraction: 0.25,
+        duration: 8_000,
+    };
+    let events = churn(&sim.layout, params, 1);
+    let expected = expected_members(&events);
+    for (at, ap, event) in events {
+        sim.schedule_mh(at, ap, event);
+    }
+    assert!(sim.run_until_quiet(1_000_000_000));
+    check_ring_consistency(&sim).unwrap();
+    let root = sim.layout.root_ring().nodes[0];
+    assert_eq!(
+        sim.node(root).ring_members.operational_count(),
+        expected,
+        "root view does not match the workload's surviving membership"
+    );
+}
+
+#[test]
+fn mobility_workload_tracks_every_attendee() {
+    let cfg = ProtocolConfig::default();
+    let mut sim = Simulation::full(2, 5, &cfg, NetConfig::default(), 7);
+    sim.boot_all();
+    let mut mobility = MobilityModel::new(&sim.layout, 30, 400.0, 3);
+    let events = mobility.generate(6_000);
+    assert!(MobilityModel::handoff_count(&events) > 30, "workload too static");
+    for (at, ap, event) in events {
+        sim.schedule_mh(at, ap, event);
+    }
+    assert!(sim.run_until_quiet(1_000_000_000));
+    check_ring_consistency(&sim).unwrap();
+    let root = sim.layout.root_ring().nodes[0];
+    assert_eq!(sim.node(root).ring_members.operational_count(), 30);
+    // Every member's recorded location is the proxy the mobility model
+    // last moved it to.
+    for mh in &mobility.mhs {
+        let rec = sim.node(root).ring_members.get(mh.guid).expect("tracked");
+        assert_eq!(rec.ap, mh.ap, "stale location for {}", mh.guid);
+    }
+}
+
+#[test]
+fn queries_after_churn_return_the_live_membership() {
+    let cfg = ProtocolConfig { scheme: MembershipScheme::Bms, ..ProtocolConfig::default() };
+    let mut sim = Simulation::full(2, 4, &cfg, NetConfig::default(), 11);
+    sim.boot_all();
+    for (i, &ap) in sim.layout.aps().iter().enumerate() {
+        sim.schedule_mh(i as u64, ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+    }
+    // a few leaves
+    let aps = sim.layout.aps();
+    sim.schedule_mh(500, aps[1], MhEvent::Leave { guid: Guid(1) });
+    sim.schedule_mh(500, aps[2], MhEvent::FailureDetected { guid: Guid(2) });
+    assert!(sim.run_until_quiet(1_000_000_000));
+    sim.schedule_query(10, aps[0], QueryScope::Global);
+    assert!(sim.run_until_quiet(1_000_000_000));
+    let members = sim
+        .events_at(aps[0])
+        .iter()
+        .find_map(|(_, e)| match e {
+            AppEvent::QueryResult { members, .. } => Some(members.clone()),
+            _ => None,
+        })
+        .expect("answered");
+    assert_eq!(members.operational_count(), 14);
+    assert!(!members.contains_operational(Guid(1)));
+    assert!(!members.contains_operational(Guid(2)));
+}
+
+#[test]
+fn wire_format_smoke_through_live_cluster() {
+    // The live runtime round-trips every message through the binary wire
+    // format; a short live run is therefore a wire-format soak test.
+    let mut cfg = ProtocolConfig::live();
+    cfg.token_interval = 5;
+    cfg.heartbeat_interval = 20;
+    cfg.token_lost_timeout = 200;
+    let layout = HierarchySpec::new(2, 3).build(GroupId(5)).unwrap();
+    let cluster = LiveCluster::start(layout, &cfg, std::time::Duration::from_millis(1));
+    let ap = cluster.layout.aps()[5];
+    cluster.mh_event(ap, MhEvent::Join { guid: Guid(31), luid: Luid(1) });
+    let root = cluster.layout.root_ring().nodes[0];
+    assert!(cluster.wait_member_at(root, Guid(31), std::time::Duration::from_secs(15)));
+    cluster.shutdown();
+}
+
+#[test]
+fn lossy_wireless_does_not_lose_members_under_continuous_policy() {
+    let mut cfg = ProtocolConfig::live();
+    cfg.token_interval = 10;
+    cfg.token_retransmit_timeout = 30;
+    cfg.heartbeat_interval = 100;
+    cfg.token_lost_timeout = 600;
+    let mut net = NetConfig::unit();
+    net.loss = 0.02;
+    let mut sim = Simulation::full(2, 3, &cfg, net, 13);
+    sim.boot_all();
+    for (i, &ap) in sim.layout.aps().iter().enumerate() {
+        sim.schedule_mh(i as u64 * 5, ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+    }
+    sim.run_until(60_000);
+    let root = sim.layout.root_ring().nodes[0];
+    assert_eq!(
+        sim.node(root).ring_members.operational_count(),
+        sim.layout.aps().len(),
+        "message loss dropped members despite retransmission"
+    );
+    assert!(sim.metrics.lost > 0, "loss model never fired");
+}

@@ -1,0 +1,65 @@
+//! Experiments E2/E4 as assertions: the protocol simulator and the
+//! Monte-Carlo sampler against the closed-form models.
+
+use rgb::analysis::montecarlo::estimate_hierarchy_fw;
+use rgb::analysis::{hcn_ring, prob_fw_hierarchy};
+use rgb_bench::measure_change;
+use rgb_sim::NetConfig;
+
+#[test]
+fn measured_ring_hops_track_formula_6() {
+    // Small/medium Table I shapes (the 10k-AP row runs in the release-mode
+    // binary; debug-mode tests stay below a second per shape).
+    for &(h, r) in &[(2usize, 5usize), (3, 5), (2, 10)] {
+        let cost = measure_change(h, r, NetConfig::instant(), 1);
+        let analytic = hcn_ring(h as u32, r as u64);
+        let tn: u64 = (0..h).map(|i| (r as u64).pow(i as u32)).sum();
+        // token hops are exact; total proposal traffic within one extra
+        // hop per ring (the on-demand leader relays) plus the wireless hop.
+        assert_eq!(cost.token_hops, (r as u64) * tn, "h={h} r={r}");
+        assert!(
+            cost.proposal_hops >= analytic - tn && cost.proposal_hops <= analytic + 2 * tn + 2,
+            "h={h} r={r}: measured {} vs analytic {analytic}",
+            cost.proposal_hops
+        );
+    }
+}
+
+#[test]
+fn measured_hops_scale_like_the_formula_across_sizes() {
+    // Growth factor between consecutive shapes must match the analytic
+    // growth factor within 10%.
+    let a = measure_change(2, 5, NetConfig::instant(), 2).proposal_hops as f64;
+    let b = measure_change(3, 5, NetConfig::instant(), 2).proposal_hops as f64;
+    let measured_growth = b / a;
+    let analytic_growth = hcn_ring(3, 5) as f64 / hcn_ring(2, 5) as f64;
+    assert!(
+        (measured_growth / analytic_growth - 1.0).abs() < 0.10,
+        "growth {measured_growth} vs {analytic_growth}"
+    );
+}
+
+#[test]
+fn monte_carlo_agrees_with_formula_8_on_table_ii_corners() {
+    for &(h, r, f, k) in &[(3u32, 5u64, 0.02f64, 1u32), (3, 10, 0.02, 3), (3, 5, 0.005, 1)] {
+        let est = estimate_hierarchy_fw(h, r, f, k, 60_000, 99);
+        let truth = prob_fw_hierarchy(h, r, f, k);
+        assert!(
+            est.consistent_with(truth),
+            "h={h} r={r} f={f} k={k}: mc {} vs formula {truth}",
+            est.p_hat
+        );
+    }
+}
+
+#[test]
+fn latency_is_dominated_by_hierarchy_depth_not_size() {
+    // Two hierarchies of very different size but equal height have similar
+    // first-notification latency (the ascent crosses the same number of
+    // levels); the larger one costs far more messages.
+    let small = measure_change(3, 3, NetConfig::default(), 3);
+    let large = measure_change(3, 8, NetConfig::default(), 3);
+    assert!(large.proposal_hops > 5 * small.proposal_hops);
+    let ratio = large.latency_to_root as f64 / small.latency_to_root as f64;
+    assert!(ratio < 3.0, "latency ratio {ratio} too large for equal depth");
+}

@@ -99,14 +99,8 @@ pub struct TableIRow {
 /// plus one (a tree of height `h` has `r^(h-1)` leaves; a ring hierarchy
 /// of height `h` has `r^h` APs).
 pub fn table_i() -> Vec<TableIRow> {
-    let grid: [(u64, u32, u64); 6] = [
-        (25, 3, 5),
-        (125, 4, 5),
-        (625, 5, 5),
-        (100, 3, 10),
-        (1000, 4, 10),
-        (10000, 5, 10),
-    ];
+    let grid: [(u64, u32, u64); 6] =
+        [(25, 3, 5), (125, 4, 5), (625, 5, 5), (100, 3, 10), (1000, 4, 10), (10000, 5, 10)];
     grid.iter()
         .map(|&(n, tree_h, r)| {
             let ring_h = tree_h - 1;
@@ -160,10 +154,7 @@ mod tests {
         let rows = table_i();
         assert_eq!(rows.len(), 6);
         let r0 = rows[0];
-        assert_eq!(
-            r0,
-            TableIRow { n: 25, tree_h: 3, ring_h: 2, r: 5, hcn_tree: 29, hcn_ring: 35 }
-        );
+        assert_eq!(r0, TableIRow { n: 25, tree_h: 3, ring_h: 2, r: 5, hcn_tree: 29, hcn_ring: 35 });
         // comparable scalability: ring within ~25% of tree on every row
         for row in rows {
             let ratio = row.hcn_ring as f64 / row.hcn_tree as f64;

@@ -6,7 +6,7 @@
 
 use crate::hopcount::ring_count;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Result of a Monte-Carlo estimation.
@@ -50,14 +50,7 @@ impl McEstimate {
 /// sample per-ring without materialising individual nodes. (The
 /// node-resolved variant in `rgb-sim` exercises the protocol itself; this
 /// estimator targets the probability model.)
-pub fn estimate_hierarchy_fw(
-    h: u32,
-    r: u64,
-    f: f64,
-    k: u32,
-    trials: u64,
-    seed: u64,
-) -> McEstimate {
+pub fn estimate_hierarchy_fw(h: u32, r: u64, f: f64, k: u32, trials: u64, seed: u64) -> McEstimate {
     let tn = ring_count(h, r);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut successes = 0u64;

@@ -91,8 +91,8 @@ pub fn table_ii() -> Vec<TableIIRow> {
 /// row order (left block n=125 then right block n=1000; f ascending; k
 /// 1..3 within each f).
 pub const PAPER_TABLE_II_PCT: [f64; 18] = [
-    99.968, 99.999, 99.999, 99.211, 99.972, 99.975, 88.409, 98.981, 99.592,
-    99.500, 99.994, 99.996, 88.448, 99.215, 99.864, 16.094, 45.470, 72.038,
+    99.968, 99.999, 99.999, 99.211, 99.972, 99.975, 88.409, 98.981, 99.592, 99.500, 99.994, 99.996,
+    88.448, 99.215, 99.864, 16.094, 45.470, 72.038,
 ];
 
 /// The quantified reliability claims the paper states in the abstract and
@@ -209,9 +209,7 @@ mod tests {
     #[test]
     fn fw_is_monotone_in_k_and_antitone_in_f() {
         for k in 1..3u32 {
-            assert!(
-                prob_fw_hierarchy(3, 10, 0.005, k) < prob_fw_hierarchy(3, 10, 0.005, k + 1)
-            );
+            assert!(prob_fw_hierarchy(3, 10, 0.005, k) < prob_fw_hierarchy(3, 10, 0.005, k + 1));
         }
         for &(f1, f2) in &[(0.001, 0.005), (0.005, 0.02)] {
             assert!(prob_fw_hierarchy(3, 10, f1, 1) > prob_fw_hierarchy(3, 10, f2, 1));

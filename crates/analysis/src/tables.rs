@@ -53,10 +53,7 @@ mod tests {
     fn renders_aligned_columns() {
         let s = render(
             &["n", "value"],
-            &[
-                vec!["5".into(), "29".into()],
-                vec!["10000".into(), "11000".into()],
-            ],
+            &[vec!["5".into(), "29".into()], vec!["10000".into(), "11000".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

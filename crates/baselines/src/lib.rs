@@ -23,8 +23,7 @@ pub use flat_ring::{flat_ring_sim, hcn_flat, measured_change_hops, prob_fw_flat}
 pub use reliability::{
     mean_partitions_single_fault_ring, mean_partitions_single_fault_with_reps,
     mean_partitions_single_fault_without_reps, ring_hierarchy_fw, ring_partition_count,
-    single_fault_fw_with_reps, single_fault_fw_without_reps, tree_no_reps_fw,
-    tree_with_reps_fw,
+    single_fault_fw_with_reps, single_fault_fw_without_reps, tree_no_reps_fw, tree_with_reps_fw,
 };
 pub use transform::TransformHierarchy;
 pub use tree::{TreeHierarchy, TreeNode};

@@ -176,12 +176,7 @@ fn draw_faults_layout(
     f: f64,
     rng: &mut SplitMix64,
 ) -> BTreeSet<rgb_core::ids::NodeId> {
-    layout
-        .nodes
-        .keys()
-        .copied()
-        .filter(|_| rng.chance(f))
-        .collect()
+    layout.nodes.keys().copied().filter(|_| rng.chance(f)).collect()
 }
 
 #[cfg(test)]
@@ -237,10 +232,7 @@ mod tests {
         let trials = 20_000;
         let ring = ring_hierarchy_fw(2, 4, f, k, trials, 1);
         let with_reps = tree_with_reps_fw(3, 4, f, k, trials, 3);
-        assert!(
-            ring > with_reps,
-            "ring ({ring}) should beat tree-with-reps ({with_reps})"
-        );
+        assert!(ring > with_reps, "ring ({ring}) should beat tree-with-reps ({with_reps})");
     }
 
     #[test]

@@ -115,10 +115,7 @@ mod tests {
         // runs on it unchanged.
         let tr = TransformHierarchy::new(3, 3);
         let layout = tr.reduce_to_ring_hierarchy(GroupId(1)).unwrap();
-        let mut net = rgb_core::testing::Loopback::from_layout(
-            &layout,
-            &ProtocolConfig::default(),
-        );
+        let mut net = rgb_core::testing::Loopback::from_layout(&layout, &ProtocolConfig::default());
         net.boot_all();
         let ap = layout.aps()[2];
         net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(5), luid: Luid(1) }));

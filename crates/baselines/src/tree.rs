@@ -62,9 +62,7 @@ impl TreeHierarchy {
         if level + 1 >= self.height {
             return Vec::new();
         }
-        (0..self.branching)
-            .map(|c| (level + 1, idx * self.branching + c))
-            .collect()
+        (0..self.branching).map(|c| (level + 1, idx * self.branching + c)).collect()
     }
 
     /// Physical host (leaf index) of a logical node: its leftmost
@@ -241,7 +239,8 @@ mod tests {
         assert!(with < without);
         // Free edges during dissemination = number of internal nodes whose
         // leftmost child is co-located = Σ_{i=0}^{h-2} r^i = 6 here.
-        assert_eq!(without - with, 6); // ascent of leaf 13 has no free edge
+        // (the ascent of leaf 13 has no free edge)
+        assert_eq!(without - with, 6);
         // Leaf 0's ascent is entirely co-located with the root chain.
         let (up0, _) = t.change_hops(0, true);
         assert_eq!(up0, 0);

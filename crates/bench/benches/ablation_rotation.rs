@@ -25,12 +25,8 @@ fn churn_run(rotate: bool) -> (u64, u64) {
     }
     net.run_until(5_000);
     let leader = layout.root_ring().nodes.iter().copied().min().unwrap();
-    let agreed = net
-        .nodes
-        .values()
-        .map(|n| n.ring_members.operational_count() as u64)
-        .min()
-        .unwrap_or(0);
+    let agreed =
+        net.nodes.values().map(|n| n.ring_members.operational_count() as u64).min().unwrap_or(0);
     (net.sent_total, agreed + net.node(leader).stats.rounds_started)
 }
 

@@ -7,17 +7,19 @@ use rgb_baselines::TreeHierarchy;
 use std::hint::black_box;
 
 fn bench_formulas(c: &mut Criterion) {
-    c.bench_function("table_i/full_grid", |b| {
-        b.iter(|| black_box(table_i()))
-    });
+    c.bench_function("table_i/full_grid", |b| b.iter(|| black_box(table_i())));
     let mut group = c.benchmark_group("hcn");
     for &(h, r) in &[(3u32, 5u64), (5, 5), (5, 10)] {
-        group.bench_with_input(BenchmarkId::new("tree", format!("h{h}_r{r}")), &(h, r), |b, &(h, r)| {
-            b.iter(|| black_box(hcn_tree(h, r)))
-        });
-        group.bench_with_input(BenchmarkId::new("ring", format!("h{h}_r{r}")), &(h, r), |b, &(h, r)| {
-            b.iter(|| black_box(hcn_ring(h - 1, r)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tree", format!("h{h}_r{r}")),
+            &(h, r),
+            |b, &(h, r)| b.iter(|| black_box(hcn_tree(h, r))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ring", format!("h{h}_r{r}")),
+            &(h, r),
+            |b, &(h, r)| b.iter(|| black_box(hcn_ring(h - 1, r))),
+        );
     }
     group.finish();
 }

@@ -21,13 +21,9 @@ fn bench_montecarlo(c: &mut Criterion) {
     let mut group = c.benchmark_group("montecarlo");
     group.sample_size(10);
     for &trials in &[1_000u64, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::new("hierarchy_fw", trials),
-            &trials,
-            |b, &trials| {
-                b.iter(|| black_box(estimate_hierarchy_fw(3, 10, 0.005, 3, trials, 1)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("hierarchy_fw", trials), &trials, |b, &trials| {
+            b.iter(|| black_box(estimate_hierarchy_fw(3, 10, 0.005, 3, trials, 1)))
+        });
     }
     group.finish();
 }

@@ -37,10 +37,7 @@ fn main() {
     }
     println!(
         "{}",
-        render(
-            &["n", "h", "r", "to-root (ticks)", "full agreement", "proposal hops"],
-            &rows
-        )
+        render(&["n", "h", "r", "to-root (ticks)", "full agreement", "proposal hops"], &rows)
     );
 
     println!("\nE11 — handoff admission latency, fast path vs slow path");
@@ -61,10 +58,7 @@ fn main() {
             format!("{:.2}x", mean(&slow) as f64 / mean(&fast).max(1) as f64),
         ]);
     }
-    println!(
-        "{}",
-        render(&["ring size", "fast (ticks)", "slow (ticks)", "speedup"], &rows)
-    );
+    println!("{}", render(&["ring size", "fast (ticks)", "slow (ticks)", "speedup"], &rows));
     println!("\nFast handoff admits the member immediately from the destination");
     println!("proxy's working set (ListOfNeighborMembers / ring state); the slow");
     println!("path waits for one-round agreement — the §1 motivation measured.");

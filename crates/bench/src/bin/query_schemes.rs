@@ -31,10 +31,7 @@ fn main() {
                 cost.responses.to_string(),
             ]);
         }
-        println!(
-            "{}",
-            render(&["scheme", "messages", "latency (ticks)", "responses"], &rows)
-        );
+        println!("{}", render(&["scheme", "messages", "latency (ticks)", "responses"], &rows));
         println!();
     }
     println!("TMS answers from the topmost ring in one round trip; BMS fans out");

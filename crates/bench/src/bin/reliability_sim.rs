@@ -16,10 +16,7 @@ use rgb_baselines::{
 };
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50_000);
+    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
 
     println!("E9a — exact single-fault damage (expected partitions | 1 fault)\n");
     let mut rows = Vec::new();
@@ -68,10 +65,7 @@ fn main() {
     }
     println!(
         "{}",
-        render(
-            &["f(%)", "k", "ring fw(%)", "tree-no-reps fw(%)", "tree-reps fw(%)"],
-            &rows
-        )
+        render(&["f(%)", "k", "ring fw(%)", "tree-no-reps fw(%)", "tree-reps fw(%)"], &rows)
     );
     println!("\nA single fault never partitions RGB (local repair, E[parts]=1.000)");
     println!("while both trees lose subtrees; per-fault survival orders ring >");

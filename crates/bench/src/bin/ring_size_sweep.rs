@@ -38,10 +38,7 @@ fn main() {
     }
     println!(
         "{}",
-        render(
-            &["h", "r", "to-root (ticks)", "full agreement (ticks)", "hops", "HCN_Ring"],
-            &rows
-        )
+        render(&["h", "r", "to-root (ticks)", "full agreement (ticks)", "hops", "HCN_Ring"], &rows)
     );
     println!("\nSmall rings win on full-agreement delay (a 64-node round serialises");
     println!("64 intra-ring hops; 2-node rounds run concurrently per level), which");

@@ -29,10 +29,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(
-            &["n", "h", "r", "HCN_Tree", "n", "h", "r", "HCN_Ring", "ring/tree"],
-            &rows
-        )
+        render(&["n", "h", "r", "HCN_Tree", "n", "h", "r", "HCN_Ring", "ring/tree"], &rows)
     );
     println!("Paper values: 29/35, 149/185, 750/935, 109/120, 1099/1220, 11000/12220.");
     println!("Every cell is reproduced exactly; the ring stays within ~25% of the");

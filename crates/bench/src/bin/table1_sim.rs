@@ -15,14 +15,8 @@ use rgb_sim::NetConfig;
 
 fn main() {
     println!("Table I (measured) — proposal hops for one membership change\n");
-    let grid: [(u64, u32, u64); 6] = [
-        (25, 3, 5),
-        (125, 4, 5),
-        (625, 5, 5),
-        (100, 3, 10),
-        (1000, 4, 10),
-        (10000, 5, 10),
-    ];
+    let grid: [(u64, u32, u64); 6] =
+        [(25, 3, 5), (125, 4, 5), (625, 5, 5), (100, 3, 10), (1000, 4, 10), (10000, 5, 10)];
     let mut rows = Vec::new();
     for (n, tree_h, r) in grid {
         let ring_h = tree_h - 1;

@@ -11,10 +11,7 @@ use rgb_analysis::reliability::table_ii;
 use rgb_analysis::tables::{pct3, render};
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300_000);
+    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300_000);
     println!("Table II (Monte-Carlo, {trials} trials per cell)\n");
     let mut rows = Vec::new();
     for row in table_ii() {

@@ -46,8 +46,8 @@ pub fn measure_change(h: usize, r: usize, net: NetConfig, seed: u64) -> ChangeCo
         .run_until_pred(u64::MAX / 2, |s| s.member_at(root, Guid(99_999)))
         .expect("join reaches root");
     assert!(sim.run_until_quiet(500_000_000), "simulation did not quiesce");
-    let token_hops = sim.metrics.sent("token")
-        - before.sent_by_label.get("token").copied().unwrap_or(0);
+    let token_hops =
+        sim.metrics.sent("token") - before.sent_by_label.get("token").copied().unwrap_or(0);
     ChangeCost {
         proposal_hops: sim.metrics.proposal_hops() - before.proposal_hops,
         total_msgs: sim.metrics.sent_total - before.sent_total,

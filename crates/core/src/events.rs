@@ -196,9 +196,11 @@ mod tests {
 
     #[test]
     fn timer_kinds_are_orderable_for_substrate_maps() {
-        let mut v = [TimerKind::Heartbeat,
+        let mut v = [
+            TimerKind::Heartbeat,
             TimerKind::TokenRetransmit { seq: 2 },
-            TimerKind::TokenRetransmit { seq: 1 }];
+            TimerKind::TokenRetransmit { seq: 1 },
+        ];
         v.sort();
         assert_eq!(v[0], TimerKind::TokenRetransmit { seq: 1 });
     }

@@ -48,15 +48,13 @@ impl NodeState {
                 // Resumption is a rebinding at this proxy: locally it is an
                 // operational record again, ring-wide it rides as a handoff
                 // (which also covers resuming at a *different* cell).
-                self.local_members
-                    .upsert(MemberInfo::operational(guid, luid, self.id));
+                self.local_members.upsert(MemberInfo::operational(guid, luid, self.id));
                 self.ring_members.apply_handoff(guid, luid, self.id);
                 ChangeOp::MemberHandoff { guid, luid, from: None, to: self.id }
             }
             MhEvent::HandoffIn { guid, luid, from } => {
                 let known_from = from.or_else(|| self.lookup_previous_ap(guid));
-                self.local_members
-                    .upsert(MemberInfo::operational(guid, luid, self.id));
+                self.local_members.upsert(MemberInfo::operational(guid, luid, self.id));
                 if known_from.is_some() {
                     // Fast path: prior location known — admit immediately
                     // into the ring view as well.
@@ -74,9 +72,6 @@ impl NodeState {
 
     /// Where was `guid` last seen, according to this proxy's working sets?
     fn lookup_previous_ap(&self, guid: Guid) -> Option<crate::ids::NodeId> {
-        self.neighbor_members
-            .get(guid)
-            .or_else(|| self.ring_members.get(guid))
-            .map(|m| m.ap)
+        self.neighbor_members.get(guid).or_else(|| self.ring_members.get(guid)).map(|m| m.ap)
     }
 }

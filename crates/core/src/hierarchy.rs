@@ -45,7 +45,10 @@ impl FunctionWellReport {
 /// Assess `layout` under the fault set `faulty` according to the paper's
 /// model (§5.2): single faults are locally repaired, rings with two or more
 /// faults are partitioned.
-pub fn assess(layout: &HierarchyLayout, faulty: &BTreeSet<crate::ids::NodeId>) -> FunctionWellReport {
+pub fn assess(
+    layout: &HierarchyLayout,
+    faulty: &BTreeSet<crate::ids::NodeId>,
+) -> FunctionWellReport {
     let mut bad_rings = Vec::new();
     let mut total_faults = 0usize;
     for ring in &layout.rings {

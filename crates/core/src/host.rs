@@ -86,15 +86,11 @@ impl GroupHost {
 
     /// Drive one group with an input.
     pub fn handle(&mut self, gid: GroupId, input: Input) -> Result<Vec<HostOutput>> {
-        let state = self.groups.get_mut(&gid).ok_or(RgbError::GroupMismatch {
-            expected: GroupId(0),
-            got: gid,
-        })?;
-        Ok(state
-            .handle(input)
-            .into_iter()
-            .map(|output| HostOutput { gid, output })
-            .collect())
+        let state = self
+            .groups
+            .get_mut(&gid)
+            .ok_or(RgbError::GroupMismatch { expected: GroupId(0), got: gid })?;
+        Ok(state.handle(input).into_iter().map(|output| HostOutput { gid, output }).collect())
     }
 
     /// Route an incoming envelope to the right group. Envelopes for groups
@@ -196,12 +192,7 @@ mod tests {
         }
 
         fn inject_mh(&mut self, gid: GroupId, ap: NodeId, event: MhEvent) {
-            let outs = self
-                .hosts
-                .get_mut(&ap)
-                .unwrap()
-                .handle(gid, Input::Mh(event))
-                .unwrap();
+            let outs = self.hosts.get_mut(&ap).unwrap().handle(gid, Input::Mh(event)).unwrap();
             self.process(ap, outs);
             self.run();
         }

@@ -83,6 +83,7 @@ pub mod prelude {
     pub use crate::config::{MembershipScheme, ProtocolConfig, TokenPolicy};
     pub use crate::error::RgbError;
     pub use crate::events::{AppEvent, Input, Output, TimerKind};
+    pub use crate::host::{GroupHost, HostOutput};
     pub use crate::ids::{GroupId, Guid, Luid, NodeId, RingId, Tier};
     pub use crate::member::{MemberInfo, MemberList, MemberStatus};
     pub use crate::message::{
@@ -90,7 +91,6 @@ pub mod prelude {
         QueryScope, RingSnapshot, StatusSummary,
     };
     pub use crate::mq::MessageQueue;
-    pub use crate::host::{GroupHost, HostOutput};
     pub use crate::node::{ChildLink, NodeState, NodeStats};
     pub use crate::ring::RingRoster;
     pub use crate::testing::Loopback;

@@ -481,19 +481,13 @@ mod tests {
     use crate::member::MemberInfo;
 
     fn rec(op: ChangeOp) -> ChangeRecord {
-        ChangeRecord::new(
-            ChangeId { origin: NodeId(1), seq: 0 },
-            NodeId(1),
-            RingId(0),
-            op,
-        )
+        ChangeRecord::new(ChangeId { origin: NodeId(1), seq: 0 }, NodeId(1), RingId(0), op)
     }
 
     #[test]
     fn member_extraction() {
-        let join = ChangeOp::MemberJoin {
-            info: MemberInfo::operational(Guid(7), Luid(1), NodeId(3)),
-        };
+        let join =
+            ChangeOp::MemberJoin { info: MemberInfo::operational(Guid(7), Luid(1), NodeId(3)) };
         assert_eq!(join.member(), Some(Guid(7)));
         let ne = ChangeOp::NeFailure { node: NodeId(1), ring: RingId(0) };
         assert_eq!(ne.member(), None);

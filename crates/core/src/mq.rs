@@ -233,11 +233,7 @@ enum Combine {
 /// Convenience constructor used widely in tests: a join op for `guid`.
 pub fn join_op(guid: u64, luid: u64, ap: u64) -> ChangeOp {
     ChangeOp::MemberJoin {
-        info: MemberInfo::operational(
-            crate::ids::Guid(guid),
-            crate::ids::Luid(luid),
-            NodeId(ap),
-        ),
+        info: MemberInfo::operational(crate::ids::Guid(guid), crate::ids::Luid(luid), NodeId(ap)),
     }
 }
 
@@ -248,12 +244,7 @@ mod tests {
     use crate::message::ChangeId;
 
     fn rec(seq: u64, op: ChangeOp) -> ChangeRecord {
-        ChangeRecord::new(
-            ChangeId { origin: NodeId(1), seq },
-            NodeId(1),
-            RingId(0),
-            op,
-        )
+        ChangeRecord::new(ChangeId { origin: NodeId(1), seq }, NodeId(1), RingId(0), op)
     }
 
     #[test]
@@ -280,7 +271,12 @@ mod tests {
         q.push_aggregating(rec(0, join_op(7, 1, 1)));
         q.push_aggregating(rec(
             1,
-            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(9), from: Some(NodeId(1)), to: NodeId(2) },
+            ChangeOp::MemberHandoff {
+                guid: Guid(7),
+                luid: Luid(9),
+                from: Some(NodeId(1)),
+                to: NodeId(2),
+            },
         ));
         assert_eq!(q.len(), 1);
         let op = q.iter().next().unwrap().op.clone();
@@ -298,11 +294,21 @@ mod tests {
         let mut q = MessageQueue::new();
         q.push_aggregating(rec(
             0,
-            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(1), from: Some(NodeId(1)), to: NodeId(2) },
+            ChangeOp::MemberHandoff {
+                guid: Guid(7),
+                luid: Luid(1),
+                from: Some(NodeId(1)),
+                to: NodeId(2),
+            },
         ));
         q.push_aggregating(rec(
             1,
-            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(2), from: Some(NodeId(2)), to: NodeId(3) },
+            ChangeOp::MemberHandoff {
+                guid: Guid(7),
+                luid: Luid(2),
+                from: Some(NodeId(2)),
+                to: NodeId(3),
+            },
         ));
         assert_eq!(q.len(), 1);
         let op = q.iter().next().unwrap().op.clone();
@@ -391,11 +397,21 @@ mod tests {
         let mut q = MessageQueue::new();
         q.push_aggregating(rec(
             0,
-            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(16), from: Some(NodeId(14)), to: NodeId(10) },
+            ChangeOp::MemberHandoff {
+                guid: Guid(7),
+                luid: Luid(16),
+                from: Some(NodeId(14)),
+                to: NodeId(10),
+            },
         ));
         q.push_aggregating(rec(
             1,
-            ChangeOp::MemberHandoff { guid: Guid(7), luid: Luid(15), from: Some(NodeId(15)), to: NodeId(14) },
+            ChangeOp::MemberHandoff {
+                guid: Guid(7),
+                luid: Luid(15),
+                from: Some(NodeId(15)),
+                to: NodeId(14),
+            },
         ));
         assert_eq!(q.len(), 1);
         let op = q.iter().next().unwrap().op.clone();
@@ -425,7 +441,12 @@ mod tests {
         // member 1 moves; its (combined) record must stay in front of member 2
         q.push_aggregating(rec(
             2,
-            ChangeOp::MemberHandoff { guid: Guid(1), luid: Luid(5), from: Some(NodeId(1)), to: NodeId(9) },
+            ChangeOp::MemberHandoff {
+                guid: Guid(1),
+                luid: Luid(5),
+                from: Some(NodeId(1)),
+                to: NodeId(9),
+            },
         ));
         let order: Vec<Option<Guid>> = q.iter().map(|r| r.op.member()).collect();
         assert_eq!(order, vec![Some(Guid(1)), Some(Guid(2))]);

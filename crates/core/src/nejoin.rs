@@ -113,12 +113,8 @@ impl NodeState {
         self.level = snapshot.level as usize;
         self.height = snapshot.height as usize;
         self.tier = Tier::for_level(self.level.min(self.height - 1), self.height);
-        self.roster = RingRoster::new(
-            snapshot.ring,
-            self.tier,
-            self.level,
-            snapshot.roster.clone(),
-        );
+        self.roster =
+            RingRoster::new(snapshot.ring, self.tier, self.level, snapshot.roster.clone());
         self.ring_members = snapshot.members;
         self.epoch = snapshot.epoch;
         // Accept the round currently in flight (it carries our NE-Join);
@@ -127,8 +123,7 @@ impl NodeState {
         self.parent = snapshot.parent;
         self.parent_ring = snapshot.parent_ring;
         self.parent_ok = snapshot.parent.is_some();
-        self.level_ring_counts =
-            snapshot.level_ring_counts.iter().map(|&c| c as usize).collect();
+        self.level_ring_counts = snapshot.level_ring_counts.iter().map(|&c| c as usize).collect();
         // The joined ring's token lives elsewhere; our standalone token is
         // retired.
         self.has_token = false;
@@ -201,12 +196,8 @@ impl NodeState {
         }
         for m in members.iter() {
             let id = self.next_change_id();
-            let rec = ChangeRecord::new(
-                id,
-                self.id,
-                self.ring_id(),
-                ChangeOp::MemberJoin { info: *m },
-            );
+            let rec =
+                ChangeRecord::new(id, self.id, self.ring_id(), ChangeOp::MemberJoin { info: *m });
             self.queue_record(rec, outs);
         }
         // Optimistic snapshot with all newcomers appended (matching the
@@ -219,10 +210,7 @@ impl NodeState {
         }
         snapshot.members.merge_from(&members);
         for &node in &newcomers {
-            outs.push(Output::Send {
-                to: node,
-                msg: Msg::RingSync(Box::new(snapshot.clone())),
-            });
+            outs.push(Output::Send { to: node, msg: Msg::RingSync(Box::new(snapshot.clone())) });
         }
     }
 

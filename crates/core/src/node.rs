@@ -152,12 +152,8 @@ impl NodeState {
     ) -> crate::error::Result<Self> {
         let placement = layout.placement(id)?;
         let ring_spec = layout.ring(placement.ring)?;
-        let roster = RingRoster::new(
-            ring_spec.id,
-            ring_spec.tier,
-            ring_spec.level,
-            ring_spec.nodes.clone(),
-        );
+        let roster =
+            RingRoster::new(ring_spec.id, ring_spec.tier, ring_spec.level, ring_spec.nodes.clone());
         let height = layout.height();
         let mut children = BTreeMap::new();
         if let Some(cr) = placement.child_ring {
@@ -170,8 +166,7 @@ impl NodeState {
                 .ok_or(crate::error::RgbError::EmptyRing(cr))?;
             children.insert(cr, ChildLink { leader, ok: true });
         }
-        let level_ring_counts =
-            (0..height).map(|l| layout.rings_at(l).count()).collect();
+        let level_ring_counts = (0..height).map(|l| layout.rings_at(l).count()).collect();
         Ok(NodeState {
             cfg,
             gid: layout.gid,

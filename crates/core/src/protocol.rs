@@ -10,9 +10,7 @@ use crate::config::TokenPolicy;
 use crate::events::{AppEvent, Input, Output, TimerKind};
 use crate::ids::{NodeId, RingId};
 use crate::member::MemberList;
-use crate::message::{
-    ChangeOp, ChangeRecord, Msg, NotifyKind, StatusSummary,
-};
+use crate::message::{ChangeOp, ChangeRecord, Msg, NotifyKind, StatusSummary};
 use crate::node::{ChildLink, Inflight, NodeState};
 use crate::token::Token;
 use crate::view::{View, ViewId};
@@ -182,8 +180,7 @@ impl NodeState {
             let ops = self.mq.drain(self.cfg.max_ops_per_token);
             let seq = self.last_token_seq + 1;
             self.last_token_seq = seq;
-            let mut token =
-                Token::fresh(self.gid, self.ring_id(), seq, self.id, ops);
+            let mut token = Token::fresh(self.gid, self.ring_id(), seq, self.id, ops);
             token.note_visit(self.id);
             self.stats.rounds_started += 1;
             let ops_snapshot = token.ops.clone();
@@ -191,8 +188,7 @@ impl NodeState {
             if self.roster.len() <= 1 {
                 // Single-node ring: the round completes immediately.
                 self.finish_round(&token, outs);
-                let again = self.cfg.token_policy == TokenPolicy::OnDemand
-                    && !self.mq.is_empty();
+                let again = self.cfg.token_policy == TokenPolicy::OnDemand && !self.mq.is_empty();
                 if again {
                     continue;
                 }
@@ -329,11 +325,7 @@ impl NodeState {
             } else {
                 outs.push(Output::Send {
                     to: origin,
-                    msg: Msg::HolderAck {
-                        ring: self.ring_id(),
-                        seq: token.seq,
-                        change_ids: ids,
-                    },
+                    msg: Msg::HolderAck { ring: self.ring_id(), seq: token.seq, change_ids: ids },
                 });
             }
         }
@@ -475,10 +467,7 @@ impl NodeState {
             return;
         }
         self.stats.exclusions += 1;
-        outs.push(Output::Deliver(AppEvent::RingRepaired {
-            ring: self.ring_id(),
-            excluded: bad,
-        }));
+        outs.push(Output::Deliver(AppEvent::RingRepaired { ring: self.ring_id(), excluded: bad }));
         self.mq.retain_not_about_node(bad);
         let id = self.next_change_id();
         let rec = ChangeRecord::new(
@@ -533,11 +522,7 @@ impl NodeState {
             self.apply_record(rec, outs);
             // Notification-to-Parent: only the ring leader relays upward.
             if let Some(parent) = self.parent {
-                if self.is_leader()
-                    && self.parent_ok
-                    && !rec.descending
-                    && rec.op.propagates_up()
-                {
+                if self.is_leader() && self.parent_ok && !rec.descending && rec.op.propagates_up() {
                     ups.push(rec.for_parent_ring(parent, self.ring_id()));
                 }
             }
@@ -685,10 +670,7 @@ impl NodeState {
         }
         let summary = self.status_summary();
         for link in self.children.values() {
-            outs.push(Output::Send {
-                to: link.leader,
-                msg: Msg::HeartbeatDown(summary.clone()),
-            });
+            outs.push(Output::Send { to: link.leader, msg: Msg::HeartbeatDown(summary.clone()) });
         }
     }
 
@@ -725,12 +707,8 @@ impl NodeState {
         outs.push(Output::Deliver(AppEvent::ParentLost { ring: self.ring_id() }));
         // Try to re-attach to another node of the (cached) parent ring.
         let old_parent = self.parent;
-        let candidates: Vec<NodeId> = self
-            .parent_roster_cache
-            .iter()
-            .copied()
-            .filter(|&n| Some(n) != old_parent)
-            .collect();
+        let candidates: Vec<NodeId> =
+            self.parent_roster_cache.iter().copied().filter(|&n| Some(n) != old_parent).collect();
         if !candidates.is_empty() {
             let pick = candidates[self.attach_attempts % candidates.len()];
             self.attach_attempts += 1;

@@ -117,11 +117,7 @@ impl NodeState {
         let target_level = target as usize;
         if self.level == target_level {
             // Answer for this ring.
-            let expected = self
-                .level_ring_counts
-                .get(target_level)
-                .copied()
-                .unwrap_or(1) as u32;
+            let expected = self.level_ring_counts.get(target_level).copied().unwrap_or(1) as u32;
             let members = self.ring_members.clone();
             if reply_to == self.id {
                 self.absorb_response(qid, members, expected, outs);

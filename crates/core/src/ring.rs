@@ -134,12 +134,7 @@ mod tests {
     use super::*;
 
     fn ring(ids: &[u64]) -> RingRoster {
-        RingRoster::new(
-            RingId(1),
-            Tier::AccessProxy,
-            2,
-            ids.iter().map(|&i| NodeId(i)).collect(),
-        )
+        RingRoster::new(RingId(1), Tier::AccessProxy, 2, ids.iter().map(|&i| NodeId(i)).collect())
     }
 
     #[test]
@@ -218,10 +213,7 @@ mod tests {
     #[test]
     fn successors_walk_clockwise() {
         let r = ring(&[1, 2, 3, 4]);
-        assert_eq!(
-            r.successors_of(NodeId(3)),
-            vec![NodeId(4), NodeId(1), NodeId(2)]
-        );
+        assert_eq!(r.successors_of(NodeId(3)), vec![NodeId(4), NodeId(1), NodeId(2)]);
         assert!(ring(&[1]).successors_of(NodeId(1)).is_empty());
     }
 

@@ -41,8 +41,8 @@ impl Loopback {
     pub fn from_layout(layout: &HierarchyLayout, cfg: &ProtocolConfig) -> Self {
         let mut nodes = BTreeMap::new();
         for &id in layout.nodes.keys() {
-            let state = NodeState::from_layout(layout, id, cfg.clone())
-                .expect("layout node constructs");
+            let state =
+                NodeState::from_layout(layout, id, cfg.clone()).expect("layout node constructs");
             nodes.insert(id, state);
         }
         Loopback {

@@ -104,8 +104,7 @@ impl HierarchySpec {
                 } else {
                     let pr_index = level_first_ring[level - 1] + (j / r) as u32;
                     let parent_ring_id = RingId(pr_index);
-                    let parent_node =
-                        rings[pr_index as usize].nodes[j % r];
+                    let parent_node = rings[pr_index as usize].nodes[j % r];
                     (Some(parent_ring_id), Some(parent_node))
                 };
                 for &nid in &node_ids {
@@ -122,22 +121,13 @@ impl HierarchySpec {
                         },
                     );
                 }
-                rings.push(RingSpec {
-                    id,
-                    level,
-                    tier,
-                    nodes: node_ids,
-                    parent_node,
-                    parent_ring,
-                });
+                rings.push(RingSpec { id, level, tier, nodes: node_ids, parent_node, parent_ring });
             }
         }
 
         // Fill child_ring pointers: ring R's parent_node sponsors R.
-        let child_links: Vec<(NodeId, RingId)> = rings
-            .iter()
-            .filter_map(|r| r.parent_node.map(|p| (p, r.id)))
-            .collect();
+        let child_links: Vec<(NodeId, RingId)> =
+            rings.iter().filter_map(|r| r.parent_node.map(|p| (p, r.id))).collect();
         for (parent, child_ring) in child_links {
             let placement = nodes.get_mut(&parent).expect("parent node exists");
             debug_assert!(placement.child_ring.is_none(), "one child ring per node");
@@ -266,10 +256,8 @@ impl HierarchyLayout {
                 });
             }
         }
-        let child_links: Vec<(NodeId, RingId)> = rings
-            .iter()
-            .filter_map(|r| r.parent_node.map(|p| (p, r.id)))
-            .collect();
+        let child_links: Vec<(NodeId, RingId)> =
+            rings.iter().filter_map(|r| r.parent_node.map(|p| (p, r.id))).collect();
         for (parent, child_ring) in child_links {
             let placement = nodes.get_mut(&parent).expect("parent placed");
             if placement.child_ring.is_some() {
@@ -308,10 +296,8 @@ impl HierarchyLayout {
     /// All access-proxy (bottom-level) nodes, in id order.
     pub fn aps(&self) -> Vec<NodeId> {
         let bottom = self.height() - 1;
-        let mut v: Vec<NodeId> = self
-            .rings_at(bottom)
-            .flat_map(|r| r.nodes.iter().copied())
-            .collect();
+        let mut v: Vec<NodeId> =
+            self.rings_at(bottom).flat_map(|r| r.nodes.iter().copied()).collect();
         v.sort();
         v
     }
@@ -452,10 +438,7 @@ mod tests {
             GroupId(1),
             vec![
                 vec![vec![NodeId(0), NodeId(1)]],
-                vec![
-                    vec![NodeId(10), NodeId(11), NodeId(12)],
-                    vec![NodeId(20)],
-                ],
+                vec![vec![NodeId(10), NodeId(11), NodeId(12)], vec![NodeId(20)]],
             ],
         )
         .unwrap();
@@ -471,25 +454,16 @@ mod tests {
         // duplicate node
         assert!(HierarchyLayout::custom(
             GroupId(1),
-            vec![
-                vec![vec![NodeId(0)]],
-                vec![vec![NodeId(0)]],
-            ],
+            vec![vec![vec![NodeId(0)]], vec![vec![NodeId(0)]],],
         )
         .is_err());
         // two topmost rings
-        assert!(HierarchyLayout::custom(
-            GroupId(1),
-            vec![vec![vec![NodeId(0)], vec![NodeId(1)]]],
-        )
-        .is_err());
+        assert!(HierarchyLayout::custom(GroupId(1), vec![vec![vec![NodeId(0)], vec![NodeId(1)]]],)
+            .is_err());
         // more rings than sponsors
         assert!(HierarchyLayout::custom(
             GroupId(1),
-            vec![
-                vec![vec![NodeId(0)]],
-                vec![vec![NodeId(1)], vec![NodeId(2)]],
-            ],
+            vec![vec![vec![NodeId(0)]], vec![vec![NodeId(1)], vec![NodeId(2)]],],
         )
         .is_err());
     }

@@ -475,7 +475,10 @@ fn get_msg(buf: &mut &[u8]) -> Result<Msg> {
         4 => Msg::HeartbeatUp(get_summary(buf)?),
         5 => Msg::HeartbeatDown(get_summary(buf)?),
         6 => Msg::AttachChild { ring: RingId(get_u32(buf)?), leader: NodeId(get_u64(buf)?) },
-        7 => Msg::AttachAccepted { parent: NodeId(get_u64(buf)?), parent_ring: RingId(get_u32(buf)?) },
+        7 => Msg::AttachAccepted {
+            parent: NodeId(get_u64(buf)?),
+            parent_ring: RingId(get_u32(buf)?),
+        },
         8 => {
             let qid = QueryId { origin: NodeId(get_u64(buf)?), seq: get_u64(buf)? };
             let reply_to = NodeId(get_u64(buf)?);
@@ -569,9 +572,7 @@ mod tests {
             ChangeId { origin: NodeId(1), seq: 9 },
             NodeId(1),
             RingId(3),
-            ChangeOp::MemberJoin {
-                info: MemberInfo::operational(Guid(11), Luid(22), NodeId(1)),
-            },
+            ChangeOp::MemberJoin { info: MemberInfo::operational(Guid(11), Luid(22), NodeId(1)) },
         ));
         t.note_pending(NodeId(2));
         t.note_visit(NodeId(5));
@@ -583,7 +584,12 @@ mod tests {
         let ops = vec![
             ChangeOp::MemberJoin { info: MemberInfo::operational(Guid(1), Luid(2), NodeId(3)) },
             ChangeOp::MemberLeave { guid: Guid(4) },
-            ChangeOp::MemberHandoff { guid: Guid(5), luid: Luid(6), from: Some(NodeId(7)), to: NodeId(8) },
+            ChangeOp::MemberHandoff {
+                guid: Guid(5),
+                luid: Luid(6),
+                from: Some(NodeId(7)),
+                to: NodeId(8),
+            },
             ChangeOp::MemberHandoff { guid: Guid(5), luid: Luid(6), from: None, to: NodeId(8) },
             ChangeOp::MemberFailure { guid: Guid(9) },
             ChangeOp::MemberDisconnect { guid: Guid(10) },
@@ -593,12 +599,8 @@ mod tests {
             ChangeOp::LeaderChange { ring: RingId(4), leader: NodeId(13) },
         ];
         for op in ops {
-            let mut rec = ChangeRecord::new(
-                ChangeId { origin: NodeId(1), seq: 0 },
-                NodeId(1),
-                RingId(0),
-                op,
-            );
+            let mut rec =
+                ChangeRecord::new(ChangeId { origin: NodeId(1), seq: 0 }, NodeId(1), RingId(0), op);
             rec.descending = true;
             rec.from_child_ring = Some(RingId(9));
             round_trip(Msg::MqInsert { kind: NotifyKind::ToChild, records: vec![rec] });

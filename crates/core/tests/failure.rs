@@ -37,10 +37,7 @@ fn crashed_successor_is_excluded_and_ring_keeps_working() {
         if n == victim {
             continue;
         }
-        assert!(
-            !net.node(n).roster.contains(victim),
-            "node {n} still lists crashed {victim}"
-        );
+        assert!(!net.node(n).roster.contains(victim), "node {n} still lists crashed {victim}");
         assert_eq!(net.node(n).roster.len(), 4);
     }
     // And the repair event was delivered somewhere.
@@ -128,7 +125,8 @@ fn orphaned_ring_reattaches_to_another_parent_node() {
     let layout = HierarchySpec::new(2, 3).build(GroupId(1)).unwrap();
     let mut net = Loopback::from_layout(&layout, &live_cfg());
     net.boot_all();
-    net.run_until(200); // heartbeats established, rosters cached
+    // Heartbeats established, rosters cached.
+    net.run_until(200);
     // Find a bottom ring and crash its sponsor.
     let bottom = layout.rings_at(1).next().unwrap().clone();
     let sponsor = bottom.parent_node.unwrap();

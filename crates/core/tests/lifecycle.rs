@@ -138,14 +138,8 @@ fn join_standalone(net: &mut Loopback, layout: &HierarchyLayout, new_id: u64) ->
 
 #[test]
 fn standalone_node_is_its_own_leader_and_serves_members() {
-    let mut node = NodeState::standalone(
-        ProtocolConfig::default(),
-        GroupId(1),
-        NodeId(500),
-        RingId(77),
-        0,
-        1,
-    );
+    let mut node =
+        NodeState::standalone(ProtocolConfig::default(), GroupId(1), NodeId(500), RingId(77), 0, 1);
     assert!(node.is_leader());
     assert!(node.is_bottom());
     let outs = node.handle(Input::Mh(MhEvent::Join { guid: Guid(1), luid: Luid(1) }));
@@ -169,10 +163,7 @@ fn joiner_is_admitted_and_installed() {
     let joiner = net.node(joiner_id);
     assert_eq!(joiner.ring_id(), layout.root_ring().id);
     assert_eq!(joiner.roster.len(), 4);
-    let joined = net
-        .events_at(joiner_id)
-        .iter()
-        .any(|e| matches!(e, AppEvent::JoinedRing { .. }));
+    let joined = net.events_at(joiner_id).iter().any(|e| matches!(e, AppEvent::JoinedRing { .. }));
     assert!(joined, "JoinedRing never delivered");
 }
 

@@ -27,10 +27,7 @@ fn join_reaches_every_ring_node() {
 fn epochs_and_views_are_identical_across_the_ring() {
     let (layout, mut net) = single_ring(6, ProtocolConfig::default());
     for (i, &ap) in layout.aps().iter().enumerate() {
-        net.inject(
-            ap,
-            Input::Mh(MhEvent::Join { guid: Guid(100 + i as u64), luid: Luid(1) }),
-        );
+        net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(100 + i as u64), luid: Luid(1) }));
     }
     assert!(net.run_until_quiet(1_000_000));
     let nodes = layout.root_ring().nodes.clone();
@@ -38,10 +35,7 @@ fn epochs_and_views_are_identical_across_the_ring() {
     for &n in &nodes[1..] {
         let other = net.node(n);
         assert_eq!(other.epoch, first.epoch, "epoch diverged at {n}");
-        assert_eq!(
-            other.ring_members, first.ring_members,
-            "membership diverged at {n}"
-        );
+        assert_eq!(other.ring_members, first.ring_members, "membership diverged at {n}");
     }
     assert_eq!(first.ring_members.operational_count(), 6);
 }
@@ -134,12 +128,8 @@ fn continuous_policy_rotates_holdership() {
     let (layout, mut net) = single_ring(4, cfg);
     net.run_until(200);
     // Multiple rounds happened and different nodes started them.
-    let starters: Vec<u64> = layout
-        .root_ring()
-        .nodes
-        .iter()
-        .map(|&n| net.node(n).stats.rounds_started)
-        .collect();
+    let starters: Vec<u64> =
+        layout.root_ring().nodes.iter().map(|&n| net.node(n).stats.rounds_started).collect();
     let total: u64 = starters.iter().sum();
     assert!(total >= 4, "expected several rounds, got {total}");
     assert!(

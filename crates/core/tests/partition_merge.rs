@@ -49,11 +49,7 @@ fn two_rings_merge_into_one() {
     assert!(net.run_until_quiet(1_000_000));
 
     // One ring of 5 nodes, knowing both members, everywhere.
-    let everyone = [
-        layout.root_ring().nodes.clone(),
-        vec![b_leader, b_member],
-    ]
-    .concat();
+    let everyone = [layout.root_ring().nodes.clone(), vec![b_leader, b_member]].concat();
     for &n in &everyone {
         let node = net.node(n);
         assert_eq!(node.roster.len(), 5, "roster wrong at {n}");

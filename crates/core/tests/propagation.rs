@@ -79,7 +79,8 @@ fn bms_stores_only_at_the_bottom() {
 
 #[test]
 fn ims_stores_subtree_aggregates_at_its_level() {
-    let cfg = ProtocolConfig { scheme: MembershipScheme::Ims { level: 1 }, ..ProtocolConfig::default() };
+    let cfg =
+        ProtocolConfig { scheme: MembershipScheme::Ims { level: 1 }, ..ProtocolConfig::default() };
     let (layout, mut net) = hierarchy(3, 3, cfg);
     for (i, &ap) in layout.aps().iter().enumerate() {
         net.inject(ap, Input::Mh(MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) }));
@@ -182,7 +183,9 @@ fn message_cost_scales_with_all_rings() {
     assert!(net.run_until_quiet(1_000_000));
     let tn: u64 = (0..h).map(|i| (r as u64).pow(i as u32)).sum();
     let analytic = (r as u64 + 1) * tn - 1;
-    let measured = net.sent("token") + net.sent("notify_parent") + net.sent("notify_child")
+    let measured = net.sent("token")
+        + net.sent("notify_parent")
+        + net.sent("notify_child")
         + net.sent("mq_local");
     assert!(
         measured >= analytic.saturating_sub(tn) && measured <= analytic + 2 * tn,

@@ -3,8 +3,8 @@
 //! segmentation, and wire-format round-trips.
 
 use proptest::prelude::*;
-use rgb_core::prelude::*;
 use rgb_core::partition;
+use rgb_core::prelude::*;
 use rgb_core::wire;
 use std::collections::BTreeSet;
 

@@ -19,9 +19,7 @@ fn populated(h: usize, r: usize, scheme: MembershipScheme) -> (HierarchyLayout, 
 
 fn query_result(net: &Loopback, node: NodeId) -> Option<(MemberList, u32)> {
     net.events_at(node).iter().rev().find_map(|e| match e {
-        AppEvent::QueryResult { members, responses, .. } => {
-            Some((members.clone(), *responses))
-        }
+        AppEvent::QueryResult { members, responses, .. } => Some((members.clone(), *responses)),
         _ => None,
     })
 }
@@ -75,11 +73,8 @@ fn query_cost_ordering_tms_ims_bms() {
     // Same hierarchy, same data, same querying AP — message cost must
     // be TMS < IMS{1} < BMS, the paper's efficiency claim.
     let mut costs = Vec::new();
-    for scheme in [
-        MembershipScheme::Tms,
-        MembershipScheme::Ims { level: 1 },
-        MembershipScheme::Bms,
-    ] {
+    for scheme in [MembershipScheme::Tms, MembershipScheme::Ims { level: 1 }, MembershipScheme::Bms]
+    {
         let (layout, mut net) = populated(3, 3, scheme);
         let before = net.sent_total;
         let ap = layout.aps()[4];

@@ -40,8 +40,7 @@ impl LiveCluster {
             inboxes.push((id, rx));
         }
         for (id, rx) in inboxes {
-            let state =
-                NodeState::from_layout(&layout, id, cfg.clone()).expect("valid layout");
+            let state = NodeState::from_layout(&layout, id, cfg.clone()).expect("valid layout");
             let router2 = router.clone();
             let events2 = events_tx.clone();
             let handle = std::thread::Builder::new()

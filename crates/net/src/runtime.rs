@@ -46,25 +46,24 @@ pub fn run_node(
     let start = Instant::now();
     let mut timers: BTreeMap<TimerKind, Instant> = BTreeMap::new();
 
-    let process = |state: &mut NodeState,
-                       outs: Vec<Output>,
-                       timers: &mut BTreeMap<TimerKind, Instant>| {
-        let _ = state;
-        for out in outs {
-            match out {
-                Output::Send { to, msg } => router.send(gid, id, to, msg),
-                Output::SetTimer { kind, after } => {
-                    timers.insert(kind, Instant::now() + tick * after as u32);
-                }
-                Output::CancelTimer { kind } => {
-                    timers.remove(&kind);
-                }
-                Output::Deliver(ev) => {
-                    let _ = events.send((id, ev));
+    let process =
+        |state: &mut NodeState, outs: Vec<Output>, timers: &mut BTreeMap<TimerKind, Instant>| {
+            let _ = state;
+            for out in outs {
+                match out {
+                    Output::Send { to, msg } => router.send(gid, id, to, msg),
+                    Output::SetTimer { kind, after } => {
+                        timers.insert(kind, Instant::now() + tick * after as u32);
+                    }
+                    Output::CancelTimer { kind } => {
+                        timers.remove(&kind);
+                    }
+                    Output::Deliver(ev) => {
+                        let _ = events.send((id, ev));
+                    }
                 }
             }
-        }
-    };
+        };
 
     let outs = state.handle(Input::Boot);
     process(&mut state, outs, &mut timers);
@@ -72,11 +71,8 @@ pub fn run_node(
     loop {
         // Fire any due timers first.
         let now = Instant::now();
-        let due: Vec<TimerKind> = timers
-            .iter()
-            .filter(|(_, &at)| at <= now)
-            .map(|(&k, _)| k)
-            .collect();
+        let due: Vec<TimerKind> =
+            timers.iter().filter(|(_, &at)| at <= now).map(|(&k, _)| k).collect();
         for kind in due {
             timers.remove(&kind);
             let outs = state.handle(Input::Timer(kind));

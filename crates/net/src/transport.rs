@@ -108,12 +108,7 @@ mod tests {
         let router = Router::new();
         let (tx, rx) = unbounded();
         router.register(NodeId(2), tx);
-        router.send(
-            GroupId(1),
-            NodeId(1),
-            NodeId(2),
-            Msg::TokenAck { ring: RingId(0), seq: 9 },
-        );
+        router.send(GroupId(1), NodeId(1), NodeId(2), Msg::TokenAck { ring: RingId(0), seq: 9 });
         match rx.recv().unwrap() {
             ToNode::Net { from, frame } => {
                 assert_eq!(from, NodeId(1));

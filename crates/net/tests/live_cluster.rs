@@ -122,15 +122,9 @@ fn live_crash_is_repaired_and_protocol_continues() {
     let deadline = std::time::Instant::now() + Duration::from_secs(20);
     let mut repaired = false;
     while std::time::Instant::now() < deadline {
-        let ok = nodes
-            .iter()
-            .filter(|&&n| n != victim)
-            .all(|&n| {
-                cluster
-                    .snapshot(n, Duration::from_secs(1))
-                    .map(|s| s.roster_len == 3)
-                    .unwrap_or(false)
-            });
+        let ok = nodes.iter().filter(|&&n| n != victim).all(|&n| {
+            cluster.snapshot(n, Duration::from_secs(1)).map(|s| s.roster_len == 3).unwrap_or(false)
+        });
         if ok {
             repaired = true;
             break;

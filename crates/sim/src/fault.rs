@@ -44,13 +44,7 @@ pub fn crash_in_ring(
 ) -> Vec<PlannedCrash> {
     layout
         .ring(ring)
-        .map(|spec| {
-            spec.nodes
-                .iter()
-                .take(count)
-                .map(|&node| PlannedCrash { at, node })
-                .collect()
-        })
+        .map(|spec| spec.nodes.iter().take(count).map(|&node| PlannedCrash { at, node }).collect())
         .unwrap_or_default()
 }
 
@@ -73,10 +67,7 @@ mod tests {
         }
         let mean = total as f64 / runs as f64;
         let expect = l.node_count() as f64 * 0.05;
-        assert!(
-            (mean - expect).abs() < expect * 0.2,
-            "mean {mean} vs expected {expect}"
-        );
+        assert!((mean - expect).abs() < expect * 0.2, "mean {mean} vs expected {expect}");
     }
 
     #[test]

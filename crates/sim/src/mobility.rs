@@ -52,11 +52,7 @@ impl MobilityModel {
         let aps = layout.aps();
         let adjacency = Self::build_adjacency(layout);
         let mhs = (0..population)
-            .map(|i| MobileHost {
-                guid: Guid(i as u64),
-                ap: *rng.pick(&aps),
-                luid_seq: 0,
-            })
+            .map(|i| MobileHost { guid: Guid(i as u64), ap: *rng.pick(&aps), luid_seq: 0 })
             .collect();
         MobilityModel { mhs, adjacency, rng, mean_dwell }
     }
@@ -128,10 +124,7 @@ impl MobilityModel {
 
     /// Count of handoff events in a schedule.
     pub fn handoff_count(events: &[TimedEvent]) -> usize {
-        events
-            .iter()
-            .filter(|(_, _, e)| matches!(e, MhEvent::HandoffIn { .. }))
-            .count()
+        events.iter().filter(|(_, _, e)| matches!(e, MhEvent::HandoffIn { .. })).count()
     }
 }
 
@@ -148,10 +141,7 @@ mod tests {
         let l = layout();
         let mut m = MobilityModel::new(&l, 20, 100.0, 1);
         let events = m.generate(1_000);
-        let joins = events
-            .iter()
-            .filter(|(_, _, e)| matches!(e, MhEvent::Join { .. }))
-            .count();
+        let joins = events.iter().filter(|(_, _, e)| matches!(e, MhEvent::Join { .. })).count();
         assert_eq!(joins, 20);
     }
 
@@ -163,10 +153,7 @@ mod tests {
         let events = m.generate(2_000);
         for (_, to, e) in &events {
             if let MhEvent::HandoffIn { from: Some(from), .. } = e {
-                assert!(
-                    adj[from].contains(to),
-                    "handoff {from}->{to} not between adjacent cells"
-                );
+                assert!(adj[from].contains(to), "handoff {from}->{to} not between adjacent cells");
             }
         }
         assert!(MobilityModel::handoff_count(&events) > 10);

@@ -69,17 +69,12 @@ mod tests {
 
     #[test]
     fn consistency_holds_after_churn() {
-        let mut sim =
-            Simulation::full(3, 3, &ProtocolConfig::default(), NetConfig::default(), 2);
+        let mut sim = Simulation::full(3, 3, &ProtocolConfig::default(), NetConfig::default(), 2);
         sim.boot_all();
         for (i, &ap) in sim.layout.aps().iter().enumerate() {
             sim.schedule_mh(i as u64, ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
             if i % 2 == 0 {
-                sim.schedule_mh(
-                    100 + i as u64,
-                    ap,
-                    MhEvent::Leave { guid: Guid(i as u64) },
-                );
+                sim.schedule_mh(100 + i as u64, ap, MhEvent::Leave { guid: Guid(i as u64) });
             }
         }
         assert!(sim.run_until_quiet(50_000_000));
@@ -88,8 +83,7 @@ mod tests {
 
     #[test]
     fn repair_check_flags_unrepaired_rosters() {
-        let mut sim =
-            Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 2);
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 2);
         sim.boot_all();
         let victim = sim.layout.aps()[1];
         sim.crash_at(0, victim);
@@ -101,8 +95,7 @@ mod tests {
 
     #[test]
     fn function_well_report_tracks_crashes() {
-        let mut sim =
-            Simulation::full(3, 3, &ProtocolConfig::default(), NetConfig::instant(), 2);
+        let mut sim = Simulation::full(3, 3, &ProtocolConfig::default(), NetConfig::instant(), 2);
         sim.boot_all();
         let ring = sim.layout.rings_at(2).next().unwrap().clone();
         sim.crash_at(0, ring.nodes[0]);

@@ -5,8 +5,8 @@
 use crate::metrics::Metrics;
 use crate::network::{LinkClass, NetConfig, NetworkModel};
 use crate::rng::SplitMix64;
-use rgb_core::prelude::*;
 use rgb_core::node::NodeState;
+use rgb_core::prelude::*;
 use rgb_core::topology::HierarchyLayout;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -96,13 +96,7 @@ impl Simulation {
     }
 
     /// Convenience constructor: full hierarchy of (h, r).
-    pub fn full(
-        h: usize,
-        r: usize,
-        cfg: &ProtocolConfig,
-        net: NetConfig,
-        seed: u64,
-    ) -> Self {
+    pub fn full(h: usize, r: usize, cfg: &ProtocolConfig, net: NetConfig, seed: u64) -> Self {
         let layout = HierarchySpec::new(h, r).build(GroupId(1)).expect("valid spec");
         Self::new(layout, cfg, net, seed)
     }
@@ -198,9 +192,7 @@ impl Simulation {
             }
             EventKind::Timer { node, kind } => {
                 // Only fire if this is still the live scheduling of the timer.
-                if self.timers.get(&(node, kind)) == Some(&ev.at)
-                    && !self.crashed.contains(&node)
-                {
+                if self.timers.get(&(node, kind)) == Some(&ev.at) && !self.crashed.contains(&node) {
                     self.timers.remove(&(node, kind));
                     self.inject(node, Input::Timer(kind));
                 }
@@ -221,11 +213,7 @@ impl Simulation {
                         | MhEvent::Disconnect { guid }
                         | MhEvent::Resume { guid, .. } => *guid,
                     };
-                    let earliest = self
-                        .mh_last_delivery
-                        .get(&guid)
-                        .map(|&t| t + 1)
-                        .unwrap_or(0);
+                    let earliest = self.mh_last_delivery.get(&guid).map(|&t| t + 1).unwrap_or(0);
                     let at = (self.now + latency).max(earliest);
                     self.mh_last_delivery.insert(guid, at);
                     self.push(at, EventKind::MhDeliver { ap, event });
@@ -318,13 +306,7 @@ impl Simulation {
     pub fn alive_ring_nodes(&self, ring: RingId) -> Vec<NodeId> {
         self.layout
             .ring(ring)
-            .map(|spec| {
-                spec.nodes
-                    .iter()
-                    .copied()
-                    .filter(|n| !self.crashed.contains(n))
-                    .collect()
-            })
+            .map(|spec| spec.nodes.iter().copied().filter(|n| !self.crashed.contains(n)).collect())
             .unwrap_or_default()
     }
 
@@ -341,8 +323,7 @@ mod tests {
 
     #[test]
     fn join_propagates_with_latency() {
-        let mut sim =
-            Simulation::full(2, 3, &ProtocolConfig::default(), NetConfig::default(), 1);
+        let mut sim = Simulation::full(2, 3, &ProtocolConfig::default(), NetConfig::default(), 1);
         sim.boot_all();
         let ap = sim.layout.aps()[4];
         sim.schedule_mh(0, ap, MhEvent::Join { guid: Guid(9), luid: Luid(1) });
@@ -362,10 +343,11 @@ mod tests {
             sim.boot_all();
             let aps = sim.layout.aps();
             for (i, &ap) in aps.iter().enumerate() {
-                sim.schedule_mh(i as u64 * 3, ap, MhEvent::Join {
-                    guid: Guid(i as u64),
-                    luid: Luid(1),
-                });
+                sim.schedule_mh(
+                    i as u64 * 3,
+                    ap,
+                    MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) },
+                );
             }
             sim.run_until_quiet(10_000_000);
             (sim.now, sim.metrics.sent_total, sim.metrics.proposal_hops())
@@ -394,8 +376,7 @@ mod tests {
 
     #[test]
     fn query_latency_is_recorded() {
-        let mut sim =
-            Simulation::full(2, 3, &ProtocolConfig::default(), NetConfig::default(), 5);
+        let mut sim = Simulation::full(2, 3, &ProtocolConfig::default(), NetConfig::default(), 5);
         sim.boot_all();
         let ap = sim.layout.aps()[0];
         sim.schedule_mh(0, ap, MhEvent::Join { guid: Guid(1), luid: Luid(1) });
@@ -408,8 +389,7 @@ mod tests {
 
     #[test]
     fn run_until_pred_reports_first_time() {
-        let mut sim =
-            Simulation::full(2, 3, &ProtocolConfig::default(), NetConfig::unit(), 5);
+        let mut sim = Simulation::full(2, 3, &ProtocolConfig::default(), NetConfig::unit(), 5);
         sim.boot_all();
         let ap = sim.layout.aps()[0];
         let root = sim.layout.root_ring().nodes[0];
@@ -419,8 +399,7 @@ mod tests {
             .expect("member reaches root");
         assert!(t >= 10);
         // The predicate time is stable under re-simulation.
-        let mut sim2 =
-            Simulation::full(2, 3, &ProtocolConfig::default(), NetConfig::unit(), 5);
+        let mut sim2 = Simulation::full(2, 3, &ProtocolConfig::default(), NetConfig::unit(), 5);
         sim2.boot_all();
         sim2.schedule_mh(10, ap, MhEvent::Join { guid: Guid(4), luid: Luid(1) });
         let t2 = sim2.run_until_pred(1_000_000, |s| s.member_at(root, Guid(4)));

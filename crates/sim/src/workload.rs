@@ -43,10 +43,10 @@ pub fn churn(layout: &HierarchyLayout, params: ChurnParams, seed: u64) -> Vec<Ti
     let mut next_guid = 0u64;
     let mut luid = 0u64;
     let spawn = |at: u64,
-                     rng: &mut SplitMix64,
-                     events: &mut Vec<TimedEvent>,
-                     next_guid: &mut u64,
-                     luid: &mut u64| {
+                 rng: &mut SplitMix64,
+                 events: &mut Vec<TimedEvent>,
+                 next_guid: &mut u64,
+                 luid: &mut u64| {
         let guid = Guid(*next_guid);
         *next_guid += 1;
         *luid += 1;
@@ -138,14 +138,9 @@ mod tests {
         let events = churn(&layout(), params, 2);
         // almost every member departs within the long window
         assert!(expected_members(&events) < 5);
-        let failures = events
-            .iter()
-            .filter(|(_, _, e)| matches!(e, MhEvent::FailureDetected { .. }))
-            .count();
-        let leaves = events
-            .iter()
-            .filter(|(_, _, e)| matches!(e, MhEvent::Leave { .. }))
-            .count();
+        let failures =
+            events.iter().filter(|(_, _, e)| matches!(e, MhEvent::FailureDetected { .. })).count();
+        let leaves = events.iter().filter(|(_, _, e)| matches!(e, MhEvent::Leave { .. })).count();
         assert!(failures > 5 && leaves > 5, "both departure kinds present");
     }
 

@@ -23,7 +23,11 @@ fn main() {
     let mut sim = Simulation::full(2, 5, &cfg, NetConfig::unit(), 99);
     sim.boot_all();
     let n_nodes = sim.layout.node_count();
-    println!("hierarchy: {} nodes in {} rings, continuous token policy", n_nodes, sim.layout.ring_count());
+    println!(
+        "hierarchy: {} nodes in {} rings, continuous token policy",
+        n_nodes,
+        sim.layout.ring_count()
+    );
 
     // Join a member per proxy, then let 8% of the NEs crash over a window.
     for (i, &ap) in sim.layout.aps().iter().enumerate() {

@@ -72,7 +72,10 @@ fn main() {
     loop {
         if let Some(snap) = cluster.snapshot(survivor, Duration::from_secs(2)) {
             if snap.roster_len == bottom_ring.nodes.len() - 1 {
-                println!("ring {} repaired: roster is now {} nodes", bottom_ring.id, snap.roster_len);
+                println!(
+                    "ring {} repaired: roster is now {} nodes",
+                    bottom_ring.id, snap.roster_len
+                );
                 break;
             }
         }

@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use rgb::prelude::*;
 use rgb::core::testing::Loopback;
+use rgb::prelude::*;
 
 fn main() {
     // The paper's canonical deployment: BRT / AGT / APT, five nodes per
@@ -65,8 +65,5 @@ fn main() {
             assert_eq!(net.node(n).ring_members, first.ring_members);
         }
     }
-    println!(
-        "\nconsistency: every ring agrees on its view — {} messages total",
-        net.sent_total
-    );
+    println!("\nconsistency: every ring agrees on its view — {} messages total", net.sent_total);
 }

@@ -1,0 +1,233 @@
+//! Offline shim for `criterion`: the group/bencher API surface backed by a
+//! simple wall-clock mean. Every benchmark runs a fixed warm-up iteration
+//! plus `sample_size` timed samples and prints `<group>/<id>: mean time
+//! per iteration` to stdout. There is no statistical analysis, outlier
+//! rejection, or HTML report — `cargo bench --no-run` in CI only needs the
+//! benches to keep compiling, and a local `cargo bench` still yields
+//! usable relative numbers.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples when a group does not call `sample_size`.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, DEFAULT_SAMPLE_SIZE, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: per-iteration element or byte counts.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (provided for API parity; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time repeated executions of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn run_one<F>(label: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    if bencher.iterations == 0 {
+        println!("bench {label}: no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.elapsed / bencher.iterations as u32;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
+            let rate = n as f64 * 1e9 / per_iter.as_nanos() as f64;
+            println!("bench {label}: {per_iter:?}/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if per_iter.as_nanos() > 0 => {
+            let rate = n as f64 * 1e9 / per_iter.as_nanos() as f64;
+            println!("bench {label}: {per_iter:?}/iter ({rate:.0} B/s)");
+        }
+        _ => println!("bench {label}: {per_iter:?}/iter"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_round_trip() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2).throughput(Throughput::Elements(4));
+            group.bench_function("f", |b| {
+                b.iter(|| {
+                    ran += 1;
+                })
+            });
+            group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        assert_eq!(ran, 2 + 2); // warm-up + timed, twice (sample_size = 2)
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline shim for `crossbeam`: just the `channel` module, implemented as
+//! a `Mutex<VecDeque>` + condvar mpmc queue with the same disconnect
+//! semantics as `crossbeam-channel` (send fails once every receiver is
+//! gone; receive fails once the queue is empty and every sender is gone).
+
+pub mod channel;

@@ -1,0 +1,155 @@
+//! The per-test harness behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// Default number of generated cases per property (override with the
+/// `PROPTEST_CASES` environment variable).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Deterministic generator driving all sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` of zero yields zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build from a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_CASES)
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Run `body` against `cases` values drawn from `strategy`, panicking with
+/// the failing input on the first error. Seeding is a pure function of the
+/// test name and case index, so failures reproduce across runs.
+pub fn run<S, F>(name: &str, strategy: &S, body: F)
+where
+    S: Strategy,
+    S::Value: Clone + Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for case in 0..case_count() {
+        let mut rng = TestRng::new(base ^ (u64::from(case) << 32) ^ u64::from(case));
+        let value = strategy.sample(&mut rng);
+        if let Err(err) = body(value.clone()) {
+            panic!(
+                "proptest case {case} of {name} failed: {err}\n    input: {value:?}\n\
+                 (reproduce with the same build; seeding is deterministic per test name)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    proptest! {
+        fn tuple_ranges_stay_in_bounds(a in 0u64..10, b in 5u16..6) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+        }
+
+        fn collections_respect_sizes(
+            v in crate::collection::vec(any::<u8>(), 3..7),
+            s in crate::collection::btree_set(0u64..1000, 2..5),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!((2..5).contains(&s.len()));
+        }
+
+        fn oneof_and_option_compose(
+            x in prop_oneof![Just(1u64).boxed(), (10u64..20).boxed()],
+            o in crate::option::of(0u64..3),
+        ) {
+            prop_assert!(x == 1 || (10..20).contains(&x));
+            if let Some(v) = o {
+                prop_assert!(v < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn run_the_properties() {
+        tuple_ranges_stay_in_bounds();
+        collections_respect_sizes();
+        oneof_and_option_compose();
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_input() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = (0u64..1_000_000, any::<u16>());
+        let mut rng_a = TestRng::new(fnv1a("k"));
+        let mut rng_b = TestRng::new(fnv1a("k"));
+        assert_eq!(strat.sample(&mut rng_a), strat.sample(&mut rng_b));
+    }
+}

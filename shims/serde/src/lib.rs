@@ -1,0 +1,33 @@
+//! Offline shim for `serde`.
+//!
+//! `Serialize` and `Deserialize` are marker traits satisfied by every type,
+//! and the re-exported derives (behind the `derive` feature, mirroring the
+//! real crate) expand to nothing. This is enough for code that *declares*
+//! serde support without routing any data through it — which is exactly how
+//! this workspace uses serde today: the on-wire encoding is the hand-rolled
+//! format in `rgb_core::wire`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; implemented by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de> + ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The sibling `serde` shim provides blanket implementations of its
+//! `Serialize`/`Deserialize` marker traits, so a derive that emits no code
+//! is sufficient for every bound in this workspace.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,9 +15,7 @@ fn transformation_reduction_is_the_rgb_hierarchy() {
     for &(h, r) in &[(3u32, 3u64), (3, 5), (4, 2)] {
         let tr = TransformHierarchy::new(h, r);
         let reduced = tr.reduce_to_ring_hierarchy(GroupId(1)).unwrap();
-        let native = HierarchySpec::new((h - 1) as usize, r as usize)
-            .build(GroupId(1))
-            .unwrap();
+        let native = HierarchySpec::new((h - 1) as usize, r as usize).build(GroupId(1)).unwrap();
         assert_eq!(reduced.height(), native.height());
         assert_eq!(reduced.ring_count(), native.ring_count());
         assert_eq!(reduced.node_count(), native.node_count());

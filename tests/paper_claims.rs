@@ -53,11 +53,8 @@ fn comparable_scalability_claim() {
         assert!(ratio < 1.25, "n={}: ratio {ratio}", row.n);
     }
     let rows = table_i();
-    let r10: Vec<f64> = rows
-        .iter()
-        .filter(|r| r.r == 10)
-        .map(|r| r.hcn_ring as f64 / r.hcn_tree as f64)
-        .collect();
+    let r10: Vec<f64> =
+        rows.iter().filter(|r| r.r == 10).map(|r| r.hcn_ring as f64 / r.hcn_tree as f64).collect();
     assert!(r10.windows(2).all(|w| w[1] <= w[0] + 0.01), "ratio not settling: {r10:?}");
 }
 

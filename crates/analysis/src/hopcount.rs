@@ -1,6 +1,7 @@
 //! The scalability model of §5.1: HopCount formulas (1)–(6) for the
 //! tree-based hierarchy (with and without representatives, the CONGRESS
-//! structure of [4]) and for the RGB ring-based hierarchy, plus the Table I
+//! structure of the paper's reference \[4\]) and for the RGB ring-based
+//! hierarchy, plus the Table I
 //! grid.
 //!
 //! Conventions (as in the paper):

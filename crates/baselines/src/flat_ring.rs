@@ -1,5 +1,5 @@
 //! The flat single-ring baseline: one logical ring over *all* access
-//! proxies, Totem-style ([1], [13] in the paper). RGB's height-1 hierarchy
+//! proxies, Totem-style (\[1\], \[13\] in the paper). RGB's height-1 hierarchy
 //! *is* a flat ring, so this baseline runs the real protocol — it exists to
 //! quantify why a hierarchy is needed at scale (§2: one-round algorithms
 //! over a single large ring "are inefficient in case of large group").

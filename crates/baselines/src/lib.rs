@@ -1,7 +1,7 @@
 //! # rgb-baselines — the structures the RGB paper compares against
 //!
 //! * [`tree`] — the CONGRESS-style tree of membership servers with
-//!   representatives ([4]): hop accounting for §5.1 and cascading-fault
+//!   representatives (\[4\]): hop accounting for §5.1 and cascading-fault
 //!   partition counting for §5.2;
 //! * [`transform`] — the §5.2 transformation hierarchy (tree without
 //!   representatives with ringed sibling groups) and its mechanical

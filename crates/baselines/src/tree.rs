@@ -1,5 +1,5 @@
 //! The tree-based hierarchy of membership servers with representatives —
-//! the CONGRESS structure ([4] in the paper) that §5.1 and §5.2 compare
+//! the CONGRESS structure (\[4\] in the paper) that §5.1 and §5.2 compare
 //! against.
 //!
 //! Structure: a complete `r`-ary tree of height `h` (levels `0..h`, level

@@ -3,6 +3,10 @@
 //! mobile-Internet latency model — Figure 2's bottom-to-top flow as a
 //! measured timeline, plus fast- vs slow-handoff admission latency.
 //!
+//! Every run is built from a declarative `rgb_sim::Scenario` (via
+//! `rgb_bench::measure_change` / `measure_handoff`), so the same experiment
+//! definitions can be replayed on the live substrate.
+//!
 //! ```text
 //! cargo run --release -p rgb-bench --bin propagation
 //! ```

@@ -3,6 +3,9 @@
 //! with large-scale logical rings" — measured at a fixed group size
 //! (n = 4096 APs) across hierarchy shapes from deep/narrow to shallow/wide.
 //!
+//! Each shape's run is built from a declarative `rgb_sim::Scenario` (via
+//! `rgb_bench::measure_shape_latency`).
+//!
 //! ```text
 //! cargo run --release -p rgb-bench --bin ring_size_sweep
 //! ```

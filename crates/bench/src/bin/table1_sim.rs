@@ -3,6 +3,9 @@
 //! compare measured hop counts against formulas (3)–(6), alongside the
 //! measured CONGRESS-style tree baseline.
 //!
+//! Each configuration's run is built from a declarative `rgb_sim::Scenario`
+//! (via `rgb_bench::measure_change`).
+//!
 //! ```text
 //! cargo run --release -p rgb-bench --bin table1_sim
 //! ```

@@ -4,12 +4,17 @@
 //! Every experiment in `EXPERIMENTS.md` (E1–E11) calls into this crate so
 //! the binaries, the criterion benches and the integration tests measure
 //! the *same* code paths.
+//!
+//! Measurement runs are **built from declarative [`Scenario`] values**
+//! (topology, configuration, schedule) and then driven imperatively with
+//! predicates; the scenario part could be replayed unchanged on the live
+//! substrate (`rgb_net::run_scenario`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use rgb_core::prelude::*;
-use rgb_sim::{NetConfig, Simulation};
+use rgb_sim::{NetConfig, Scenario};
 
 /// Result of measuring one membership change on a full (h, r) hierarchy.
 #[derive(Debug, Clone, Copy)]
@@ -33,15 +38,15 @@ pub struct ChangeCost {
 /// policy (experiment E2/E6). `net` controls latency; use
 /// [`NetConfig::instant`] for pure hop counting.
 pub fn measure_change(h: usize, r: usize, net: NetConfig, seed: u64) -> ChangeCost {
-    let cfg = ProtocolConfig::default();
-    let mut sim = Simulation::full(h, r, &cfg, net, seed);
-    sim.boot_all();
-    let aps = sim.layout.aps();
+    let scenario = Scenario::new("one member join", h, r).with_net(net).with_seed(seed);
+    let layout = scenario.layout();
+    let aps = layout.aps();
     let ap = aps[aps.len() / 2];
-    let root = sim.layout.root_ring().nodes[0];
+    let root = layout.root_ring().nodes[0];
+    let scenario = scenario.join(0, ap, Guid(99_999), Luid(1));
+    let mut sim = scenario.build_sim();
     let before = sim.metrics.snapshot();
     let t0 = sim.now;
-    sim.schedule_mh(0, ap, MhEvent::Join { guid: Guid(99_999), luid: Luid(1) });
     let reached_root = sim
         .run_until_pred(u64::MAX / 2, |s| s.member_at(root, Guid(99_999)))
         .expect("join reaches root");
@@ -81,12 +86,15 @@ pub fn measure_query(
     seed: u64,
 ) -> QueryCost {
     let cfg = ProtocolConfig { scheme, ..ProtocolConfig::default() };
-    let mut sim = Simulation::full(h, r, &cfg, net, seed);
-    sim.boot_all();
-    let aps = sim.layout.aps();
+    let mut scenario = Scenario::new("populated hierarchy, one global query", h, r)
+        .with_cfg(cfg)
+        .with_net(net)
+        .with_seed(seed);
+    let aps = scenario.layout().aps();
     for (i, &ap) in aps.iter().enumerate() {
-        sim.schedule_mh(i as u64, ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+        scenario = scenario.join(i as u64, ap, Guid(i as u64), Luid(1));
     }
+    let mut sim = scenario.build_sim();
     assert!(sim.run_until_quiet(500_000_000));
     let before = sim.metrics.sent_total;
     let ap = aps[0];
@@ -125,14 +133,14 @@ pub struct HandoffCost {
 
 /// Measure both handoff paths on a single ring of `r` proxies.
 pub fn measure_handoff(r: usize, net: NetConfig, seed: u64) -> HandoffCost {
-    let cfg = ProtocolConfig::default();
     // Fast path: join at proxy a (a neighbour of b), then hand off to b —
     // b already knows the member from its ring state.
-    let mut sim = Simulation::full(1, r, &cfg, net.clone(), seed);
-    sim.boot_all();
-    let nodes = sim.layout.root_ring().nodes.clone();
+    let scenario = Scenario::new("fast handoff: populated single ring", 1, r)
+        .with_net(net.clone())
+        .with_seed(seed);
+    let nodes = scenario.layout().root_ring().nodes.clone();
     let (a, b) = (nodes[1], nodes[2]);
-    sim.schedule_mh(0, a, MhEvent::Join { guid: Guid(1), luid: Luid(1) });
+    let mut sim = scenario.join(0, a, Guid(1), Luid(1)).build_sim();
     assert!(sim.run_until_quiet(100_000_000));
     let t0 = sim.now;
     sim.schedule_mh(0, b, MhEvent::HandoffIn { guid: Guid(1), luid: Luid(2), from: None });
@@ -146,8 +154,9 @@ pub fn measure_handoff(r: usize, net: NetConfig, seed: u64) -> HandoffCost {
 
     // Slow path: the member is unknown at b's ring (fresh simulation, no
     // prior join in this ring), so admission waits for agreement.
-    let mut sim2 = Simulation::full(1, r, &cfg, net, seed + 1);
-    sim2.boot_all();
+    let scenario2 =
+        Scenario::new("slow handoff: empty single ring", 1, r).with_net(net).with_seed(seed + 1);
+    let mut sim2 = scenario2.build_sim();
     let nodes2 = sim2.layout.root_ring().nodes.clone();
     let b2 = nodes2[2];
     let t0 = sim2.now;

@@ -7,8 +7,11 @@
 //!
 //! The crate is **sans-IO**: every network entity is a deterministic state
 //! machine ([`node::NodeState`]) consuming [`events::Input`]s and producing
-//! [`events::Output`]s. Substrates that drive the state machines live in
-//! sibling crates:
+//! [`events::Output`]s. The [`substrate`] module defines the uniform
+//! execution boundary — a [`substrate::Substrate`] trait (clock, frame
+//! transport, timers, app-event sink) plus the shared
+//! [`substrate::apply_outputs`] driver that wire-encodes every send — and
+//! the substrates implementing it live in sibling crates:
 //!
 //! * `rgb-sim` — a discrete-event mobile-Internet simulator (latency, loss,
 //!   faults, mobility, metrics);
@@ -72,6 +75,7 @@ pub mod partition;
 pub mod protocol;
 pub mod query;
 pub mod ring;
+pub mod substrate;
 pub mod testing;
 pub mod token;
 pub mod topology;
@@ -93,6 +97,7 @@ pub mod prelude {
     pub use crate::mq::MessageQueue;
     pub use crate::node::{ChildLink, NodeState, NodeStats};
     pub use crate::ring::RingRoster;
+    pub use crate::substrate::{apply_outputs, OutputSink, Substrate};
     pub use crate::testing::Loopback;
     pub use crate::token::Token;
     pub use crate::topology::{HierarchyLayout, HierarchySpec, NodePlacement, RingSpec};

@@ -22,14 +22,25 @@ impl NodeState {
     /// and never performs IO.
     pub fn handle(&mut self, input: Input) -> Vec<Output> {
         let mut outs = Vec::new();
-        match input {
-            Input::Boot => self.boot(&mut outs),
-            Input::Msg { from, msg } => self.on_msg(from, msg, &mut outs),
-            Input::Timer(kind) => self.on_timer(kind, &mut outs),
-            Input::Mh(event) => self.on_mh(event, &mut outs),
-            Input::StartQuery { scope } => self.start_query(scope, &mut outs),
-        }
+        self.handle_into(input, &mut outs);
         outs
+    }
+
+    /// Reusable-buffer variant of [`NodeState::handle`]: appends this
+    /// input's outputs to `outs` instead of allocating a fresh vector.
+    ///
+    /// Hot loops keep one [`crate::substrate::OutputSink`] alive and pass it
+    /// to every input, draining it through
+    /// [`crate::substrate::apply_outputs`] between calls; after the buffer
+    /// reaches its working size no per-input allocation remains.
+    pub fn handle_into(&mut self, input: Input, outs: &mut Vec<Output>) {
+        match input {
+            Input::Boot => self.boot(outs),
+            Input::Msg { from, msg } => self.on_msg(from, msg, outs),
+            Input::Timer(kind) => self.on_timer(kind, outs),
+            Input::Mh(event) => self.on_mh(event, outs),
+            Input::StartQuery { scope } => self.start_query(scope, outs),
+        }
     }
 
     fn boot(&mut self, outs: &mut Vec<Output>) {

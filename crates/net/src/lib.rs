@@ -7,14 +7,23 @@
 //! "the proposed protocol runs in a parallel and distributed way" —
 //! executed literally, with the same sans-IO state machines the simulator
 //! drives.
+//!
+//! The runtime is the second implementation of `rgb_core`'s substrate
+//! layer: protocol outputs flow through the shared
+//! `rgb_core::substrate::apply_outputs` driver (wire-encoding every send),
+//! and declarative `rgb_sim::Scenario` experiments replay here unchanged
+//! via [`scenario::run_scenario`] — the differential tests compare the two
+//! substrates' final views.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod runtime;
+pub mod scenario;
 pub mod transport;
 
 pub use cluster::LiveCluster;
 pub use runtime::NodeSnapshot;
+pub use scenario::run_scenario;
 pub use transport::{Router, ToNode};

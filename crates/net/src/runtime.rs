@@ -2,13 +2,20 @@
 //! timers with real wall-clock deadlines, and exchanges wire frames through
 //! the [`Router`] — the "parallel and distributed way" of §4.3 made
 //! literal: every network entity runs concurrently on its own thread.
+//!
+//! The thread's environment is a `LiveSubstrate`, the live-world
+//! implementation of [`rgb_core::substrate::Substrate`]; all protocol
+//! outputs flow through the shared [`apply_outputs`] driver, exactly as in
+//! the simulator, and the hot loop reuses one [`OutputSink`] buffer so no
+//! `Vec<Output>` is allocated per input.
 
 use crate::transport::{Router, ToNode};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use rgb_core::events::{AppEvent, Input, Output, TimerKind};
+use rgb_core::events::{AppEvent, Input, TimerKind};
 use rgb_core::member::MemberList;
 use rgb_core::node::NodeState;
 use rgb_core::prelude::NodeId;
+use rgb_core::substrate::{apply_outputs, OutputSink, Substrate};
 use rgb_core::wire;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -30,6 +37,44 @@ pub struct NodeSnapshot {
     pub leader: Option<NodeId>,
     /// RingOK flag.
     pub ring_ok: bool,
+    /// Frames the cluster's router has dropped so far (destination unknown
+    /// or stopped). Cluster-wide counter, not per-node.
+    pub dropped_frames: u64,
+}
+
+/// The live-runtime implementation of the substrate layer: real wall-clock
+/// timers, frames routed over crossbeam channels, application events pushed
+/// to the cluster's subscriber channel.
+struct LiveSubstrate<'a> {
+    router: &'a Router,
+    events: &'a Sender<(NodeId, AppEvent)>,
+    timers: &'a mut BTreeMap<TimerKind, Instant>,
+    tick: Duration,
+    start: Instant,
+}
+
+impl Substrate for LiveSubstrate<'_> {
+    fn now(&self) -> u64 {
+        let tick_ns = self.tick.as_nanos().max(1);
+        (self.start.elapsed().as_nanos() / tick_ns) as u64
+    }
+
+    fn send_frame(&mut self, from: NodeId, to: NodeId, _label: &'static str, frame: bytes::Bytes) {
+        self.router.send_frame(from, to, frame);
+    }
+
+    fn arm_timer(&mut self, _node: NodeId, kind: TimerKind, after: u64) {
+        let ticks = u32::try_from(after).unwrap_or(u32::MAX);
+        self.timers.insert(kind, Instant::now() + self.tick * ticks);
+    }
+
+    fn cancel_timer(&mut self, _node: NodeId, kind: TimerKind) {
+        self.timers.remove(&kind);
+    }
+
+    fn deliver_app(&mut self, node: NodeId, event: AppEvent) {
+        let _ = self.events.send((node, event));
+    }
 }
 
 /// Run one node until a `Stop` message arrives. `tick` is the real-time
@@ -45,28 +90,24 @@ pub fn run_node(
     let gid = state.gid;
     let start = Instant::now();
     let mut timers: BTreeMap<TimerKind, Instant> = BTreeMap::new();
+    // One reusable output buffer for the whole thread lifetime.
+    let mut outs = OutputSink::new();
 
-    let process =
-        |state: &mut NodeState, outs: Vec<Output>, timers: &mut BTreeMap<TimerKind, Instant>| {
-            let _ = state;
-            for out in outs {
-                match out {
-                    Output::Send { to, msg } => router.send(gid, id, to, msg),
-                    Output::SetTimer { kind, after } => {
-                        timers.insert(kind, Instant::now() + tick * after as u32);
-                    }
-                    Output::CancelTimer { kind } => {
-                        timers.remove(&kind);
-                    }
-                    Output::Deliver(ev) => {
-                        let _ = events.send((id, ev));
-                    }
-                }
-            }
-        };
+    macro_rules! drive {
+        ($input:expr) => {{
+            state.handle_into($input, &mut outs);
+            let mut sub = LiveSubstrate {
+                router: &router,
+                events: &events,
+                timers: &mut timers,
+                tick,
+                start,
+            };
+            apply_outputs(&mut sub, gid, id, &mut outs);
+        }};
+    }
 
-    let outs = state.handle(Input::Boot);
-    process(&mut state, outs, &mut timers);
+    drive!(Input::Boot);
 
     loop {
         // Fire any due timers first.
@@ -75,8 +116,7 @@ pub fn run_node(
             timers.iter().filter(|(_, &at)| at <= now).map(|(&k, _)| k).collect();
         for kind in due {
             timers.remove(&kind);
-            let outs = state.handle(Input::Timer(kind));
-            process(&mut state, outs, &mut timers);
+            drive!(Input::Timer(kind));
         }
         // Wait for the next message or the next timer deadline.
         let timeout = timers
@@ -86,20 +126,11 @@ pub fn run_node(
             .unwrap_or_else(|| Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(ToNode::Net { from, frame }) => match wire::decode(&frame) {
-                Ok(env) if env.gid == gid => {
-                    let outs = state.handle(Input::Msg { from, msg: env.msg });
-                    process(&mut state, outs, &mut timers);
-                }
+                Ok(env) if env.gid == gid => drive!(Input::Msg { from, msg: env.msg }),
                 _ => {} // foreign group or corrupt frame: drop
             },
-            Ok(ToNode::Mh(event)) => {
-                let outs = state.handle(Input::Mh(event));
-                process(&mut state, outs, &mut timers);
-            }
-            Ok(ToNode::Query(scope)) => {
-                let outs = state.handle(Input::StartQuery { scope });
-                process(&mut state, outs, &mut timers);
-            }
+            Ok(ToNode::Mh(event)) => drive!(Input::Mh(event)),
+            Ok(ToNode::Query(scope)) => drive!(Input::StartQuery { scope }),
             Ok(ToNode::Snapshot(reply)) => {
                 let _ = reply.send(NodeSnapshot {
                     id,
@@ -109,6 +140,7 @@ pub fn run_node(
                     roster_len: state.roster.len(),
                     leader: state.leader(),
                     ring_ok: state.ring_ok,
+                    dropped_frames: router.dropped(),
                 });
             }
             Ok(ToNode::Stop) => break,

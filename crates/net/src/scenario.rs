@@ -1,0 +1,130 @@
+//! Replay a [`Scenario`] on the live threaded substrate.
+//!
+//! The same declarative scenario value the simulator executes
+//! deterministically ([`Scenario::run_sim`]) is replayed here against real
+//! concurrency: the timeline is walked in wall-clock time (one protocol
+//! tick = `tick` of real time), mobile-host events / crashes / queries are
+//! applied through the [`LiveCluster`] operator API, and the final
+//! membership views are collected into the same [`ScenarioOutcome`] shape —
+//! which is how the differential tests compare the two worlds view-for-view.
+//!
+//! The live transport has real (near-zero) channel latency, so the
+//! scenario's latency bands are not modelled here; loss is always zero.
+//! What must agree across substrates is the *converged membership*, not the
+//! timing.
+
+use crate::cluster::LiveCluster;
+use rgb_core::prelude::*;
+use rgb_sim::scenario::{operational_guids, Scenario, ScenarioOutcome};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// One timeline entry, ordered by (time, insertion index).
+enum Action {
+    Mh(NodeId, MhEvent),
+    Crash(NodeId),
+    Query(NodeId, QueryScope),
+}
+
+/// Wall-clock instant of scenario tick `t`.
+fn at_tick(start: Instant, tick: Duration, t: u64) -> Instant {
+    start + tick * u32::try_from(t).unwrap_or(u32::MAX)
+}
+
+/// Run `scenario` on the live substrate with one tick lasting `tick` of
+/// real time, then keep polling for up to `settle` of extra wall time until
+/// the alive root-ring nodes converge on the schedule's expected membership
+/// (live thread interleavings need a grace period the discrete-event world
+/// does not).
+///
+/// Returns the final views of every alive node, like [`Scenario::run_sim`].
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`Scenario::validate`].
+pub fn run_scenario(scenario: &Scenario, tick: Duration, settle: Duration) -> ScenarioOutcome {
+    scenario.validate().expect("invalid scenario");
+    let layout = scenario.layout();
+    let mut cluster = LiveCluster::start(layout.clone(), &scenario.cfg, tick);
+
+    // Merge the three schedules into one stable-ordered timeline. The
+    // insertion order (crashes, then MH events, then queries) mirrors the
+    // push order of `Scenario::build_sim`, so same-tick ties resolve
+    // identically on both substrates — a crash scheduled at the same tick
+    // as an MH event silences the node first in both worlds.
+    let mut timeline: Vec<(u64, usize, Action)> = Vec::new();
+    for c in &scenario.crashes {
+        let idx = timeline.len();
+        timeline.push((c.at, idx, Action::Crash(c.node)));
+    }
+    let mut mh_schedule = scenario.mh_schedule.clone();
+    mh_schedule.sort_by_key(|&(t, ap, _)| (t, ap));
+    for (t, ap, event) in mh_schedule {
+        let idx = timeline.len();
+        timeline.push((t, idx, Action::Mh(ap, event)));
+    }
+    for q in &scenario.queries {
+        let idx = timeline.len();
+        timeline.push((q.at, idx, Action::Query(q.node, q.scope)));
+    }
+    timeline.sort_by_key(|&(t, idx, _)| (t, idx));
+
+    let start = Instant::now();
+    let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+    for (t, _, action) in timeline {
+        let due = at_tick(start, tick, t);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        match action {
+            Action::Mh(ap, event) => cluster.mh_event(ap, event),
+            Action::Crash(node) => {
+                cluster.crash(node);
+                crashed.insert(node);
+            }
+            Action::Query(node, scope) => cluster.query(node, scope),
+        }
+    }
+
+    // Let the scenario play out to its nominal duration.
+    let end = at_tick(start, tick, scenario.duration);
+    let now = Instant::now();
+    if end > now {
+        std::thread::sleep(end - now);
+    }
+
+    // Settle: the live world has no global clock to quiesce on, so poll
+    // until the alive root-ring nodes hold exactly the expected membership
+    // (or the settle budget runs out — the caller's comparison will then
+    // report the divergence).
+    let expected = scenario.expected_guids();
+    let root_alive: Vec<NodeId> =
+        layout.root_ring().nodes.iter().copied().filter(|n| !crashed.contains(n)).collect();
+    let deadline = Instant::now() + settle;
+    loop {
+        let converged = root_alive.iter().all(|&n| {
+            cluster
+                .snapshot(n, Duration::from_millis(500))
+                .map(|s| operational_guids(&s.ring_members) == expected)
+                .unwrap_or(false)
+        });
+        if converged || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Collect every alive node's final view.
+    let mut views: BTreeMap<NodeId, BTreeSet<Guid>> = BTreeMap::new();
+    for &id in layout.nodes.keys() {
+        if crashed.contains(&id) {
+            continue;
+        }
+        if let Some(snap) = cluster.snapshot(id, Duration::from_secs(1)) {
+            views.insert(id, operational_guids(&snap.ring_members));
+        }
+    }
+    cluster.shutdown();
+    ScenarioOutcome { views, crashed }
+}

@@ -58,9 +58,17 @@ impl Router {
     }
 
     /// Encode and deliver `msg` from `from` to `to`. Messages to unknown
-    /// nodes are dropped silently, exactly like packets to a dead host.
+    /// nodes are dropped (and counted), exactly like packets to a dead
+    /// host.
     pub fn send(&self, gid: GroupId, from: NodeId, to: NodeId, msg: Msg) {
-        let frame = wire::encode(&Envelope { gid, msg });
+        self.send_frame(from, to, wire::encode(&Envelope { gid, msg }));
+    }
+
+    /// Deliver an already-encoded [`Envelope`] frame from `from` to `to` —
+    /// the transport half of the substrate layer's
+    /// [`rgb_core::substrate::Substrate::send_frame`]. Frames to unknown or
+    /// stopped nodes are dropped and counted.
+    pub fn send_frame(&self, from: NodeId, to: NodeId, frame: Bytes) {
         let guard = self.inner.read();
         let Some(tx) = guard.get(&to) else {
             self.note_drop();
@@ -73,7 +81,15 @@ impl Router {
     }
 
     fn note_drop(&self) {
-        self.drops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // The first drop of a router's lifetime gets a visible warning;
+        // after that the counter (surfaced in `NodeSnapshot`) is the
+        // record, so a crashing cluster does not spam the log.
+        if self.drops.fetch_add(1, std::sync::atomic::Ordering::Relaxed) == 0 {
+            eprintln!(
+                "rgb-net: warning: router dropped a frame (destination unknown or stopped); \
+                 further drops are only counted"
+            );
+        }
     }
 
     /// Messages dropped so far.

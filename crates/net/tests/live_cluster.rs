@@ -139,6 +139,12 @@ fn live_crash_is_repaired_and_protocol_continues() {
         "post-repair join failed"
     );
     assert!(cluster.dropped_messages() > 0, "crash produced no drops");
+    // The drop counter is also surfaced through every node snapshot. The
+    // counter is monotonic and shared, and the snapshot read happens
+    // before ours, so bound it rather than demand exact equality.
+    let snap = cluster.snapshot(nodes[0], Duration::from_secs(1)).unwrap();
+    assert!(snap.dropped_frames > 0, "snapshot does not surface drops");
+    assert!(snap.dropped_frames <= cluster.dropped_messages());
     cluster.shutdown();
 }
 

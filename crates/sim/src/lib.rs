@@ -8,6 +8,13 @@
 //! cell-to-cell handoffs ([`mobility`]), Poisson churn ([`workload`]) — and
 //! measures everything ([`metrics`]), with global invariant checks
 //! ([`oracle`]).
+//!
+//! The simulator is one implementation of `rgb_core`'s substrate layer
+//! (`rgb_core::substrate::Substrate`): every delivery is wire-encoded by
+//! the shared `apply_outputs` driver and decoded on arrival, so the binary
+//! codec is exercised end-to-end in the simulated world too. Whole
+//! experiments are described declaratively as [`scenario::Scenario`]
+//! values, which the live runtime (`rgb-net`) can replay unchanged.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,6 +25,7 @@ pub mod mobility;
 pub mod network;
 pub mod oracle;
 pub mod rng;
+pub mod scenario;
 pub mod sim;
 pub mod workload;
 
@@ -27,5 +35,6 @@ pub use mobility::{MobilityModel, TimedEvent};
 pub use network::{LatencyBand, LinkClass, NetConfig, NetworkModel};
 pub use oracle::{check_repair_complete, check_ring_consistency, function_well_report};
 pub use rng::SplitMix64;
+pub use scenario::{operational_guids, Scenario, ScenarioOutcome, TimedQuery};
 pub use sim::Simulation;
 pub use workload::{churn, expected_members, ChurnParams};

@@ -37,7 +37,7 @@ impl Histogram {
         self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
     }
 
-    /// Exact quantile by nearest-rank (`q` in [0,1]); `None` when empty.
+    /// Exact quantile by nearest-rank (`q` in `[0, 1]`); `None` when empty.
     pub fn quantile(&mut self, q: f64) -> Option<u64> {
         if self.samples.is_empty() {
             return None;
@@ -66,6 +66,11 @@ pub struct Metrics {
     pub sent_by_class: BTreeMap<LinkClass, u64>,
     /// Messages lost in the network.
     pub lost: u64,
+    /// Frames that arrived but were dropped by the receive path because
+    /// they failed to decode or carried a foreign group id (the simulator
+    /// routes every delivery through `rgb_core::wire`, exactly like the
+    /// live runtime).
+    pub codec_rejected: u64,
     /// Total messages sent (including lost).
     pub sent_total: u64,
     /// Application events delivered.

@@ -35,8 +35,16 @@ impl LatencyBand {
         LatencyBand { min: v, max: v }
     }
 
+    /// Whether the band is well-formed (`min <= max`). Inverted bands are a
+    /// configuration error caught by [`NetConfig::validate`], never silently
+    /// repaired at sampling time.
+    pub fn is_valid(&self) -> bool {
+        self.min <= self.max
+    }
+
     fn sample(&self, rng: &mut SplitMix64) -> u64 {
-        if self.max <= self.min {
+        debug_assert!(self.is_valid(), "inverted band must be rejected at validation");
+        if self.max == self.min {
             self.min
         } else {
             rng.range(self.min, self.max + 1)
@@ -109,6 +117,32 @@ impl NetConfig {
             LinkClass::WideArea => self.wide_area,
         }
     }
+
+    /// Validate the configuration: every latency band must satisfy
+    /// `min <= max` and both loss probabilities must lie in `[0, 1]`.
+    /// An inverted band (`max < min`) is a configuration error, reported
+    /// here instead of being silently clamped at sampling time.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, band) in [
+            ("wireless", self.wireless),
+            ("intra_ring", self.intra_ring),
+            ("inter_tier", self.inter_tier),
+            ("wide_area", self.wide_area),
+        ] {
+            if !band.is_valid() {
+                return Err(format!(
+                    "net config: {name} latency band is inverted (min {} > max {})",
+                    band.min, band.max
+                ));
+            }
+        }
+        for (name, p) in [("loss", self.loss), ("wireless_loss", self.wireless_loss)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("net config: {name} probability {p} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Stateful network model: classifies links against the layout and samples
@@ -120,8 +154,19 @@ pub struct NetworkModel {
 
 impl NetworkModel {
     /// New model over a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NetConfig::validate`]; use
+    /// [`NetworkModel::try_new`] to handle the error instead.
     pub fn new(cfg: NetConfig) -> Self {
-        NetworkModel { cfg }
+        Self::try_new(cfg).expect("invalid NetConfig")
+    }
+
+    /// Fallible constructor: validates the configuration first.
+    pub fn try_new(cfg: NetConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(NetworkModel { cfg })
     }
 
     /// The configuration in use.
@@ -222,6 +267,30 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         assert_eq!(m.latency(LinkClass::Wireless, &mut rng), 0);
         assert!(!m.lost(LinkClass::IntraRing, &mut rng));
+    }
+
+    #[test]
+    fn inverted_band_is_a_validation_error() {
+        let cfg = NetConfig { intra_ring: LatencyBand { min: 20, max: 5 }, ..NetConfig::default() };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("intra_ring"), "error names the band: {err}");
+        assert!(NetworkModel::try_new(cfg).is_err());
+        assert!(NetConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_loss_is_a_validation_error() {
+        let cfg = NetConfig { loss: 1.5, ..NetConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = NetConfig { wireless_loss: -0.1, ..NetConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NetConfig")]
+    fn network_model_new_panics_on_inverted_band() {
+        let cfg = NetConfig { wireless: LatencyBand { min: 9, max: 1 }, ..NetConfig::default() };
+        let _ = NetworkModel::new(cfg);
     }
 
     #[test]

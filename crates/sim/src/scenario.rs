@@ -1,0 +1,426 @@
+//! Scenario descriptions: one declarative definition of a whole experiment
+//! — topology, protocol/network configuration, fault schedule, mobility
+//! schedule, workload and duration — that **every substrate can run**.
+//!
+//! A [`Scenario`] is pure data. The simulator runs it through
+//! [`Scenario::build_sim`]/[`Scenario::run_sim`]; the live threaded runtime
+//! (`rgb-net`) replays the same value against real concurrency with its
+//! `run_scenario` function. Both produce a [`ScenarioOutcome`], so the two
+//! worlds can be compared view-for-view — the differential tests do exactly
+//! that. The bench binaries build their measurement runs from `Scenario`
+//! values too, which keeps "what the experiment is" separate from "how it
+//! is executed and measured".
+
+use crate::fault::PlannedCrash;
+use crate::mobility::{MobilityModel, TimedEvent};
+use crate::network::NetConfig;
+use crate::sim::Simulation;
+use crate::workload::{churn, ChurnParams};
+use rgb_core::prelude::*;
+use rgb_core::topology::HierarchyLayout;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A membership query scheduled at a point in scenario time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedQuery {
+    /// When the application issues the query (ticks).
+    pub at: u64,
+    /// The NE it is issued at.
+    pub node: NodeId,
+    /// What is asked.
+    pub scope: QueryScope,
+}
+
+/// A complete, substrate-independent experiment definition.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable scenario name (reports, logs).
+    pub name: String,
+    /// Hierarchy height (number of ring levels).
+    pub height: usize,
+    /// Nodes per logical ring.
+    pub ring_size: usize,
+    /// Protocol configuration every NE runs.
+    pub cfg: ProtocolConfig,
+    /// Network model (latency bands and loss; the live runtime transports
+    /// frames over real channels and ignores the latency bands).
+    pub net: NetConfig,
+    /// Seed for every derived random stream.
+    pub seed: u64,
+    /// Scenario length in ticks.
+    pub duration: u64,
+    /// Planned NE crashes.
+    pub crashes: Vec<PlannedCrash>,
+    /// Mobile-host events (joins, leaves, handoffs, failures), time-sorted
+    /// by [`Scenario::build_sim`] before scheduling.
+    pub mh_schedule: Vec<TimedEvent>,
+    /// Scheduled membership queries.
+    pub queries: Vec<TimedQuery>,
+}
+
+impl Scenario {
+    /// A scenario over a full `(height, ring_size)` hierarchy with default
+    /// protocol and network configuration and no scheduled events.
+    pub fn new(name: impl Into<String>, height: usize, ring_size: usize) -> Self {
+        Scenario {
+            name: name.into(),
+            height,
+            ring_size,
+            cfg: ProtocolConfig::default(),
+            net: NetConfig::default(),
+            seed: 1,
+            duration: 10_000,
+            crashes: Vec::new(),
+            mh_schedule: Vec::new(),
+            queries: Vec::new(),
+        }
+    }
+
+    /// Replace the protocol configuration.
+    pub fn with_cfg(mut self, cfg: ProtocolConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Replace the network configuration.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Set the seed of every derived random stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the scenario duration (ticks).
+    pub fn with_duration(mut self, duration: u64) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Schedule one mobile-host event at `at` against access proxy `ap`.
+    pub fn mh(mut self, at: u64, ap: NodeId, event: MhEvent) -> Self {
+        self.mh_schedule.push((at, ap, event));
+        self
+    }
+
+    /// Schedule a member join (convenience over [`Scenario::mh`]).
+    pub fn join(self, at: u64, ap: NodeId, guid: Guid, luid: Luid) -> Self {
+        self.mh(at, ap, MhEvent::Join { guid, luid })
+    }
+
+    /// Schedule an NE crash.
+    pub fn crash(mut self, at: u64, node: NodeId) -> Self {
+        self.crashes.push(PlannedCrash { at, node });
+        self
+    }
+
+    /// Append a pre-computed crash plan (e.g. from
+    /// [`crate::fault::bernoulli_crashes`]).
+    pub fn with_crashes(mut self, crashes: Vec<PlannedCrash>) -> Self {
+        self.crashes.extend(crashes);
+        self
+    }
+
+    /// Schedule a membership query.
+    pub fn query(mut self, at: u64, node: NodeId, scope: QueryScope) -> Self {
+        self.queries.push(TimedQuery { at, node, scope });
+        self
+    }
+
+    /// Append a Poisson churn workload generated over this scenario's
+    /// topology, seed and duration (see [`crate::workload::churn`]).
+    pub fn with_churn(mut self, params: ChurnParams) -> Self {
+        let params = ChurnParams { duration: params.duration.min(self.duration), ..params };
+        let events = churn(&self.layout(), params, self.seed);
+        self.mh_schedule.extend(events);
+        self
+    }
+
+    /// Append a mobility workload: `population` MHs roaming the AP cells
+    /// with exponential dwell times of mean `mean_dwell` ticks.
+    pub fn with_mobility(mut self, population: usize, mean_dwell: f64) -> Self {
+        let layout = self.layout();
+        let events =
+            MobilityModel::new(&layout, population, mean_dwell, self.seed).generate(self.duration);
+        self.mh_schedule.extend(events);
+        self
+    }
+
+    /// Build the hierarchy this scenario runs on.
+    pub fn layout(&self) -> HierarchyLayout {
+        HierarchySpec::new(self.height, self.ring_size)
+            .build(GroupId(1))
+            .expect("valid hierarchy spec")
+    }
+
+    /// Validate the definition: the network configuration must pass
+    /// [`NetConfig::validate`], every referenced NE must exist in the
+    /// topology, the duration must be positive, and every scheduled event
+    /// must fall within the duration (the simulator would silently leave
+    /// later events unprocessed while a wall-clock substrate would apply
+    /// them — rejecting them keeps the substrates equivalent).
+    pub fn validate(&self) -> Result<(), String> {
+        self.validate_with(&self.layout())
+    }
+
+    /// [`Scenario::validate`] against an already-built layout (avoids
+    /// rebuilding the hierarchy when the caller holds one).
+    fn validate_with(&self, layout: &HierarchyLayout) -> Result<(), String> {
+        self.net.validate()?;
+        if self.duration == 0 {
+            return Err(format!("scenario '{}': zero duration", self.name));
+        }
+        for c in &self.crashes {
+            if layout.placement(c.node).is_err() {
+                return Err(format!("scenario '{}': crash of unknown node {}", self.name, c.node));
+            }
+            if c.at > self.duration {
+                return Err(format!(
+                    "scenario '{}': crash of {} at {} is beyond duration {}",
+                    self.name, c.node, c.at, self.duration
+                ));
+            }
+        }
+        let aps: BTreeSet<NodeId> = layout.aps().into_iter().collect();
+        for (at, ap, _) in &self.mh_schedule {
+            if !aps.contains(ap) {
+                return Err(format!("scenario '{}': MH event at non-AP node {ap}", self.name));
+            }
+            if *at > self.duration {
+                return Err(format!(
+                    "scenario '{}': MH event at {at} is beyond duration {}",
+                    self.name, self.duration
+                ));
+            }
+        }
+        for q in &self.queries {
+            if layout.placement(q.node).is_err() {
+                return Err(format!("scenario '{}': query at unknown node {}", self.name, q.node));
+            }
+            if q.at > self.duration {
+                return Err(format!(
+                    "scenario '{}': query at {} is beyond duration {}",
+                    self.name, q.at, self.duration
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of members the schedule leaves in the group at the end
+    /// (joins/handoffs/resumes minus leaves/failures/disconnects), for
+    /// oracle checks and settle loops.
+    pub fn expected_guids(&self) -> BTreeSet<Guid> {
+        let mut schedule = self.mh_schedule.clone();
+        schedule.sort_by_key(|&(t, ap, _)| (t, ap));
+        let mut present = BTreeSet::new();
+        for (_, _, event) in &schedule {
+            match event {
+                MhEvent::Join { guid, .. }
+                | MhEvent::HandoffIn { guid, .. }
+                | MhEvent::Resume { guid, .. } => {
+                    present.insert(*guid);
+                }
+                MhEvent::Leave { guid }
+                | MhEvent::FailureDetected { guid }
+                | MhEvent::Disconnect { guid } => {
+                    present.remove(guid);
+                }
+            }
+        }
+        present
+    }
+
+    /// Build a booted simulation with the entire schedule primed.
+    ///
+    /// Same-tick ties resolve in schedule order: crashes, then MH events,
+    /// then queries (the live runner replays the timeline in the same
+    /// order, so both substrates see identical same-tick semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] fails.
+    pub fn build_sim(&self) -> Simulation {
+        let layout = self.layout();
+        self.validate_with(&layout).expect("invalid scenario");
+        let mut sim = Simulation::new(layout, &self.cfg, self.net.clone(), self.seed);
+        sim.boot_all();
+        for c in &self.crashes {
+            sim.crash_at(c.at, c.node);
+        }
+        let mut schedule = self.mh_schedule.clone();
+        schedule.sort_by_key(|&(t, ap, _)| (t, ap));
+        for (at, ap, event) in schedule {
+            sim.schedule_mh(at, ap, event);
+        }
+        for q in &self.queries {
+            sim.schedule_query(q.at, q.node, q.scope);
+        }
+        sim
+    }
+
+    /// Run the scenario on the simulator substrate for its full duration
+    /// and collect the outcome.
+    pub fn run_sim(&self) -> ScenarioOutcome {
+        let mut sim = self.build_sim();
+        sim.run_until(self.duration);
+        ScenarioOutcome::from_sim(&sim)
+    }
+}
+
+/// The substrate-independent result of running a scenario: every alive
+/// node's final membership view, keyed by node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Operational ring membership (by GUID) at each alive node.
+    pub views: BTreeMap<NodeId, BTreeSet<Guid>>,
+    /// NEs that were crashed during the run.
+    pub crashed: BTreeSet<NodeId>,
+}
+
+/// The operational GUIDs of a member list (the view a node would report).
+pub fn operational_guids(list: &MemberList) -> BTreeSet<Guid> {
+    list.iter().filter(|m| m.status == MemberStatus::Operational).map(|m| m.guid).collect()
+}
+
+impl ScenarioOutcome {
+    /// Collect the outcome of a finished simulation run.
+    pub fn from_sim(sim: &Simulation) -> Self {
+        let views = sim
+            .nodes
+            .iter()
+            .filter(|(id, _)| !sim.crashed.contains(id))
+            .map(|(&id, state)| (id, operational_guids(&state.ring_members)))
+            .collect();
+        ScenarioOutcome { views, crashed: sim.crashed.clone() }
+    }
+
+    /// If every listed (alive) node holds the same view, return it.
+    /// Nodes missing from the outcome (crashed) are skipped.
+    pub fn agreed_view(&self, nodes: &[NodeId]) -> Option<BTreeSet<Guid>> {
+        let mut agreed: Option<&BTreeSet<Guid>> = None;
+        for node in nodes {
+            let Some(view) = self.views.get(node) else { continue };
+            match agreed {
+                None => agreed = Some(view),
+                Some(prev) if prev == view => {}
+                Some(_) => return None,
+            }
+        }
+        agreed.cloned()
+    }
+
+    /// Human-readable diff of the views held at `nodes` between two
+    /// outcomes (e.g. the two substrates), or `None` when they all match.
+    pub fn diff(&self, other: &ScenarioOutcome, nodes: &[NodeId]) -> Option<String> {
+        let mut report = String::new();
+        for node in nodes {
+            let a = self.views.get(node);
+            let b = other.views.get(node);
+            if a != b {
+                report.push_str(&format!("node {node}: {a:?} vs {b:?}\n"));
+            }
+        }
+        (!report.is_empty()).then_some(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_runs_joins_to_full_agreement() {
+        let sc = Scenario::new("three joins", 2, 3).with_duration(5_000);
+        let layout = sc.layout();
+        let aps = layout.aps();
+        let sc = sc.join(0, aps[0], Guid(1), Luid(1)).join(5, aps[4], Guid(2), Luid(1)).join(
+            9,
+            aps[8],
+            Guid(3),
+            Luid(1),
+        );
+        let outcome = sc.run_sim();
+        let expected = sc.expected_guids();
+        assert_eq!(expected.len(), 3);
+        let root_nodes = layout.root_ring().nodes.clone();
+        let agreed = outcome.agreed_view(&root_nodes).expect("root ring agrees");
+        assert_eq!(agreed, expected);
+    }
+
+    #[test]
+    fn same_scenario_same_outcome() {
+        let build = || {
+            let sc = Scenario::new("churn", 2, 3).with_duration(4_000).with_seed(7);
+            sc.with_churn(ChurnParams {
+                initial_members: 10,
+                mean_join_interval: 0.0,
+                mean_lifetime: 500.0,
+                failure_fraction: 0.3,
+                duration: 4_000,
+            })
+        };
+        assert_eq!(build().run_sim(), build().run_sim());
+    }
+
+    #[test]
+    fn validation_rejects_bad_definitions() {
+        // MH event at a non-AP node (the root is not an access proxy).
+        let sc = Scenario::new("bad ap", 2, 3).join(0, NodeId(0), Guid(1), Luid(1));
+        assert!(sc.validate().unwrap_err().contains("non-AP"));
+        // Crash of a node outside the topology.
+        let sc = Scenario::new("bad crash", 2, 3).crash(0, NodeId(9_999));
+        assert!(sc.validate().unwrap_err().contains("unknown node"));
+        // Inverted latency band propagates out of NetConfig::validate.
+        let net = NetConfig {
+            wide_area: crate::network::LatencyBand { min: 10, max: 2 },
+            ..NetConfig::default()
+        };
+        let sc = Scenario::new("bad net", 2, 3).with_net(net);
+        assert!(sc.validate().unwrap_err().contains("wide_area"));
+        // Zero duration.
+        assert!(Scenario::new("no time", 2, 3).with_duration(0).validate().is_err());
+        // Events beyond the duration would silently stay unprocessed in
+        // the simulator but fire on a wall-clock substrate: config error.
+        let sc = Scenario::new("late", 1, 3).with_duration(100);
+        let ap = sc.layout().aps()[0];
+        let sc = sc.join(200, ap, Guid(1), Luid(1));
+        assert!(sc.validate().unwrap_err().contains("beyond duration"));
+    }
+
+    #[test]
+    fn expected_guids_tracks_departures() {
+        let sc = Scenario::new("departures", 1, 3);
+        let aps = sc.layout().aps();
+        let sc = sc.join(0, aps[0], Guid(1), Luid(1)).join(0, aps[1], Guid(2), Luid(1)).mh(
+            50,
+            aps[0],
+            MhEvent::Leave { guid: Guid(1) },
+        );
+        assert_eq!(sc.expected_guids(), BTreeSet::from([Guid(2)]));
+    }
+
+    #[test]
+    fn crashes_limit_the_outcome_views() {
+        let sc = Scenario::new("crash", 1, 4).with_duration(2_000);
+        let aps = sc.layout().aps();
+        let sc = sc.join(0, aps[0], Guid(1), Luid(1)).crash(1_000, aps[3]);
+        let outcome = sc.run_sim();
+        assert!(outcome.crashed.contains(&aps[3]));
+        assert!(!outcome.views.contains_key(&aps[3]), "crashed node reports no view");
+        assert_eq!(outcome.views.len(), 3);
+    }
+
+    #[test]
+    fn workload_generators_feed_the_schedule() {
+        let sc = Scenario::new("mobility", 2, 4).with_duration(2_000).with_mobility(10, 50.0);
+        assert!(
+            sc.mh_schedule.iter().any(|(_, _, e)| matches!(e, MhEvent::HandoffIn { .. })),
+            "mobility produced no handoffs"
+        );
+        assert!(sc.validate().is_ok());
+    }
+}

@@ -1,13 +1,24 @@
 //! The discrete-event simulation engine: an event queue over the sans-IO
 //! node state machines, with the network model supplying latency and loss,
 //! deterministic timer management, fault injection and metrics.
+//!
+//! The simulator is one of the two [`Substrate`] implementations shipped
+//! with this workspace (the other is `rgb-net`'s threaded runtime). Every
+//! protocol output is interpreted by the shared
+//! [`rgb_core::substrate::apply_outputs`] driver, which wire-encodes each
+//! send — so **every delivery in the simulated world crosses
+//! [`rgb_core::wire`]**, byte-for-byte the same codec the live runtime puts
+//! on its channels, and is decoded again on arrival. The wireless MH→AP hop
+//! travels as an encoded [`Msg::FromMh`] frame for the same reason.
 
 use crate::metrics::Metrics;
 use crate::network::{LinkClass, NetConfig, NetworkModel};
 use crate::rng::SplitMix64;
+use bytes::Bytes;
 use rgb_core::node::NodeState;
 use rgb_core::prelude::*;
 use rgb_core::topology::HierarchyLayout;
+use rgb_core::wire;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
@@ -33,12 +44,32 @@ impl PartialOrd for Event {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
-    Deliver { from: NodeId, to: NodeId, msg: Box<Msg> },
-    Timer { node: NodeId, kind: TimerKind },
-    MhSend { ap: NodeId, event: MhEvent },
-    MhDeliver { ap: NodeId, event: MhEvent },
-    Crash { node: NodeId },
-    QueryStart { node: NodeId, scope: QueryScope },
+    /// An encoded [`Envelope`] frame in flight between two NEs.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        frame: Bytes,
+    },
+    Timer {
+        node: NodeId,
+        kind: TimerKind,
+    },
+    MhSend {
+        ap: NodeId,
+        event: MhEvent,
+    },
+    /// An encoded [`Msg::FromMh`] frame crossing the wireless hop.
+    MhDeliver {
+        ap: NodeId,
+        frame: Bytes,
+    },
+    Crash {
+        node: NodeId,
+    },
+    QueryStart {
+        node: NodeId,
+        scope: QueryScope,
+    },
 }
 
 /// The discrete-event simulator.
@@ -66,10 +97,56 @@ pub struct Simulation {
     /// FIFO per MH (link-layer ordering), so a host's Leave can never
     /// overtake its own Join despite latency jitter.
     mh_last_delivery: BTreeMap<Guid, u64>,
+    /// Reusable output buffer for the hot loop (no per-input allocation).
+    out_buf: OutputSink,
+}
+
+impl Substrate for Simulation {
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn send_frame(&mut self, from: NodeId, to: NodeId, label: &'static str, frame: Bytes) {
+        let class = self.net.classify(&self.layout, from, to);
+        *self.metrics.sent_by_label.entry(label).or_insert(0) += 1;
+        *self.metrics.sent_by_class.entry(class).or_insert(0) += 1;
+        self.metrics.sent_total += 1;
+        if self.net.lost(class, &mut self.rng) {
+            self.metrics.lost += 1;
+            return;
+        }
+        let latency = self.net.latency(class, &mut self.rng);
+        self.push(self.now + latency, EventKind::Deliver { from, to, frame });
+    }
+
+    fn arm_timer(&mut self, node: NodeId, kind: TimerKind, after: u64) {
+        let at = self.now + after;
+        self.timers.insert((node, kind), at);
+        self.push(at, EventKind::Timer { node, kind });
+    }
+
+    fn cancel_timer(&mut self, node: NodeId, kind: TimerKind) {
+        self.timers.remove(&(node, kind));
+    }
+
+    fn deliver_app(&mut self, node: NodeId, event: AppEvent) {
+        self.metrics.app_events += 1;
+        if let AppEvent::QueryResult { .. } = &event {
+            if let Some(t0) = self.query_started.remove(&node) {
+                self.metrics.query_latency.record(self.now - t0);
+            }
+        }
+        self.delivered.entry(node).or_default().push((self.now, event));
+    }
 }
 
 impl Simulation {
     /// Build a simulation over `layout` with every node running `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` fails [`NetConfig::validate`] (e.g. an inverted
+    /// latency band).
     pub fn new(layout: HierarchyLayout, cfg: &ProtocolConfig, net: NetConfig, seed: u64) -> Self {
         let mut nodes = BTreeMap::new();
         for &id in layout.nodes.keys() {
@@ -92,6 +169,7 @@ impl Simulation {
             rng: SplitMix64::new(seed),
             query_started: BTreeMap::new(),
             mh_last_delivery: BTreeMap::new(),
+            out_buf: OutputSink::new(),
         }
     }
 
@@ -115,14 +193,23 @@ impl Simulation {
         }
     }
 
-    /// Deliver an input to a node right now and process the outputs.
+    /// Deliver an input to a node right now and process the outputs through
+    /// the shared [`apply_outputs`] driver (sends are wire-encoded).
     pub fn inject(&mut self, node: NodeId, input: Input) {
         if self.crashed.contains(&node) {
             return;
         }
-        let Some(state) = self.nodes.get_mut(&node) else { return };
-        let outs = state.handle(input);
-        self.process_outputs(node, outs);
+        let mut outs = std::mem::take(&mut self.out_buf);
+        match self.nodes.get_mut(&node) {
+            Some(state) => state.handle_into(input, &mut outs),
+            None => {
+                self.out_buf = outs;
+                return;
+            }
+        }
+        let gid = self.layout.gid;
+        apply_outputs(self, gid, node, &mut outs);
+        self.out_buf = outs;
     }
 
     /// Schedule a mobile-host event to reach `ap` after `delay` ticks plus
@@ -141,42 +228,15 @@ impl Simulation {
         self.push(self.now + delay, EventKind::QueryStart { node, scope });
     }
 
-    fn process_outputs(&mut self, node: NodeId, outs: Vec<Output>) {
-        for out in outs {
-            match out {
-                Output::Send { to, msg } => {
-                    let class = self.net.classify(&self.layout, node, to);
-                    *self.metrics.sent_by_label.entry(msg.label()).or_insert(0) += 1;
-                    *self.metrics.sent_by_class.entry(class).or_insert(0) += 1;
-                    self.metrics.sent_total += 1;
-                    if self.net.lost(class, &mut self.rng) {
-                        self.metrics.lost += 1;
-                        continue;
-                    }
-                    let latency = self.net.latency(class, &mut self.rng);
-                    self.push(
-                        self.now + latency,
-                        EventKind::Deliver { from: node, to, msg: Box::new(msg) },
-                    );
-                }
-                Output::SetTimer { kind, after } => {
-                    let at = self.now + after;
-                    self.timers.insert((node, kind), at);
-                    self.push(at, EventKind::Timer { node, kind });
-                }
-                Output::CancelTimer { kind } => {
-                    self.timers.remove(&(node, kind));
-                }
-                Output::Deliver(ev) => {
-                    self.metrics.app_events += 1;
-                    if let AppEvent::QueryResult { .. } = &ev {
-                        if let Some(t0) = self.query_started.remove(&node) {
-                            self.metrics.query_latency.record(self.now - t0);
-                        }
-                    }
-                    self.delivered.entry(node).or_default().push((self.now, ev));
-                }
+    /// Decode an arrived frame and feed it to `to`. Frames that fail to
+    /// decode or carry a foreign group id are dropped and counted, exactly
+    /// like the live runtime's receive path.
+    fn deliver_frame(&mut self, from: NodeId, to: NodeId, frame: &Bytes) {
+        match wire::decode(frame) {
+            Ok(env) if env.gid == self.layout.gid => {
+                self.inject(to, Input::Msg { from, msg: env.msg });
             }
+            _ => self.metrics.codec_rejected += 1,
         }
     }
 
@@ -185,9 +245,9 @@ impl Simulation {
         let Some(Reverse(ev)) = self.events.pop() else { return false };
         self.now = self.now.max(ev.at);
         match ev.kind {
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver { from, to, frame } => {
                 if !self.crashed.contains(&to) {
-                    self.inject(to, Input::Msg { from, msg: *msg });
+                    self.deliver_frame(from, to, &frame);
                 }
             }
             EventKind::Timer { node, kind } => {
@@ -216,12 +276,25 @@ impl Simulation {
                     let earliest = self.mh_last_delivery.get(&guid).map(|&t| t + 1).unwrap_or(0);
                     let at = (self.now + latency).max(earliest);
                     self.mh_last_delivery.insert(guid, at);
-                    self.push(at, EventKind::MhDeliver { ap, event });
+                    let frame = wire::encode(&Envelope {
+                        gid: self.layout.gid,
+                        msg: Msg::FromMh { event },
+                    });
+                    self.push(at, EventKind::MhDeliver { ap, frame });
                 }
             }
-            EventKind::MhDeliver { ap, event } => {
+            EventKind::MhDeliver { ap, frame } => {
                 if !self.crashed.contains(&ap) {
-                    self.inject(ap, Input::Mh(event));
+                    match wire::decode(&frame) {
+                        Ok(env) if env.gid == self.layout.gid => {
+                            if let Msg::FromMh { event } = env.msg {
+                                self.inject(ap, Input::Mh(event));
+                            } else {
+                                self.metrics.codec_rejected += 1;
+                            }
+                        }
+                        _ => self.metrics.codec_rejected += 1,
+                    }
                 }
             }
             EventKind::Crash { node } => {
@@ -333,6 +406,7 @@ mod tests {
             assert!(sim.member_at(n, Guid(9)));
         }
         assert_eq!(sim.metrics.sent("from_mh"), 1);
+        assert_eq!(sim.metrics.codec_rejected, 0, "all frames decode");
     }
 
     #[test]
@@ -424,5 +498,31 @@ mod tests {
             assert!(sim.member_at(n, Guid(6)), "loss prevented agreement at {n}");
         }
         assert!(sim.metrics.lost > 0, "loss model never fired");
+    }
+
+    #[test]
+    fn corrupt_frames_are_dropped_and_counted() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        sim.boot_all();
+        let nodes = sim.layout.root_ring().nodes.clone();
+        let before = sim.metrics.sent_total;
+        sim.send_frame(nodes[0], nodes[1], "token", Bytes::from(vec![1, 2, 3]));
+        while sim.step() {}
+        assert_eq!(sim.metrics.codec_rejected, 1, "garbage frame must be rejected");
+        assert_eq!(sim.metrics.sent_total, before + 1, "send was still counted");
+    }
+
+    #[test]
+    fn foreign_group_frames_are_rejected() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        sim.boot_all();
+        let nodes = sim.layout.root_ring().nodes.clone();
+        let frame = wire::encode(&Envelope {
+            gid: GroupId(99),
+            msg: Msg::TokenAck { ring: RingId(0), seq: 1 },
+        });
+        sim.send_frame(nodes[0], nodes[1], "token_ack", frame);
+        while sim.step() {}
+        assert_eq!(sim.metrics.codec_rejected, 1, "foreign gid must be rejected");
     }
 }

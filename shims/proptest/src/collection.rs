@@ -32,7 +32,7 @@ impl SizeRange {
     }
 }
 
-/// Strategy for `Vec<S::Value>` (see [`vec`]).
+/// Strategy for `Vec<S::Value>` (see [`vec()`]).
 #[derive(Debug)]
 pub struct VecStrategy<S> {
     element: S,

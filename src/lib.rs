@@ -3,17 +3,18 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
-//! * [`core`](rgb_core) — the sans-IO RGB protocol (ring-based hierarchy,
-//!   one-round token passing, membership query, fast handoff, fault
-//!   detection and local repair);
-//! * [`sim`](rgb_sim) — the deterministic discrete-event mobile-Internet
-//!   simulator;
-//! * [`net`](rgb_net) — the live threaded runtime (one thread per network
-//!   entity over a binary wire format);
-//! * [`analysis`](rgb_analysis) — the paper's formulas (1)–(8), Table I/II
-//!   generators and Monte-Carlo validators;
-//! * [`baselines`](rgb_baselines) — the CONGRESS-style tree hierarchy, the
-//!   §5.2 transformation hierarchy and a flat Totem-style ring.
+//! * [`core`] — the sans-IO RGB protocol (ring-based hierarchy, one-round
+//!   token passing, membership query, fast handoff, fault detection and
+//!   local repair) plus the substrate layer every execution backend
+//!   implements;
+//! * [`sim`] — the deterministic discrete-event mobile-Internet simulator
+//!   and the declarative [`Scenario`](rgb_sim::Scenario) experiment engine;
+//! * [`net`] — the live threaded runtime (one thread per network entity
+//!   over a binary wire format), which replays the same scenarios;
+//! * [`analysis`] — the paper's formulas (1)–(8), Table I/II generators and
+//!   Monte-Carlo validators;
+//! * [`baselines`] — the CONGRESS-style tree hierarchy, the §5.2
+//!   transformation hierarchy and a flat Totem-style ring.
 //!
 //! See `examples/` for runnable walkthroughs and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
@@ -29,6 +30,6 @@ pub use rgb_sim as sim;
 /// Everything a typical user needs.
 pub mod prelude {
     pub use rgb_core::prelude::*;
-    pub use rgb_net::LiveCluster;
-    pub use rgb_sim::{NetConfig, Simulation};
+    pub use rgb_net::{run_scenario, LiveCluster};
+    pub use rgb_sim::{NetConfig, Scenario, ScenarioOutcome, Simulation};
 }

@@ -1,0 +1,87 @@
+//! Criterion micro-benches for the simulator's dispatch primitives —
+//! `Simulation::step` (event pop + protocol handling) and the
+//! `Substrate::send_frame` classify/count/schedule path — the two hot
+//! functions the engine overhaul targets. The macro-scenario numbers live
+//! in `bench_engine` (`BENCH_sim.json`); these isolate the per-event cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rgb_core::prelude::*;
+use rgb_sim::sim::Simulation;
+use rgb_sim::{NetConfig, Scenario};
+use std::hint::black_box;
+
+/// A booted continuous-token simulation with traffic in flight.
+fn running_sim() -> Simulation {
+    let mut cfg = ProtocolConfig::live();
+    cfg.token_interval = 10;
+    cfg.token_retransmit_timeout = 30;
+    cfg.heartbeat_interval = 100;
+    cfg.token_lost_timeout = 400;
+    let scenario =
+        Scenario::new("micro", 2, 4).with_cfg(cfg).with_seed(42).with_duration(u64::MAX / 4);
+    let mut sim = scenario.build_sim();
+    let aps = sim.layout.aps();
+    for (i, &ap) in aps.iter().enumerate() {
+        sim.schedule_mh(i as u64, ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+    }
+    // Reach steady state so step() measures the sustained dispatch loop.
+    sim.run_until(2_000);
+    sim
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    const BATCH: u64 = 10_000;
+    group.throughput(Throughput::Elements(BATCH));
+    group.bench_function("continuous_tokens_h2_r4", |b| {
+        let mut sim = running_sim();
+        b.iter(|| {
+            for _ in 0..BATCH {
+                if !sim.step() {
+                    // Continuous rings never quiesce; this is unreachable,
+                    // but keep the bench robust against config changes.
+                    sim = running_sim();
+                }
+            }
+            black_box(sim.now)
+        })
+    });
+    group.finish();
+}
+
+fn bench_send_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_send_frame");
+    const BATCH: u64 = 10_000;
+    group.throughput(Throughput::Elements(BATCH));
+    // Pairs covering all three NE link classes, in a h=3 hierarchy.
+    group.bench_function("classify_count_schedule", |b| {
+        let mut sim = Simulation::full(3, 4, &ProtocolConfig::default(), NetConfig::default(), 7);
+        sim.boot_all();
+        let ring = sim.layout.rings_at(2).next().unwrap().clone();
+        let sponsor = ring.parent_node.unwrap();
+        let far = *sim.layout.aps().last().unwrap();
+        let frame = rgb_core::wire::encode(&Envelope {
+            gid: sim.layout.gid,
+            msg: Msg::TokenAck { ring: ring.id, seq: 1 },
+        });
+        let pairs = [
+            (ring.nodes[0], ring.nodes[1]), // intra-ring
+            (ring.nodes[0], sponsor),       // inter-tier
+            (ring.nodes[0], far),           // wide-area
+        ];
+        b.iter(|| {
+            for i in 0..BATCH {
+                let (from, to) = pairs[(i % 3) as usize];
+                sim.send_frame(from, to, MsgLabel::TokenAck, frame.clone());
+            }
+            // Drain what was scheduled so the queue doesn't grow across
+            // samples and pops are part of the measured cost.
+            while sim.step() {}
+            black_box(sim.metrics.sent_total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(engine_micro, bench_step, bench_send_frame);
+criterion_main!(engine_micro);

@@ -35,7 +35,10 @@ fn protocol_fault_trial(f: f64, seed: u64) -> bool {
     let mut scenario = Scenario::new("E9c: bernoulli faults under churn", 2, 5)
         .with_cfg(cfg)
         .with_seed(seed)
-        .with_duration(8_000);
+        .with_duration(8_000)
+        // Only the final views matter; cap the per-node app-event log so
+        // tens of thousands of trials never accumulate delivery history.
+        .with_delivered_cap(16);
     let layout = scenario.layout();
     // One member per AP, joined at the start.
     for (i, &ap) in layout.aps().iter().enumerate() {

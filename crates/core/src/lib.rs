@@ -91,8 +91,8 @@ pub mod prelude {
     pub use crate::ids::{GroupId, Guid, Luid, NodeId, RingId, Tier};
     pub use crate::member::{MemberInfo, MemberList, MemberStatus};
     pub use crate::message::{
-        ChangeId, ChangeOp, ChangeRecord, Envelope, MhEvent, Msg, NotifyKind, OpKind, QueryId,
-        QueryScope, RingSnapshot, StatusSummary,
+        ChangeId, ChangeOp, ChangeRecord, Envelope, MhEvent, Msg, MsgLabel, NotifyKind, OpKind,
+        QueryId, QueryScope, RingSnapshot, StatusSummary,
     };
     pub use crate::mq::MessageQueue;
     pub use crate::node::{ChildLink, NodeState, NodeStats};
@@ -100,6 +100,8 @@ pub mod prelude {
     pub use crate::substrate::{apply_outputs, OutputSink, Substrate};
     pub use crate::testing::Loopback;
     pub use crate::token::Token;
-    pub use crate::topology::{HierarchyLayout, HierarchySpec, NodePlacement, RingSpec};
+    pub use crate::topology::{
+        HierarchyLayout, HierarchySpec, NodeIdx, NodeIndexer, NodePlacement, RingSpec,
+    };
     pub use crate::view::{View, ViewId};
 }

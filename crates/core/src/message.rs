@@ -396,27 +396,133 @@ pub struct RingSnapshot {
     pub level_ring_counts: Vec<u32>,
 }
 
-impl Msg {
-    /// Short label for metrics.
-    pub fn label(&self) -> &'static str {
+/// Dense message-class identifier: one slot per [`Msg::label`] string.
+///
+/// Hot counters (the simulator's per-label send metrics) index fixed
+/// arrays by `MsgLabel as usize` instead of walking a string-keyed map;
+/// [`MsgLabel::as_str`] recovers the human-readable view for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum MsgLabel {
+    /// [`Msg::Token`].
+    Token = 0,
+    /// [`Msg::TokenAck`].
+    TokenAck,
+    /// [`Msg::MqInsert`] with [`NotifyKind::Local`].
+    MqLocal,
+    /// [`Msg::MqInsert`] with [`NotifyKind::ToParent`].
+    NotifyParent,
+    /// [`Msg::MqInsert`] with [`NotifyKind::ToChild`].
+    NotifyChild,
+    /// [`Msg::HolderAck`].
+    HolderAck,
+    /// [`Msg::HeartbeatUp`].
+    HbUp,
+    /// [`Msg::HeartbeatDown`].
+    HbDown,
+    /// [`Msg::AttachChild`].
+    AttachChild,
+    /// [`Msg::AttachAccepted`].
+    AttachAccepted,
+    /// [`Msg::QueryRequest`].
+    QueryReq,
+    /// [`Msg::QueryResponse`].
+    QueryResp,
+    /// [`Msg::JoinRing`].
+    JoinRing,
+    /// [`Msg::MergeRings`].
+    MergeRings,
+    /// [`Msg::RingSync`].
+    RingSync,
+    /// [`Msg::FromMh`] (the wireless hop).
+    FromMh,
+}
+
+impl MsgLabel {
+    /// Number of label slots (array dimension for per-label counters).
+    pub const COUNT: usize = 16;
+
+    /// Every label, in slot order.
+    pub const ALL: [MsgLabel; Self::COUNT] = [
+        MsgLabel::Token,
+        MsgLabel::TokenAck,
+        MsgLabel::MqLocal,
+        MsgLabel::NotifyParent,
+        MsgLabel::NotifyChild,
+        MsgLabel::HolderAck,
+        MsgLabel::HbUp,
+        MsgLabel::HbDown,
+        MsgLabel::AttachChild,
+        MsgLabel::AttachAccepted,
+        MsgLabel::QueryReq,
+        MsgLabel::QueryResp,
+        MsgLabel::JoinRing,
+        MsgLabel::MergeRings,
+        MsgLabel::RingSync,
+        MsgLabel::FromMh,
+    ];
+
+    /// The metrics string this slot corresponds to (same strings
+    /// [`Msg::label`] always produced).
+    pub fn as_str(self) -> &'static str {
         match self {
-            Msg::Token(_) => "token",
-            Msg::TokenAck { .. } => "token_ack",
-            Msg::MqInsert { kind: NotifyKind::Local, .. } => "mq_local",
-            Msg::MqInsert { kind: NotifyKind::ToParent, .. } => "notify_parent",
-            Msg::MqInsert { kind: NotifyKind::ToChild, .. } => "notify_child",
-            Msg::HolderAck { .. } => "holder_ack",
-            Msg::HeartbeatUp(_) => "hb_up",
-            Msg::HeartbeatDown(_) => "hb_down",
-            Msg::AttachChild { .. } => "attach_child",
-            Msg::AttachAccepted { .. } => "attach_accepted",
-            Msg::QueryRequest { .. } => "query_req",
-            Msg::QueryResponse { .. } => "query_resp",
-            Msg::JoinRing { .. } => "join_ring",
-            Msg::MergeRings { .. } => "merge_rings",
-            Msg::RingSync(_) => "ring_sync",
-            Msg::FromMh { .. } => "from_mh",
+            MsgLabel::Token => "token",
+            MsgLabel::TokenAck => "token_ack",
+            MsgLabel::MqLocal => "mq_local",
+            MsgLabel::NotifyParent => "notify_parent",
+            MsgLabel::NotifyChild => "notify_child",
+            MsgLabel::HolderAck => "holder_ack",
+            MsgLabel::HbUp => "hb_up",
+            MsgLabel::HbDown => "hb_down",
+            MsgLabel::AttachChild => "attach_child",
+            MsgLabel::AttachAccepted => "attach_accepted",
+            MsgLabel::QueryReq => "query_req",
+            MsgLabel::QueryResp => "query_resp",
+            MsgLabel::JoinRing => "join_ring",
+            MsgLabel::MergeRings => "merge_rings",
+            MsgLabel::RingSync => "ring_sync",
+            MsgLabel::FromMh => "from_mh",
         }
+    }
+
+    /// Reverse lookup from the string view (reports, test assertions).
+    pub fn from_name(label: &str) -> Option<MsgLabel> {
+        Self::ALL.into_iter().find(|l| l.as_str() == label)
+    }
+}
+
+impl std::fmt::Display for MsgLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Msg {
+    /// Dense message-class identifier (hot-path metrics key).
+    pub fn label_kind(&self) -> MsgLabel {
+        match self {
+            Msg::Token(_) => MsgLabel::Token,
+            Msg::TokenAck { .. } => MsgLabel::TokenAck,
+            Msg::MqInsert { kind: NotifyKind::Local, .. } => MsgLabel::MqLocal,
+            Msg::MqInsert { kind: NotifyKind::ToParent, .. } => MsgLabel::NotifyParent,
+            Msg::MqInsert { kind: NotifyKind::ToChild, .. } => MsgLabel::NotifyChild,
+            Msg::HolderAck { .. } => MsgLabel::HolderAck,
+            Msg::HeartbeatUp(_) => MsgLabel::HbUp,
+            Msg::HeartbeatDown(_) => MsgLabel::HbDown,
+            Msg::AttachChild { .. } => MsgLabel::AttachChild,
+            Msg::AttachAccepted { .. } => MsgLabel::AttachAccepted,
+            Msg::QueryRequest { .. } => MsgLabel::QueryReq,
+            Msg::QueryResponse { .. } => MsgLabel::QueryResp,
+            Msg::JoinRing { .. } => MsgLabel::JoinRing,
+            Msg::MergeRings { .. } => MsgLabel::MergeRings,
+            Msg::RingSync(_) => MsgLabel::RingSync,
+            Msg::FromMh { .. } => MsgLabel::FromMh,
+        }
+    }
+
+    /// Short label for metrics (string view of [`Msg::label_kind`]).
+    pub fn label(&self) -> &'static str {
+        self.label_kind().as_str()
     }
 }
 

@@ -19,7 +19,7 @@
 
 use crate::events::{AppEvent, Output, TimerKind};
 use crate::ids::{GroupId, NodeId};
-use crate::message::Envelope;
+use crate::message::{Envelope, MsgLabel};
 use crate::wire;
 use bytes::Bytes;
 
@@ -42,10 +42,11 @@ pub trait Substrate {
 
     /// Transmit an encoded [`Envelope`] frame from `from` to `to`.
     ///
-    /// `label` is the payload's [`crate::message::Msg::label`], passed along
-    /// so substrates can attribute traffic to message classes without
-    /// decoding the frame they are merely transporting.
-    fn send_frame(&mut self, from: NodeId, to: NodeId, label: &'static str, frame: Bytes);
+    /// `label` is the payload's [`crate::message::Msg::label_kind`], passed
+    /// along so substrates can attribute traffic to message classes (a
+    /// dense counter index, no string handling) without decoding the frame
+    /// they are merely transporting.
+    fn send_frame(&mut self, from: NodeId, to: NodeId, label: MsgLabel, frame: Bytes);
 
     /// Arm (or re-arm) `kind` for `node`, `after` ticks from now.
     fn arm_timer(&mut self, node: NodeId, kind: TimerKind, after: u64);
@@ -73,7 +74,7 @@ pub fn apply_outputs<S: Substrate + ?Sized>(
     for out in outs.drain(..) {
         match out {
             Output::Send { to, msg } => {
-                let label = msg.label();
+                let label = msg.label_kind();
                 let frame = wire::encode(&Envelope { gid, msg });
                 substrate.send_frame(node, to, label, frame);
             }
@@ -92,7 +93,7 @@ mod tests {
 
     #[derive(Default)]
     struct Recorder {
-        frames: Vec<(NodeId, NodeId, &'static str, Bytes)>,
+        frames: Vec<(NodeId, NodeId, MsgLabel, Bytes)>,
         armed: Vec<(NodeId, TimerKind, u64)>,
         cancelled: Vec<(NodeId, TimerKind)>,
         apps: Vec<(NodeId, AppEvent)>,
@@ -102,7 +103,7 @@ mod tests {
         fn now(&self) -> u64 {
             0
         }
-        fn send_frame(&mut self, from: NodeId, to: NodeId, label: &'static str, frame: Bytes) {
+        fn send_frame(&mut self, from: NodeId, to: NodeId, label: MsgLabel, frame: Bytes) {
             self.frames.push((from, to, label, frame));
         }
         fn arm_timer(&mut self, node: NodeId, kind: TimerKind, after: u64) {
@@ -124,7 +125,8 @@ mod tests {
         apply_outputs(&mut rec, GroupId(9), NodeId(1), &mut outs);
         assert!(outs.is_empty(), "driver must drain the sink");
         let (from, to, label, frame) = rec.frames.pop().expect("one frame");
-        assert_eq!((from, to, label), (NodeId(1), NodeId(2), "token_ack"));
+        assert_eq!((from, to, label), (NodeId(1), NodeId(2), MsgLabel::TokenAck));
+        assert_eq!(label.as_str(), "token_ack");
         let env = wire::decode(&frame).expect("frame decodes");
         assert_eq!(env.gid, GroupId(9));
         assert_eq!(env.msg, msg);

@@ -336,6 +336,113 @@ impl HierarchyLayout {
         let tree_edges = self.rings.iter().filter(|r| r.parent_ring.is_some()).count();
         ring_edges + tree_edges
     }
+
+    /// Build the dense-index arena over this layout (see [`NodeIndexer`]).
+    pub fn indexer(&self) -> NodeIndexer {
+        NodeIndexer::new(self)
+    }
+
+    /// Dense index of `id` (its rank in id order), without a prebuilt
+    /// [`NodeIndexer`]. Convenience for cold paths; hot loops should build
+    /// the indexer once and use [`NodeIndexer::index_of`].
+    pub fn index_of(&self, id: NodeId) -> Option<NodeIdx> {
+        self.nodes.contains_key(&id).then(|| {
+            let rank = self.nodes.range(..id).count();
+            NodeIdx(rank as u32)
+        })
+    }
+}
+
+/// Dense per-layout node handle: the rank of a [`NodeId`] in id order.
+///
+/// Simulation state (`nodes`, `crashed`, `delivered`, timer slots) lives in
+/// plain `Vec`s indexed by `NodeIdx`, so the event dispatch loop performs
+/// array loads instead of `BTreeMap` walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// The index as a `usize` (array subscript).
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional `NodeId` ↔ [`NodeIdx`] map for one layout.
+///
+/// Spec-built layouts number their nodes densely (`0..n`), so the common
+/// case is a direct-mapped O(1) translation table; irregular
+/// [`HierarchyLayout::custom`] layouts with sparse ids fall back to a
+/// direct map over `0..=max_id` when that is affordably small, and to
+/// binary search otherwise. Either way the indexer is immutable and cheap
+/// to consult from the hot path.
+#[derive(Debug, Clone)]
+pub struct NodeIndexer {
+    /// idx → id, ascending (so `NodeIdx` order is `NodeId` order).
+    ids: Vec<NodeId>,
+    /// id → idx + 1 (0 = absent) when direct mapping is affordable.
+    direct: Vec<u32>,
+}
+
+impl NodeIndexer {
+    /// Sparse layouts get a direct map only while it stays within a small
+    /// constant factor of the node count.
+    const DIRECT_MAP_SLACK: usize = 4;
+
+    /// Build the arena over `layout`.
+    pub fn new(layout: &HierarchyLayout) -> Self {
+        let ids: Vec<NodeId> = layout.nodes.keys().copied().collect();
+        let max_id = ids.last().map(|n| n.0 as usize).unwrap_or(0);
+        let direct = if ids.is_empty() || max_id < Self::DIRECT_MAP_SLACK * ids.len() + 64 {
+            let mut table = vec![0u32; max_id + 2];
+            for (idx, id) in ids.iter().enumerate() {
+                table[id.0 as usize] = idx as u32 + 1;
+            }
+            table
+        } else {
+            Vec::new()
+        };
+        NodeIndexer { ids, direct }
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dense index of `id`, or `None` for nodes outside the layout.
+    #[inline]
+    pub fn index_of(&self, id: NodeId) -> Option<NodeIdx> {
+        if self.direct.is_empty() {
+            self.ids.binary_search(&id).ok().map(|i| NodeIdx(i as u32))
+        } else {
+            match self.direct.get(id.0 as usize) {
+                Some(&slot) if slot != 0 => Some(NodeIdx(slot - 1)),
+                _ => None,
+            }
+        }
+    }
+
+    /// The id at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for this arena.
+    #[inline]
+    pub fn id_of(&self, idx: NodeIdx) -> NodeId {
+        self.ids[idx.as_usize()]
+    }
+
+    /// Dense iteration: every `(NodeIdx, NodeId)` pair in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeIdx, NodeId)> + '_ {
+        self.ids.iter().enumerate().map(|(i, &id)| (NodeIdx(i as u32), id))
+    }
 }
 
 #[cfg(test)]
@@ -474,5 +581,45 @@ mod tests {
         let ids: Vec<u64> = layout.nodes.keys().map(|n| n.0).collect();
         let expect: Vec<u64> = (0..layout.node_count() as u64).collect();
         assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn indexer_round_trips_dense_layout() {
+        let layout = HierarchySpec::new(3, 3).build(GroupId(1)).unwrap();
+        let idx = layout.indexer();
+        assert_eq!(idx.len(), layout.node_count());
+        for (i, id) in idx.iter() {
+            assert_eq!(idx.index_of(id), Some(i));
+            assert_eq!(idx.id_of(i), id);
+            assert_eq!(layout.index_of(id), Some(i));
+        }
+        // Dense spec layouts: idx == id.
+        assert_eq!(idx.index_of(NodeId(7)), Some(NodeIdx(7)));
+        assert_eq!(idx.index_of(NodeId(9_999)), None);
+        assert_eq!(layout.index_of(NodeId(9_999)), None);
+    }
+
+    #[test]
+    fn indexer_handles_sparse_custom_layouts() {
+        // Sparse ids force either the slack-bounded direct map or binary
+        // search; both must agree with rank-in-id-order semantics.
+        let layout = HierarchyLayout::custom(
+            GroupId(1),
+            vec![
+                vec![vec![NodeId(5), NodeId(900_000)]],
+                vec![vec![NodeId(17)], vec![NodeId(23), NodeId(1_000_000)]],
+            ],
+        )
+        .unwrap();
+        let idx = layout.indexer();
+        assert_eq!(idx.len(), 5);
+        let expect = [NodeId(5), NodeId(17), NodeId(23), NodeId(900_000), NodeId(1_000_000)];
+        for (rank, &id) in expect.iter().enumerate() {
+            assert_eq!(idx.index_of(id), Some(NodeIdx(rank as u32)), "rank of {id}");
+            assert_eq!(idx.id_of(NodeIdx(rank as u32)), id);
+            assert_eq!(layout.index_of(id), Some(NodeIdx(rank as u32)));
+        }
+        assert_eq!(idx.index_of(NodeId(6)), None);
+        assert_eq!(idx.index_of(NodeId(2_000_000)), None);
     }
 }

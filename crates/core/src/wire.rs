@@ -16,9 +16,33 @@ use crate::message::{
 use crate::token::Token;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+/// Conservative wire-size estimate for one message, so [`encode`] can
+/// reserve the whole buffer up front: the encoder is on the simulator's
+/// per-send hot path, where growth reallocations for token/membership
+/// payloads are measurable. Over-estimation only wastes a few transient
+/// bytes; under-estimation merely costs the realloc it normally would.
+fn size_hint(msg: &Msg) -> usize {
+    // Upper bounds per element: a ChangeRecord is a ChangeId (16) plus the
+    // largest ChangeOp (~34); a MemberInfo is 25 bytes.
+    const RECORD: usize = 56;
+    const MEMBER: usize = 25;
+    32 + match msg {
+        Msg::Token(t) => RECORD * t.ops.len() + 8 * (t.pending_nodes.len() + t.visited.len()) + 32,
+        Msg::MqInsert { records, .. } => RECORD * records.len(),
+        Msg::HolderAck { change_ids, .. } => 16 * change_ids.len(),
+        Msg::HeartbeatUp(s) | Msg::HeartbeatDown(s) => 8 * s.roster.len() + 16,
+        Msg::QueryResponse { members, .. } => MEMBER * members.len() + 16,
+        Msg::RingSync(s) => {
+            MEMBER * s.members.len() + 8 * s.roster.len() + 4 * s.level_ring_counts.len() + 64
+        }
+        Msg::MergeRings { roster, members, .. } => MEMBER * members.len() + 8 * roster.len(),
+        _ => 96,
+    }
+}
+
 /// Encode an envelope into a fresh buffer.
 pub fn encode(env: &Envelope) -> Bytes {
-    let mut buf = BytesMut::with_capacity(128);
+    let mut buf = BytesMut::with_capacity(size_hint(&env.msg));
     buf.put_u32_le(env.gid.0);
     put_msg(&mut buf, &env.msg);
     buf.freeze()

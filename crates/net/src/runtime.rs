@@ -13,6 +13,7 @@ use crate::transport::{Router, ToNode};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rgb_core::events::{AppEvent, Input, TimerKind};
 use rgb_core::member::MemberList;
+use rgb_core::message::MsgLabel;
 use rgb_core::node::NodeState;
 use rgb_core::prelude::NodeId;
 use rgb_core::substrate::{apply_outputs, OutputSink, Substrate};
@@ -59,7 +60,7 @@ impl Substrate for LiveSubstrate<'_> {
         (self.start.elapsed().as_nanos() / tick_ns) as u64
     }
 
-    fn send_frame(&mut self, from: NodeId, to: NodeId, _label: &'static str, frame: bytes::Bytes) {
+    fn send_frame(&mut self, from: NodeId, to: NodeId, _label: MsgLabel, frame: bytes::Bytes) {
         self.router.send_frame(from, to, frame);
     }
 

@@ -24,6 +24,7 @@ pub mod metrics;
 pub mod mobility;
 pub mod network;
 pub mod oracle;
+mod queue;
 pub mod rng;
 pub mod scenario;
 pub mod sim;
@@ -32,9 +33,9 @@ pub mod workload;
 pub use fault::{bernoulli_crashes, crash_in_ring, PlannedCrash};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use mobility::{MobilityModel, TimedEvent};
-pub use network::{LatencyBand, LinkClass, NetConfig, NetworkModel};
+pub use network::{LatencyBand, LinkClass, LinkClassMatrix, NetConfig, NetworkModel};
 pub use oracle::{check_repair_complete, check_ring_consistency, function_well_report};
 pub use rng::SplitMix64;
 pub use scenario::{operational_guids, Scenario, ScenarioOutcome, TimedQuery};
-pub use sim::Simulation;
+pub use sim::{QueueKind, Simulation};
 pub use workload::{churn, expected_members, ChurnParams};

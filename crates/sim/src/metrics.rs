@@ -1,7 +1,14 @@
 //! Simulation metrics: message counters by label and link class, and a
 //! simple quantile-capable histogram for latencies.
+//!
+//! The send counters sit on the simulator's hottest path (one increment
+//! per transmitted frame), so they are **fixed-slot arrays** indexed by
+//! [`MsgLabel`] and [`LinkClass`] — no map walks, no string hashing. The
+//! string-keyed views the reports and tests consume are materialised on
+//! demand by [`Metrics::by_label`] / [`Metrics::by_class`].
 
 use crate::network::LinkClass;
+use rgb_core::prelude::MsgLabel;
 use std::collections::BTreeMap;
 
 /// A latency histogram backed by a sorted sample vector (simulations are
@@ -60,10 +67,10 @@ impl Histogram {
 /// Counters collected during a simulation.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    /// Messages sent, by [`rgb_core::prelude::Msg::label`].
-    pub sent_by_label: BTreeMap<&'static str, u64>,
-    /// Messages sent, by link class.
-    pub sent_by_class: BTreeMap<LinkClass, u64>,
+    /// Messages sent, one slot per [`MsgLabel`].
+    sent_by_label: [u64; MsgLabel::COUNT],
+    /// Messages sent, one slot per [`LinkClass`].
+    sent_by_class: [u64; LinkClass::COUNT],
     /// Messages lost in the network.
     pub lost: u64,
     /// Frames that arrived but were dropped by the receive path because
@@ -75,6 +82,12 @@ pub struct Metrics {
     pub sent_total: u64,
     /// Application events delivered.
     pub app_events: u64,
+    /// Application events dropped by the opt-in `delivered` cap (see
+    /// `Simulation::set_delivered_cap`).
+    pub app_events_dropped: u64,
+    /// Superseded timer entries drained lazily from the event queue (a
+    /// re-arm outpaced the old expiry; the stale entry was skipped).
+    pub stale_timer_skips: u64,
     /// Per-change end-to-end latency (injection → root execution).
     pub change_latency: Histogram,
     /// Per-query latency (request → result).
@@ -82,9 +95,24 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Count of a single label.
+    /// Count one transmitted frame (hot path: two array increments).
+    #[inline]
+    pub fn record_send(&mut self, label: MsgLabel, class: LinkClass) {
+        self.sent_by_label[label as usize] += 1;
+        self.sent_by_class[class.index()] += 1;
+        self.sent_total += 1;
+    }
+
+    /// Count of a single label slot.
+    #[inline]
+    pub fn sent_label(&self, label: MsgLabel) -> u64 {
+        self.sent_by_label[label as usize]
+    }
+
+    /// Count of a single label by its string view (reports, assertions).
+    /// Unknown labels count 0.
     pub fn sent(&self, label: &str) -> u64 {
-        self.sent_by_label.get(label).copied().unwrap_or(0)
+        MsgLabel::from_name(label).map(|l| self.sent_label(l)).unwrap_or(0)
     }
 
     /// Sum over a set of labels.
@@ -92,10 +120,42 @@ impl Metrics {
         labels.iter().map(|l| self.sent(l)).sum()
     }
 
+    /// Count of one link class.
+    #[inline]
+    pub fn sent_class(&self, class: LinkClass) -> u64 {
+        self.sent_by_class[class.index()]
+    }
+
     /// The paper's "proposal" traffic: everything except acknowledgements
     /// and heartbeats (formulas (1)–(6) count proposal hops only).
     pub fn proposal_hops(&self) -> u64 {
-        self.sent_any(&["token", "notify_parent", "notify_child", "mq_local", "from_mh"])
+        [
+            MsgLabel::Token,
+            MsgLabel::NotifyParent,
+            MsgLabel::NotifyChild,
+            MsgLabel::MqLocal,
+            MsgLabel::FromMh,
+        ]
+        .into_iter()
+        .map(|l| self.sent_label(l))
+        .sum()
+    }
+
+    /// String-keyed view of the per-label counters (non-zero entries).
+    pub fn by_label(&self) -> BTreeMap<&'static str, u64> {
+        MsgLabel::ALL
+            .into_iter()
+            .filter(|&l| self.sent_label(l) > 0)
+            .map(|l| (l.as_str(), self.sent_label(l)))
+            .collect()
+    }
+
+    /// Per-class view of the send counters (non-zero entries).
+    pub fn by_class(&self) -> impl Iterator<Item = (LinkClass, u64)> + '_ {
+        LinkClass::ALL
+            .into_iter()
+            .filter(|&c| self.sent_class(c) > 0)
+            .map(|c| (c, self.sent_class(c)))
     }
 
     /// Take a snapshot of the counter totals (for differencing).
@@ -103,7 +163,7 @@ impl Metrics {
         MetricsSnapshot {
             sent_total: self.sent_total,
             proposal_hops: self.proposal_hops(),
-            sent_by_label: self.sent_by_label.clone(),
+            sent_by_label: self.by_label(),
         }
     }
 }
@@ -123,7 +183,7 @@ impl MetricsSnapshot {
     /// Per-label difference `now - self`.
     pub fn delta(&self, now: &Metrics) -> BTreeMap<&'static str, u64> {
         let mut out = BTreeMap::new();
-        for (&label, &count) in &now.sent_by_label {
+        for (label, count) in now.by_label() {
             let before = self.sent_by_label.get(label).copied().unwrap_or(0);
             if count > before {
                 out.insert(label, count - before);
@@ -162,16 +222,39 @@ mod tests {
     #[test]
     fn metrics_sums_and_deltas() {
         let mut m = Metrics::default();
-        *m.sent_by_label.entry("token").or_insert(0) += 10;
-        *m.sent_by_label.entry("token_ack").or_insert(0) += 10;
-        *m.sent_by_label.entry("notify_parent").or_insert(0) += 2;
-        m.sent_total = 22;
+        for _ in 0..10 {
+            m.record_send(MsgLabel::Token, LinkClass::IntraRing);
+            m.record_send(MsgLabel::TokenAck, LinkClass::IntraRing);
+        }
+        m.record_send(MsgLabel::NotifyParent, LinkClass::InterTier);
+        m.record_send(MsgLabel::NotifyParent, LinkClass::InterTier);
+        assert_eq!(m.sent_total, 22);
         assert_eq!(m.sent("token"), 10);
+        assert_eq!(m.sent_label(MsgLabel::Token), 10);
+        assert_eq!(m.sent("unknown_label"), 0);
         assert_eq!(m.proposal_hops(), 12);
+        assert_eq!(m.sent_class(LinkClass::IntraRing), 20);
+        assert_eq!(m.sent_class(LinkClass::Wireless), 0);
+        assert_eq!(m.by_class().count(), 2, "only non-zero classes listed");
         let snap = m.snapshot();
-        *m.sent_by_label.entry("token").or_insert(0) += 5;
+        for _ in 0..5 {
+            m.record_send(MsgLabel::Token, LinkClass::IntraRing);
+        }
         let delta = snap.delta(&m);
         assert_eq!(delta.get("token"), Some(&5));
         assert_eq!(delta.get("token_ack"), None);
+    }
+
+    #[test]
+    fn label_views_round_trip() {
+        let mut m = Metrics::default();
+        m.record_send(MsgLabel::HbUp, LinkClass::InterTier);
+        let view = m.by_label();
+        assert_eq!(view.get("hb_up"), Some(&1));
+        assert_eq!(view.len(), 1);
+        // Every enum slot maps to a unique string and back.
+        for label in MsgLabel::ALL {
+            assert_eq!(MsgLabel::from_name(label.as_str()), Some(label));
+        }
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::rng::SplitMix64;
 use rgb_core::prelude::{NodeId, Tier};
-use rgb_core::topology::HierarchyLayout;
+use rgb_core::topology::{HierarchyLayout, NodeIdx, NodeIndexer};
 use serde::{Deserialize, Serialize};
 
 /// Classification of one transmission.
@@ -18,6 +18,26 @@ pub enum LinkClass {
     InterTier,
     /// Any other NE-to-NE path (query shortcuts, re-attachment probes).
     WideArea,
+}
+
+impl LinkClass {
+    /// Number of link classes (array dimension for per-class counters).
+    pub const COUNT: usize = 4;
+
+    /// Every class, in slot order.
+    pub const ALL: [LinkClass; Self::COUNT] =
+        [LinkClass::Wireless, LinkClass::IntraRing, LinkClass::InterTier, LinkClass::WideArea];
+
+    /// Dense counter slot of this class.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            LinkClass::Wireless => 0,
+            LinkClass::IntraRing => 1,
+            LinkClass::InterTier => 2,
+            LinkClass::WideArea => 3,
+        }
+    }
 }
 
 /// Latency band for one link class, in simulator ticks.
@@ -210,6 +230,112 @@ impl NetworkModel {
     /// Tier of a node (diagnostics).
     pub fn tier(&self, layout: &HierarchyLayout, node: NodeId) -> Option<Tier> {
         layout.placement(node).ok().map(|p| p.tier)
+    }
+}
+
+/// Compact hierarchy coordinates of one node, for O(1) link
+/// classification: two loads and a handful of integer compares replace the
+/// two `placement()` B-tree walks of [`NetworkModel::classify`].
+#[derive(Debug, Clone, Copy)]
+struct NodeCoords {
+    /// Ring id.
+    ring: u32,
+    /// Sponsor's dense index + 1 (0 = root ring, no sponsor).
+    parent: u32,
+    /// Sponsored child ring id + 1 (0 = leaf node, no child ring).
+    child_ring: u32,
+}
+
+/// Precomputed link classification for every ordered node pair of one
+/// layout.
+///
+/// Built once at `Simulation::new`: for small hierarchies the full N×N
+/// byte matrix makes `send_frame` classification a single indexed load;
+/// beyond [`LinkClassMatrix::DENSE_LIMIT`] nodes the matrix would no
+/// longer fit hot caches, so classification falls back to the compressed
+/// per-pair form — two compact per-node coordinate loads and integer
+/// compares, still
+/// O(1) and allocation-free. Both forms agree with
+/// [`NetworkModel::classify`] on every pair (property-tested).
+#[derive(Debug, Clone)]
+pub struct LinkClassMatrix {
+    n: usize,
+    /// Row-major `n × n` classes; empty when `n > DENSE_LIMIT`.
+    dense: Vec<LinkClass>,
+    /// Per-node compressed coordinates (always built; the fallback and the
+    /// matrix builder share it).
+    coords: Vec<NodeCoords>,
+}
+
+impl LinkClassMatrix {
+    /// Largest node count that still gets the full N×N byte matrix (1 MiB
+    /// at the limit).
+    pub const DENSE_LIMIT: usize = 1024;
+
+    /// Precompute the matrix for `layout`.
+    pub fn new(layout: &HierarchyLayout, indexer: &NodeIndexer) -> Self {
+        let n = indexer.len();
+        let coords: Vec<NodeCoords> = (0..n)
+            .map(|i| {
+                let id = indexer.id_of(NodeIdx(i as u32));
+                let p = layout.placement(id).expect("indexer node is in layout");
+                NodeCoords {
+                    ring: p.ring.0,
+                    parent: p
+                        .parent_node
+                        .and_then(|pn| indexer.index_of(pn))
+                        .map(|pi| pi.0 + 1)
+                        .unwrap_or(0),
+                    child_ring: p.child_ring.map(|r| r.0 + 1).unwrap_or(0),
+                }
+            })
+            .collect();
+        let mut matrix = LinkClassMatrix { n, dense: Vec::new(), coords };
+        if n <= Self::DENSE_LIMIT {
+            let mut dense = vec![LinkClass::WideArea; n * n];
+            for a in 0..n {
+                for b in 0..n {
+                    dense[a * n + b] =
+                        matrix.classify_compact(NodeIdx(a as u32), NodeIdx(b as u32));
+                }
+            }
+            matrix.dense = dense;
+        }
+        matrix
+    }
+
+    /// Classify via the compressed per-pair form.
+    #[inline]
+    fn classify_compact(&self, from: NodeIdx, to: NodeIdx) -> LinkClass {
+        let a = self.coords[from.as_usize()];
+        let b = self.coords[to.as_usize()];
+        if a.ring == b.ring {
+            return LinkClass::IntraRing;
+        }
+        let parent_child = a.parent == to.0 + 1
+            || b.parent == from.0 + 1
+            || a.child_ring == b.ring + 1
+            || b.child_ring == a.ring + 1;
+        if parent_child {
+            LinkClass::InterTier
+        } else {
+            LinkClass::WideArea
+        }
+    }
+
+    /// Classify an ordered pair of dense node indices. `None` (a node
+    /// outside the layout) classifies as wide-area, mirroring
+    /// [`NetworkModel::classify`].
+    #[inline]
+    pub fn classify(&self, from: Option<NodeIdx>, to: Option<NodeIdx>) -> LinkClass {
+        let (Some(a), Some(b)) = (from, to) else {
+            return LinkClass::WideArea;
+        };
+        if self.dense.is_empty() {
+            self.classify_compact(a, b)
+        } else {
+            self.dense[a.as_usize() * self.n + b.as_usize()]
+        }
     }
 }
 

@@ -15,9 +15,9 @@ pub fn check_ring_consistency(sim: &Simulation) -> Result<(), String> {
     for ring in &sim.layout.rings {
         let alive = sim.alive_ring_nodes(ring.id);
         let Some(&first) = alive.first() else { continue };
-        let reference = &sim.nodes[&first];
+        let reference = sim.node(first);
         for &n in &alive[1..] {
-            let node = &sim.nodes[&n];
+            let node = sim.node(n);
             if node.epoch != reference.epoch {
                 let mut msg = String::new();
                 let _ = write!(
@@ -41,11 +41,11 @@ pub fn check_ring_consistency(sim: &Simulation) -> Result<(), String> {
 /// Check that no alive node still lists a crashed node on its roster
 /// (complete local repair).
 pub fn check_repair_complete(sim: &Simulation) -> Result<(), String> {
-    for (id, node) in &sim.nodes {
-        if sim.crashed.contains(id) {
+    for (id, node) in sim.nodes_iter() {
+        if sim.is_crashed(id) {
             continue;
         }
-        for dead in &sim.crashed {
+        for dead in sim.crashed_set() {
             if node.roster.contains(*dead)
                 && sim.layout.placement(*dead).map(|p| p.ring) == Ok(node.ring_id())
             {
@@ -58,7 +58,7 @@ pub fn check_repair_complete(sim: &Simulation) -> Result<(), String> {
 
 /// The paper-model Function-Well assessment of the current crash set.
 pub fn function_well_report(sim: &Simulation) -> FunctionWellReport {
-    assess(&sim.layout, &sim.crashed)
+    assess(&sim.layout, sim.crashed_set())
 }
 
 #[cfg(test)]

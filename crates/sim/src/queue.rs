@@ -1,0 +1,356 @@
+//! The simulator's event queue: a bucketed **timer wheel** for near-future
+//! occurrences in front of a `BinaryHeap` fallback for events beyond the
+//! wheel horizon.
+//!
+//! Every queued occurrence carries a global sequence number and the queue
+//! pops in strict `(at, seq)` order **regardless of which container holds
+//! the entry**, so the wheel is purely an optimisation: scheduling a
+//! near-future event (a frame delivery a few ticks out, a re-armed
+//! heartbeat) costs an O(1) bucket append instead of an O(log n) sift of a
+//! large `Event` struct, and superseded timer entries drain as the wheel
+//! turns instead of accumulating in the heap. The
+//! [`QueueKind::BinaryHeap`] mode keeps the plain-heap ordering semantics
+//! alive as a *reference implementation*; the engine-determinism tests run
+//! both modes on identical scenarios and assert byte-identical traces.
+
+use bytes::Bytes;
+use rgb_core::prelude::*;
+use rgb_core::topology::NodeIdx;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// log2 of the wheel size: the wheel covers `[now, now + 1024)` ticks,
+/// comfortably beyond every default latency band and protocol timeout.
+const WHEEL_BITS: u32 = 10;
+/// Number of wheel buckets.
+const WHEEL_SLOTS: u64 = 1 << WHEEL_BITS;
+
+/// Which event-queue implementation a `Simulation` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Timer wheel + far-event heap (the default, fast path).
+    #[default]
+    TimerWheel,
+    /// Pure binary heap — the reference ordering semantics, kept for
+    /// differential determinism tests.
+    BinaryHeap,
+}
+
+/// One scheduled occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub at: u64,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// An encoded [`Envelope`] frame in flight between two NEs. `to` is
+    /// `None` when the destination is outside the layout (the frame is
+    /// still decoded and counted on arrival, like the live runtime's
+    /// receive path for unroutable destinations).
+    Deliver {
+        from: NodeId,
+        to: Option<NodeIdx>,
+        frame: Bytes,
+    },
+    /// A timer expiry; `gen` is the generation stamp assigned at arm time —
+    /// a mismatch against the node's live slot marks a superseded entry.
+    Timer {
+        node: NodeIdx,
+        kind: TimerKind,
+        gen: u64,
+    },
+    MhSend {
+        ap: NodeId,
+        event: MhEvent,
+    },
+    /// An encoded [`Msg::FromMh`] frame crossing the wireless hop.
+    MhDeliver {
+        ap: NodeId,
+        frame: Bytes,
+    },
+    Crash {
+        node: NodeId,
+    },
+    QueryStart {
+        node: NodeId,
+        scope: QueryScope,
+    },
+}
+
+/// The bucketed near-future event store.
+#[derive(Debug)]
+struct Wheel {
+    /// `buckets[at & (WHEEL_SLOTS-1)]` holds every pending entry for tick
+    /// `at`; within a bucket entries are in push order, i.e. ascending
+    /// `seq`, so the bucket front is always the next candidate. All live
+    /// entries of one bucket share the same `at`: ticks a full rotation
+    /// apart cannot coexist because an entry is admitted only within
+    /// `now + WHEEL_SLOTS` and drained before `now` passes it.
+    buckets: Vec<VecDeque<Event>>,
+    len: usize,
+    /// Monotone lower bound on the earliest entry's `at` (scan cursor).
+    hint: u64,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Wheel { buckets: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(), len: 0, hint: 0 }
+    }
+
+    #[inline]
+    fn bucket_of(at: u64) -> usize {
+        (at & (WHEEL_SLOTS - 1)) as usize
+    }
+
+    #[inline]
+    fn push(&mut self, event: Event) {
+        if event.at < self.hint {
+            self.hint = event.at;
+        }
+        self.buckets[Self::bucket_of(event.at)].push_back(event);
+        self.len += 1;
+    }
+
+    /// Earliest `(at, seq)` across the wheel, or `None` when empty.
+    ///
+    /// All entries satisfy `now <= at < now + WHEEL_SLOTS` (earlier ones
+    /// were popped before `now` could advance past them; later ones are
+    /// rejected at push time), so the scan from `max(hint, now)` visits at
+    /// most `WHEEL_SLOTS` buckets, and the amortised cost is O(1) per
+    /// event because the cursor only ever moves forward between pushes.
+    fn min_entry(&mut self, now: u64) -> Option<(u64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut t = self.hint.max(now);
+        loop {
+            if let Some(front) = self.buckets[Self::bucket_of(t)].front() {
+                if front.at == t {
+                    self.hint = t;
+                    return Some((t, front.seq));
+                }
+                debug_assert!(front.at > t, "wheel bucket holds an entry in the past");
+            }
+            t += 1;
+            debug_assert!(
+                t <= now + WHEEL_SLOTS,
+                "wheel scan overran the horizon with {} entries pending",
+                self.len
+            );
+        }
+    }
+
+    /// Pop the front entry of the bucket for tick `at` (which
+    /// [`Wheel::min_entry`] just identified).
+    fn pop_at(&mut self, at: u64) -> Event {
+        let event =
+            self.buckets[Self::bucket_of(at)].pop_front().expect("min_entry found this bucket");
+        debug_assert_eq!(event.at, at);
+        self.len -= 1;
+        event
+    }
+}
+
+/// The merged event queue (see module docs).
+#[derive(Debug)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    wheel: Option<Wheel>,
+    next_seq: u64,
+    peak_len: usize,
+}
+
+impl EventQueue {
+    pub fn new(kind: QueueKind) -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            wheel: (kind == QueueKind::TimerWheel).then(Wheel::new),
+            next_seq: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// Queued entries (superseded timer entries included, exactly what the
+    /// engine still has to drain).
+    pub fn len(&self) -> usize {
+        self.heap.len() + self.wheel.as_ref().map_or(0, |w| w.len)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of [`EventQueue::len`] since construction.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Queue an occurrence: near-future ones go to the wheel, far ones (or
+    /// every one in [`QueueKind::BinaryHeap`] mode) to the heap.
+    #[inline]
+    pub fn push(&mut self, now: u64, at: u64, kind: EventKind) {
+        debug_assert!(at >= now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let event = Event { at, seq, kind };
+        match &mut self.wheel {
+            Some(wheel) if at - now < WHEEL_SLOTS => wheel.push(event),
+            _ => self.heap.push(Reverse(event)),
+        }
+        let len = self.len();
+        if len > self.peak_len {
+            self.peak_len = len;
+        }
+    }
+
+    /// Timestamp of the next entry in `(at, seq)` order.
+    pub fn peek_at(&mut self, now: u64) -> Option<u64> {
+        let heap_at = self.heap.peek().map(|Reverse(ev)| ev.at);
+        let wheel_at = self.wheel.as_mut().and_then(|w| w.min_entry(now)).map(|(at, _)| at);
+        match (heap_at, wheel_at) {
+            (Some(h), Some(w)) => Some(h.min(w)),
+            (h, w) => h.or(w),
+        }
+    }
+
+    /// Pop the next entry in strict global `(at, seq)` order.
+    pub fn pop(&mut self, now: u64) -> Option<Event> {
+        let heap_key = self.heap.peek().map(|Reverse(ev)| (ev.at, ev.seq));
+        let wheel_key = self.wheel.as_mut().and_then(|w| w.min_entry(now));
+        let take_wheel = match (heap_key, wheel_key) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(h), Some(w)) => w < h,
+        };
+        if take_wheel {
+            let (at, _) = wheel_key.expect("wheel key present");
+            Some(self.wheel.as_mut().expect("wheel mode").pop_at(at))
+        } else {
+            self.heap.pop().map(|Reverse(ev)| ev)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash(node: u64) -> EventKind {
+        EventKind::Crash { node: NodeId(node) }
+    }
+
+    fn timer(node: u32, gen: u64) -> EventKind {
+        EventKind::Timer { node: NodeIdx(node), kind: TimerKind::Heartbeat, gen }
+    }
+
+    /// Drain a queue to `(at, seq)` pairs, advancing `now` like the engine.
+    fn drain(q: &mut EventQueue) -> Vec<(u64, u64)> {
+        let mut now = 0;
+        let mut out = Vec::new();
+        while let Some(ev) = q.pop(now) {
+            now = now.max(ev.at);
+            out.push((ev.at, ev.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_global_order() {
+        // Interleave timers and non-timers with colliding timestamps; both
+        // modes must pop the identical (at, seq) stream.
+        let mut orders = Vec::new();
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::new(kind);
+            for i in 0..200u64 {
+                let at = (i * 7) % 50;
+                if i % 3 == 0 {
+                    q.push(0, at, crash(i));
+                } else {
+                    q.push(0, at, timer(i as u32, i));
+                }
+            }
+            orders.push(drain(&mut q));
+        }
+        assert_eq!(orders[0], orders[1]);
+        // (at, seq) must be sorted.
+        let mut sorted = orders[0].clone();
+        sorted.sort_unstable();
+        assert_eq!(orders[0], sorted);
+    }
+
+    #[test]
+    fn far_events_fall_back_to_the_heap_and_still_order() {
+        let mut q = EventQueue::new(QueueKind::TimerWheel);
+        // Far beyond the wheel horizon.
+        q.push(0, WHEEL_SLOTS * 3, timer(0, 1));
+        // Near event.
+        q.push(0, 5, timer(1, 2));
+        q.push(0, WHEEL_SLOTS * 3, crash(9));
+        let order = drain(&mut q);
+        assert_eq!(order, vec![(5, 1), (WHEEL_SLOTS * 3, 0), (WHEEL_SLOTS * 3, 2)]);
+    }
+
+    #[test]
+    fn wheel_reuses_buckets_across_windows() {
+        let mut q = EventQueue::new(QueueKind::TimerWheel);
+        let mut now = 0;
+        let mut popped = Vec::new();
+        // March time across several full wheel rotations, always keeping
+        // the push inside the horizon.
+        for round in 0..5u64 {
+            let at = now + (round * 37) % WHEEL_SLOTS;
+            q.push(now, at, timer(0, round));
+            let ev = q.pop(now).expect("entry queued");
+            now = now.max(ev.at);
+            popped.push(ev.at);
+        }
+        assert_eq!(popped.len(), 5);
+        assert!(popped.windows(2).all(|w| w[0] <= w[1]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new(QueueKind::TimerWheel);
+        for i in 0..10u64 {
+            q.push(0, i, timer(0, i));
+        }
+        assert_eq!(q.peak_len(), 10);
+        let _ = drain(&mut q);
+        assert_eq!(q.peak_len(), 10, "peak survives draining");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::new(kind);
+            for i in 0..64u64 {
+                q.push(0, (i * 13) % 40, timer(0, i));
+                q.push(0, (i * 5) % 40, crash(i));
+            }
+            let mut now = 0;
+            while let Some(at) = q.peek_at(now) {
+                let ev = q.pop(now).expect("peeked entry pops");
+                assert_eq!(ev.at, at);
+                now = now.max(ev.at);
+            }
+            assert!(q.is_empty());
+        }
+    }
+}

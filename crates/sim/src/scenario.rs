@@ -56,6 +56,11 @@ pub struct Scenario {
     pub mh_schedule: Vec<TimedEvent>,
     /// Scheduled membership queries.
     pub queries: Vec<TimedQuery>,
+    /// Per-node retention cap for application deliveries (see
+    /// [`Simulation::set_delivered_cap`]); `None` keeps every event. Long
+    /// reliability runs set this so multi-hour simulations don't hold
+    /// every [`AppEvent`] forever.
+    pub delivered_cap: Option<usize>,
 }
 
 impl Scenario {
@@ -73,6 +78,7 @@ impl Scenario {
             crashes: Vec::new(),
             mh_schedule: Vec::new(),
             queries: Vec::new(),
+            delivered_cap: None,
         }
     }
 
@@ -97,6 +103,14 @@ impl Scenario {
     /// Set the scenario duration (ticks).
     pub fn with_duration(mut self, duration: u64) -> Self {
         self.duration = duration;
+        self
+    }
+
+    /// Cap the per-node application-delivery log (see
+    /// [`Simulation::set_delivered_cap`]). Metric counters are unaffected;
+    /// overflow is counted in `metrics.app_events_dropped`.
+    pub fn with_delivered_cap(mut self, cap: usize) -> Self {
+        self.delivered_cap = Some(cap);
         self
     }
 
@@ -244,9 +258,19 @@ impl Scenario {
     ///
     /// Panics if [`Scenario::validate`] fails.
     pub fn build_sim(&self) -> Simulation {
+        self.build_sim_with_queue(crate::sim::QueueKind::TimerWheel)
+    }
+
+    /// [`Scenario::build_sim`] with an explicit event-queue implementation
+    /// (the engine-determinism tests replay one scenario on both kinds).
+    pub fn build_sim_with_queue(&self, queue: crate::sim::QueueKind) -> Simulation {
         let layout = self.layout();
         self.validate_with(&layout).expect("invalid scenario");
-        let mut sim = Simulation::new(layout, &self.cfg, self.net.clone(), self.seed);
+        let mut sim =
+            Simulation::new_with_queue(layout, &self.cfg, self.net.clone(), self.seed, queue);
+        if let Some(cap) = self.delivered_cap {
+            sim.set_delivered_cap(cap);
+        }
         sim.boot_all();
         for c in &self.crashes {
             sim.crash_at(c.at, c.node);
@@ -290,12 +314,11 @@ impl ScenarioOutcome {
     /// Collect the outcome of a finished simulation run.
     pub fn from_sim(sim: &Simulation) -> Self {
         let views = sim
-            .nodes
-            .iter()
-            .filter(|(id, _)| !sim.crashed.contains(id))
-            .map(|(&id, state)| (id, operational_guids(&state.ring_members)))
+            .nodes_iter()
+            .filter(|&(id, _)| !sim.is_crashed(id))
+            .map(|(id, state)| (id, operational_guids(&state.ring_members)))
             .collect();
-        ScenarioOutcome { views, crashed: sim.crashed.clone() }
+        ScenarioOutcome { views, crashed: sim.crashed_set().clone() }
     }
 
     /// If every listed (alive) node holds the same view, return it.

@@ -10,66 +10,48 @@
 //! [`rgb_core::wire`]**, byte-for-byte the same codec the live runtime puts
 //! on its channels, and is decoded again on arrival. The wireless MH→AP hop
 //! travels as an encoded [`Msg::FromMh`] frame for the same reason.
+//!
+//! ## Hot-path layout
+//!
+//! The dispatch loop ([`Simulation::step`] / [`Simulation::inject`]) runs
+//! entirely on dense, precomputed structures:
+//!
+//! - node state, crash flags, deliveries, timer slots and timer
+//!   generations live in `Vec`s indexed by [`NodeIdx`] (the
+//!   [`rgb_core::topology::NodeIndexer`] arena) — no `BTreeMap`/`BTreeSet`
+//!   in `step()`;
+//! - link classification is a [`LinkClassMatrix`] lookup precomputed at
+//!   construction — no per-send `placement()` walks;
+//! - send counters are fixed-slot arrays keyed by [`MsgLabel`] and
+//!   [`LinkClass`] ([`Metrics::record_send`]);
+//! - timers are generation-stamped slots drained through a bucketed timer
+//!   wheel (the crate-private `queue` module), so re-armed periodic
+//!   timers stop
+//!   accumulating stale heap entries.
 
 use crate::metrics::Metrics;
-use crate::network::{LinkClass, NetConfig, NetworkModel};
+use crate::network::{LinkClass, LinkClassMatrix, NetConfig, NetworkModel};
+use crate::queue::{Event, EventKind, EventQueue};
 use crate::rng::SplitMix64;
 use bytes::Bytes;
 use rgb_core::node::NodeState;
 use rgb_core::prelude::*;
 use rgb_core::topology::HierarchyLayout;
 use rgb_core::wire;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 
-/// One scheduled event.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Event {
-    at: u64,
-    seq: u64,
-    kind: EventKind,
-}
+pub use crate::queue::QueueKind;
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+/// Sentinel for "no query outstanding" in the per-node query clock.
+const NO_QUERY: u64 = u64::MAX;
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum EventKind {
-    /// An encoded [`Envelope`] frame in flight between two NEs.
-    Deliver {
-        from: NodeId,
-        to: NodeId,
-        frame: Bytes,
-    },
-    Timer {
-        node: NodeId,
-        kind: TimerKind,
-    },
-    MhSend {
-        ap: NodeId,
-        event: MhEvent,
-    },
-    /// An encoded [`Msg::FromMh`] frame crossing the wireless hop.
-    MhDeliver {
-        ap: NodeId,
-        frame: Bytes,
-    },
-    Crash {
-        node: NodeId,
-    },
-    QueryStart {
-        node: NodeId,
-        scope: QueryScope,
-    },
+/// One generation-stamped live timer of a node. The queue may hold many
+/// entries for the same `(node, kind)`; only the one whose generation
+/// matches the slot fires.
+#[derive(Debug, Clone, Copy)]
+struct TimerSlot {
+    kind: TimerKind,
+    gen: u64,
 }
 
 /// The discrete-event simulator.
@@ -77,26 +59,39 @@ enum EventKind {
 pub struct Simulation {
     /// The hierarchy under simulation.
     pub layout: HierarchyLayout,
-    /// Protocol state of every NE.
-    pub nodes: BTreeMap<NodeId, NodeState>,
-    /// Crashed NEs.
-    pub crashed: BTreeSet<NodeId>,
     /// Current simulated time (ticks).
     pub now: u64,
     /// Collected metrics.
     pub metrics: Metrics,
-    /// Application deliveries per node, with timestamps.
-    pub delivered: BTreeMap<NodeId, Vec<(u64, AppEvent)>>,
-    events: BinaryHeap<Reverse<Event>>,
-    next_seq: u64,
-    timers: BTreeMap<(NodeId, TimerKind), u64>,
+    /// Dense NodeId ↔ NodeIdx arena over `layout`.
+    indexer: NodeIndexer,
+    /// Protocol state of every NE, by [`NodeIdx`].
+    nodes: Vec<NodeState>,
+    /// Crash flags, by [`NodeIdx`] (hot-path view).
+    crashed: Vec<bool>,
+    /// Crashed NEs by id (cold mirror for reports and oracles; also keeps
+    /// ids outside the layout, exactly like the old `BTreeSet` did).
+    crashed_ids: BTreeSet<NodeId>,
+    /// Application deliveries per node, with timestamps, by [`NodeIdx`].
+    delivered: Vec<Vec<(u64, AppEvent)>>,
+    /// Per-node retention cap on `delivered` (opt-in; `usize::MAX` keeps
+    /// everything).
+    delivered_cap: usize,
+    /// Live timers per node, by [`NodeIdx`].
+    timer_slots: Vec<Vec<TimerSlot>>,
+    /// Per-node timer generation counters, by [`NodeIdx`].
+    timer_gens: Vec<u64>,
+    /// Outstanding query start times, by [`NodeIdx`] (`NO_QUERY` = none).
+    query_started: Vec<u64>,
+    /// Precomputed per-pair link classes.
+    classes: LinkClassMatrix,
+    events: EventQueue,
     net: NetworkModel,
     rng: SplitMix64,
-    query_started: BTreeMap<NodeId, u64>,
     /// Last wireless delivery time per mobile host: the wireless hop is
     /// FIFO per MH (link-layer ordering), so a host's Leave can never
     /// overtake its own Join despite latency jitter.
-    mh_last_delivery: BTreeMap<Guid, u64>,
+    mh_last_delivery: std::collections::BTreeMap<Guid, u64>,
     /// Reusable output buffer for the hot loop (no per-input allocation).
     out_buf: OutputSink,
 }
@@ -106,37 +101,59 @@ impl Substrate for Simulation {
         self.now
     }
 
-    fn send_frame(&mut self, from: NodeId, to: NodeId, label: &'static str, frame: Bytes) {
-        let class = self.net.classify(&self.layout, from, to);
-        *self.metrics.sent_by_label.entry(label).or_insert(0) += 1;
-        *self.metrics.sent_by_class.entry(class).or_insert(0) += 1;
-        self.metrics.sent_total += 1;
+    fn send_frame(&mut self, from: NodeId, to: NodeId, label: MsgLabel, frame: Bytes) {
+        let fi = self.indexer.index_of(from);
+        let ti = self.indexer.index_of(to);
+        let class = self.classes.classify(fi, ti);
+        self.metrics.record_send(label, class);
         if self.net.lost(class, &mut self.rng) {
             self.metrics.lost += 1;
             return;
         }
         let latency = self.net.latency(class, &mut self.rng);
-        self.push(self.now + latency, EventKind::Deliver { from, to, frame });
+        self.events.push(self.now, self.now + latency, EventKind::Deliver { from, to: ti, frame });
     }
 
     fn arm_timer(&mut self, node: NodeId, kind: TimerKind, after: u64) {
-        let at = self.now + after;
-        self.timers.insert((node, kind), at);
-        self.push(at, EventKind::Timer { node, kind });
+        let Some(idx) = self.indexer.index_of(node) else { return };
+        let i = idx.as_usize();
+        let gen = {
+            let g = &mut self.timer_gens[i];
+            *g += 1;
+            *g
+        };
+        let slots = &mut self.timer_slots[i];
+        match slots.iter_mut().find(|s| s.kind == kind) {
+            Some(slot) => slot.gen = gen,
+            None => slots.push(TimerSlot { kind, gen }),
+        }
+        self.events.push(self.now, self.now + after, EventKind::Timer { node: idx, kind, gen });
     }
 
     fn cancel_timer(&mut self, node: NodeId, kind: TimerKind) {
-        self.timers.remove(&(node, kind));
+        let Some(idx) = self.indexer.index_of(node) else { return };
+        let slots = &mut self.timer_slots[idx.as_usize()];
+        if let Some(pos) = slots.iter().position(|s| s.kind == kind) {
+            slots.swap_remove(pos);
+        }
     }
 
     fn deliver_app(&mut self, node: NodeId, event: AppEvent) {
         self.metrics.app_events += 1;
+        let Some(idx) = self.indexer.index_of(node) else { return };
+        let i = idx.as_usize();
         if let AppEvent::QueryResult { .. } = &event {
-            if let Some(t0) = self.query_started.remove(&node) {
+            let t0 = std::mem::replace(&mut self.query_started[i], NO_QUERY);
+            if t0 != NO_QUERY {
                 self.metrics.query_latency.record(self.now - t0);
             }
         }
-        self.delivered.entry(node).or_default().push((self.now, event));
+        let log = &mut self.delivered[i];
+        if log.len() < self.delivered_cap {
+            log.push((self.now, event));
+        } else {
+            self.metrics.app_events_dropped += 1;
+        }
     }
 }
 
@@ -148,27 +165,47 @@ impl Simulation {
     /// Panics if `net` fails [`NetConfig::validate`] (e.g. an inverted
     /// latency band).
     pub fn new(layout: HierarchyLayout, cfg: &ProtocolConfig, net: NetConfig, seed: u64) -> Self {
-        let mut nodes = BTreeMap::new();
-        for &id in layout.nodes.keys() {
-            nodes.insert(
-                id,
-                NodeState::from_layout(&layout, id, cfg.clone()).expect("valid layout"),
-            );
-        }
+        Self::new_with_queue(layout, cfg, net, seed, QueueKind::TimerWheel)
+    }
+
+    /// [`Simulation::new`] with an explicit event-queue implementation.
+    ///
+    /// [`QueueKind::BinaryHeap`] keeps the reference pure-heap ordering
+    /// semantics alive; the engine-determinism tests run both kinds on the
+    /// same scenario and assert identical traces. Production callers want
+    /// the default [`QueueKind::TimerWheel`].
+    pub fn new_with_queue(
+        layout: HierarchyLayout,
+        cfg: &ProtocolConfig,
+        net: NetConfig,
+        seed: u64,
+        queue: QueueKind,
+    ) -> Self {
+        let indexer = layout.indexer();
+        let n = indexer.len();
+        let nodes: Vec<NodeState> = indexer
+            .iter()
+            .map(|(_, id)| NodeState::from_layout(&layout, id, cfg.clone()).expect("valid layout"))
+            .collect();
+        let classes = LinkClassMatrix::new(&layout, &indexer);
         Simulation {
             layout,
-            nodes,
-            crashed: BTreeSet::new(),
             now: 0,
             metrics: Metrics::default(),
-            delivered: BTreeMap::new(),
-            events: BinaryHeap::new(),
-            next_seq: 0,
-            timers: BTreeMap::new(),
+            indexer,
+            nodes,
+            crashed: vec![false; n],
+            crashed_ids: BTreeSet::new(),
+            delivered: vec![Vec::new(); n],
+            delivered_cap: usize::MAX,
+            timer_slots: vec![Vec::new(); n],
+            timer_gens: vec![0; n],
+            query_started: vec![NO_QUERY; n],
+            classes,
+            events: EventQueue::new(queue),
             net: NetworkModel::new(net),
             rng: SplitMix64::new(seed),
-            query_started: BTreeMap::new(),
-            mh_last_delivery: BTreeMap::new(),
+            mh_last_delivery: std::collections::BTreeMap::new(),
             out_buf: OutputSink::new(),
         }
     }
@@ -179,62 +216,61 @@ impl Simulation {
         Self::new(layout, cfg, net, seed)
     }
 
-    fn push(&mut self, at: u64, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(Reverse(Event { at, seq, kind }));
-    }
-
     /// Boot every node at time zero.
     pub fn boot_all(&mut self) {
-        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
-        for id in ids {
-            self.inject(id, Input::Boot);
+        for idx in 0..self.nodes.len() {
+            self.inject_idx(NodeIdx(idx as u32), Input::Boot);
         }
     }
 
     /// Deliver an input to a node right now and process the outputs through
     /// the shared [`apply_outputs`] driver (sends are wire-encoded).
+    /// Unknown nodes ignore the input.
     pub fn inject(&mut self, node: NodeId, input: Input) {
-        if self.crashed.contains(&node) {
+        if let Some(idx) = self.indexer.index_of(node) {
+            self.inject_idx(idx, input);
+        }
+    }
+
+    /// Hot-path [`Simulation::inject`]: the node is already resolved.
+    fn inject_idx(&mut self, idx: NodeIdx, input: Input) {
+        let i = idx.as_usize();
+        if self.crashed[i] {
             return;
         }
         let mut outs = std::mem::take(&mut self.out_buf);
-        match self.nodes.get_mut(&node) {
-            Some(state) => state.handle_into(input, &mut outs),
-            None => {
-                self.out_buf = outs;
-                return;
-            }
-        }
+        self.nodes[i].handle_into(input, &mut outs);
         let gid = self.layout.gid;
-        apply_outputs(self, gid, node, &mut outs);
+        let id = self.indexer.id_of(idx);
+        apply_outputs(self, gid, id, &mut outs);
         self.out_buf = outs;
     }
 
     /// Schedule a mobile-host event to reach `ap` after `delay` ticks plus
     /// the wireless hop.
     pub fn schedule_mh(&mut self, delay: u64, ap: NodeId, event: MhEvent) {
-        self.push(self.now + delay, EventKind::MhSend { ap, event });
+        self.events.push(self.now, self.now + delay, EventKind::MhSend { ap, event });
     }
 
     /// Schedule a node crash.
     pub fn crash_at(&mut self, delay: u64, node: NodeId) {
-        self.push(self.now + delay, EventKind::Crash { node });
+        self.events.push(self.now, self.now + delay, EventKind::Crash { node });
     }
 
     /// Schedule a membership query issued at `node`.
     pub fn schedule_query(&mut self, delay: u64, node: NodeId, scope: QueryScope) {
-        self.push(self.now + delay, EventKind::QueryStart { node, scope });
+        self.events.push(self.now, self.now + delay, EventKind::QueryStart { node, scope });
     }
 
     /// Decode an arrived frame and feed it to `to`. Frames that fail to
     /// decode or carry a foreign group id are dropped and counted, exactly
     /// like the live runtime's receive path.
-    fn deliver_frame(&mut self, from: NodeId, to: NodeId, frame: &Bytes) {
+    fn deliver_frame(&mut self, from: NodeId, to: Option<NodeIdx>, frame: &Bytes) {
         match wire::decode(frame) {
             Ok(env) if env.gid == self.layout.gid => {
-                self.inject(to, Input::Msg { from, msg: env.msg });
+                if let Some(idx) = to {
+                    self.inject_idx(idx, Input::Msg { from, msg: env.msg });
+                }
             }
             _ => self.metrics.codec_rejected += 1,
         }
@@ -242,25 +278,35 @@ impl Simulation {
 
     /// Process the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.events.pop() else { return false };
-        self.now = self.now.max(ev.at);
-        match ev.kind {
+        let Some(Event { at, kind, .. }) = self.events.pop(self.now) else { return false };
+        self.now = self.now.max(at);
+        match kind {
             EventKind::Deliver { from, to, frame } => {
-                if !self.crashed.contains(&to) {
+                let crashed = to.is_some_and(|idx| self.crashed[idx.as_usize()]);
+                if !crashed {
                     self.deliver_frame(from, to, &frame);
                 }
             }
-            EventKind::Timer { node, kind } => {
-                // Only fire if this is still the live scheduling of the timer.
-                if self.timers.get(&(node, kind)) == Some(&ev.at) && !self.crashed.contains(&node) {
-                    self.timers.remove(&(node, kind));
-                    self.inject(node, Input::Timer(kind));
+            EventKind::Timer { node, kind, gen } => {
+                // Only fire if this is still the live generation of the
+                // timer: a re-arm or cancel since this entry was queued
+                // bumped or removed the slot, marking the entry stale.
+                let i = node.as_usize();
+                if !self.crashed[i] {
+                    let slots = &mut self.timer_slots[i];
+                    match slots.iter().position(|s| s.gen == gen) {
+                        Some(pos) => {
+                            slots.swap_remove(pos);
+                            self.inject_idx(node, Input::Timer(kind));
+                        }
+                        None => self.metrics.stale_timer_skips += 1,
+                    }
+                } else {
+                    self.metrics.stale_timer_skips += 1;
                 }
             }
             EventKind::MhSend { ap, event } => {
-                *self.metrics.sent_by_label.entry("from_mh").or_insert(0) += 1;
-                *self.metrics.sent_by_class.entry(LinkClass::Wireless).or_insert(0) += 1;
-                self.metrics.sent_total += 1;
+                self.metrics.record_send(MsgLabel::FromMh, LinkClass::Wireless);
                 if self.net.lost(LinkClass::Wireless, &mut self.rng) {
                     self.metrics.lost += 1;
                 } else {
@@ -274,21 +320,25 @@ impl Simulation {
                         | MhEvent::Resume { guid, .. } => *guid,
                     };
                     let earliest = self.mh_last_delivery.get(&guid).map(|&t| t + 1).unwrap_or(0);
-                    let at = (self.now + latency).max(earliest);
-                    self.mh_last_delivery.insert(guid, at);
+                    let deliver_at = (self.now + latency).max(earliest);
+                    self.mh_last_delivery.insert(guid, deliver_at);
                     let frame = wire::encode(&Envelope {
                         gid: self.layout.gid,
                         msg: Msg::FromMh { event },
                     });
-                    self.push(at, EventKind::MhDeliver { ap, frame });
+                    self.events.push(self.now, deliver_at, EventKind::MhDeliver { ap, frame });
                 }
             }
             EventKind::MhDeliver { ap, frame } => {
-                if !self.crashed.contains(&ap) {
+                let idx = self.indexer.index_of(ap);
+                let crashed = idx.is_some_and(|i| self.crashed[i.as_usize()]);
+                if !crashed {
                     match wire::decode(&frame) {
                         Ok(env) if env.gid == self.layout.gid => {
                             if let Msg::FromMh { event } = env.msg {
-                                self.inject(ap, Input::Mh(event));
+                                if let Some(idx) = idx {
+                                    self.inject_idx(idx, Input::Mh(event));
+                                }
                             } else {
                                 self.metrics.codec_rejected += 1;
                             }
@@ -298,12 +348,18 @@ impl Simulation {
                 }
             }
             EventKind::Crash { node } => {
-                self.crashed.insert(node);
-                self.timers.retain(|(n, _), _| *n != node);
+                self.crashed_ids.insert(node);
+                if let Some(idx) = self.indexer.index_of(node) {
+                    let i = idx.as_usize();
+                    self.crashed[i] = true;
+                    self.timer_slots[i].clear();
+                }
             }
             EventKind::QueryStart { node, scope } => {
-                self.query_started.insert(node, self.now);
-                self.inject(node, Input::StartQuery { scope });
+                if let Some(idx) = self.indexer.index_of(node) {
+                    self.query_started[idx.as_usize()] = self.now;
+                    self.inject_idx(idx, Input::StartQuery { scope });
+                }
             }
         }
         true
@@ -325,8 +381,8 @@ impl Simulation {
     /// queued).
     pub fn run_until(&mut self, deadline: u64) {
         loop {
-            match self.events.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
+            match self.peek_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => {
@@ -348,8 +404,8 @@ impl Simulation {
             return Some(self.now);
         }
         loop {
-            match self.events.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
+            match self.peek_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                     if pred(self) {
                         return Some(self.now);
@@ -361,25 +417,90 @@ impl Simulation {
     }
 
     /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the layout; use [`Simulation::try_node`]
+    /// when the id may be unknown (e.g. after churn).
     pub fn node(&self, id: NodeId) -> &NodeState {
-        &self.nodes[&id]
+        self.try_node(id).unwrap_or_else(|| panic!("unknown node {id}"))
     }
 
-    /// Whether `guid` is operational in `node`'s ring membership.
+    /// Borrow a node, or `None` for ids outside the layout.
+    pub fn try_node(&self, id: NodeId) -> Option<&NodeState> {
+        self.indexer.index_of(id).map(|idx| &self.nodes[idx.as_usize()])
+    }
+
+    /// Every node's protocol state, in id order.
+    pub fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &NodeState)> {
+        self.indexer.iter().map(|(idx, id)| (id, &self.nodes[idx.as_usize()]))
+    }
+
+    /// Whether `guid` is operational in `node`'s ring membership. Unknown
+    /// nodes are never members (`false`), they do not panic.
     pub fn member_at(&self, node: NodeId, guid: Guid) -> bool {
-        self.nodes[&node].ring_members.contains_operational(guid)
+        self.try_node(node).is_some_and(|n| n.ring_members.contains_operational(guid))
     }
 
-    /// Events delivered at a node.
+    /// Whether `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        match self.indexer.index_of(node) {
+            Some(idx) => self.crashed[idx.as_usize()],
+            None => self.crashed_ids.contains(&node),
+        }
+    }
+
+    /// Crashed NEs (ids outside the layout included, matching what was
+    /// scheduled).
+    pub fn crashed_set(&self) -> &BTreeSet<NodeId> {
+        &self.crashed_ids
+    }
+
+    /// Events delivered at a node (empty for unknown nodes).
     pub fn events_at(&self, node: NodeId) -> &[(u64, AppEvent)] {
-        self.delivered.get(&node).map(Vec::as_slice).unwrap_or(&[])
+        self.indexer
+            .index_of(node)
+            .map(|idx| self.delivered[idx.as_usize()].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Every node's delivered events, in id order (nodes with no
+    /// deliveries are skipped).
+    pub fn delivered_iter(&self) -> impl Iterator<Item = (NodeId, &[(u64, AppEvent)])> {
+        self.indexer
+            .iter()
+            .map(|(idx, id)| (id, self.delivered[idx.as_usize()].as_slice()))
+            .filter(|(_, evs)| !evs.is_empty())
+    }
+
+    /// Drain every recorded application delivery, returning `(node, time,
+    /// event)` triples in id order. Long-running simulations call this
+    /// periodically (or set [`Simulation::set_delivered_cap`]) so the
+    /// delivery log cannot grow without bound.
+    pub fn drain_delivered(&mut self) -> Vec<(NodeId, u64, AppEvent)> {
+        let mut out = Vec::new();
+        for (idx, id) in self.indexer.iter() {
+            for (at, ev) in self.delivered[idx.as_usize()].drain(..) {
+                out.push((id, at, ev));
+            }
+        }
+        out
+    }
+
+    /// Cap the per-node delivery log at `cap` events: once a node's log is
+    /// full, further deliveries are counted in
+    /// `metrics.app_events_dropped` instead of being retained. Opt-in for
+    /// multi-hour runs that would otherwise hold every [`AppEvent`]
+    /// forever; metric counters and query latencies are unaffected.
+    pub fn set_delivered_cap(&mut self, cap: usize) {
+        self.delivered_cap = cap;
     }
 
     /// Alive nodes of a ring.
     pub fn alive_ring_nodes(&self, ring: RingId) -> Vec<NodeId> {
         self.layout
             .ring(ring)
-            .map(|spec| spec.nodes.iter().copied().filter(|n| !self.crashed.contains(n)).collect())
+            .map(|spec| spec.nodes.iter().copied().filter(|&n| !self.is_crashed(n)).collect())
             .unwrap_or_default()
     }
 
@@ -387,6 +508,22 @@ impl Simulation {
     /// their streams from here).
     pub fn rng(&mut self) -> &mut SplitMix64 {
         &mut self.rng
+    }
+
+    /// Number of queued events (stale timer entries included) — the
+    /// engine's working-set size, tracked by the benchmark harness.
+    pub fn queue_len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// High-water mark of [`Simulation::queue_len`] since construction.
+    pub fn peak_queue_len(&self) -> usize {
+        self.events.peak_len()
+    }
+
+    /// Timestamp of the next queued event, if any.
+    pub fn peek_at(&mut self) -> Option<u64> {
+        self.events.peek_at(self.now)
     }
 }
 
@@ -438,7 +575,8 @@ mod tests {
         let victim = sim.layout.aps()[1];
         sim.crash_at(0, victim);
         sim.step();
-        assert!(sim.crashed.contains(&victim));
+        assert!(sim.is_crashed(victim));
+        assert!(sim.crashed_set().contains(&victim));
         // messages to it vanish silently
         let ap = sim.layout.aps()[0];
         sim.schedule_mh(1, ap, MhEvent::Join { guid: Guid(1), luid: Luid(1) });
@@ -506,7 +644,7 @@ mod tests {
         sim.boot_all();
         let nodes = sim.layout.root_ring().nodes.clone();
         let before = sim.metrics.sent_total;
-        sim.send_frame(nodes[0], nodes[1], "token", Bytes::from(vec![1, 2, 3]));
+        sim.send_frame(nodes[0], nodes[1], MsgLabel::Token, Bytes::from(vec![1, 2, 3]));
         while sim.step() {}
         assert_eq!(sim.metrics.codec_rejected, 1, "garbage frame must be rejected");
         assert_eq!(sim.metrics.sent_total, before + 1, "send was still counted");
@@ -521,8 +659,98 @@ mod tests {
             gid: GroupId(99),
             msg: Msg::TokenAck { ring: RingId(0), seq: 1 },
         });
-        sim.send_frame(nodes[0], nodes[1], "token_ack", frame);
+        sim.send_frame(nodes[0], nodes[1], MsgLabel::TokenAck, frame);
         while sim.step() {}
         assert_eq!(sim.metrics.codec_rejected, 1, "foreign gid must be rejected");
+    }
+
+    #[test]
+    fn unknown_node_accessors_do_not_panic() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        sim.boot_all();
+        let ghost = NodeId(9_999);
+        assert!(sim.try_node(ghost).is_none());
+        assert!(!sim.member_at(ghost, Guid(1)), "unknown node is never a member");
+        assert!(!sim.is_crashed(ghost));
+        assert!(sim.events_at(ghost).is_empty());
+        // Unknown-node inputs and crashes are tolerated.
+        sim.inject(ghost, Input::Boot);
+        sim.crash_at(0, ghost);
+        while sim.step() {}
+        assert!(sim.is_crashed(ghost), "scheduled crash is remembered");
+        assert!(sim.crashed_set().contains(&ghost));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn node_accessor_panics_on_unknown_id() {
+        let sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        let _ = sim.node(NodeId(9_999));
+    }
+
+    #[test]
+    fn drain_delivered_empties_the_log() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        sim.boot_all();
+        let ap = sim.layout.aps()[0];
+        sim.schedule_mh(0, ap, MhEvent::Join { guid: Guid(7), luid: Luid(1) });
+        assert!(sim.run_until_quiet(100_000));
+        let drained = sim.drain_delivered();
+        assert!(!drained.is_empty(), "join produced app events");
+        assert!(drained.iter().all(|(n, _, _)| sim.try_node(*n).is_some()));
+        assert!(sim.events_at(ap).is_empty(), "drain cleared the log");
+        assert_eq!(sim.drain_delivered().len(), 0, "second drain is empty");
+    }
+
+    #[test]
+    fn delivered_cap_bounds_retention_without_losing_counts() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        sim.set_delivered_cap(1);
+        sim.boot_all();
+        for g in 0..5u64 {
+            let ap = sim.layout.aps()[0];
+            sim.schedule_mh(g, ap, MhEvent::Join { guid: Guid(g), luid: Luid(1) });
+        }
+        assert!(sim.run_until_quiet(1_000_000));
+        assert!(sim.metrics.app_events_dropped > 0, "cap must have dropped events");
+        for (_, evs) in sim.delivered_iter() {
+            assert!(evs.len() <= 1, "cap respected");
+        }
+        assert!(
+            sim.metrics.app_events
+                >= sim.metrics.app_events_dropped
+                    + sim.delivered_iter().map(|(_, e)| e.len() as u64).sum::<u64>(),
+            "every event is either retained or counted as dropped"
+        );
+    }
+
+    #[test]
+    fn rearmed_periodic_timers_do_not_grow_the_queue() {
+        // Continuous tokens + heartbeats re-arm timers on every round; with
+        // lazy deletion the queue must still stay bounded over 10^5 ticks.
+        let mut cfg = ProtocolConfig::live();
+        cfg.token_interval = 10;
+        cfg.token_retransmit_timeout = 30;
+        cfg.heartbeat_interval = 50;
+        cfg.token_lost_timeout = 200;
+        let mut sim = Simulation::full(2, 3, &cfg, NetConfig::unit(), 9);
+        sim.boot_all();
+        let ap = sim.layout.aps()[0];
+        sim.schedule_mh(0, ap, MhEvent::Join { guid: Guid(1), luid: Luid(1) });
+        sim.run_until(10_000);
+        let settled = sim.queue_len();
+        let mut max_seen = 0usize;
+        for deadline in (20_000..=100_000u64).step_by(10_000) {
+            sim.run_until(deadline);
+            max_seen = max_seen.max(sim.queue_len());
+        }
+        // Bounded: the steady-state queue after 10× more ticks stays within
+        // a small constant factor of the early-run queue, instead of
+        // growing with elapsed time.
+        assert!(
+            max_seen <= settled * 4 + 64,
+            "queue grew from {settled} to {max_seen} over 10^5 ticks"
+        );
+        assert!(sim.metrics.stale_timer_skips > 0, "lazy deletion path exercised");
     }
 }

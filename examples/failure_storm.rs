@@ -49,7 +49,7 @@ fn main() {
     let mut repairs = 0usize;
     let mut leader_changes = 0usize;
     let mut reattached = 0usize;
-    for events in sim.delivered.values() {
+    for (_, events) in sim.delivered_iter() {
         for (_, e) in events {
             match e {
                 AppEvent::RingRepaired { .. } => repairs += 1,
@@ -78,12 +78,8 @@ fn main() {
     }
 
     // The surviving protocol still works: a fresh join reaches agreement.
-    let alive_ap = sim
-        .layout
-        .aps()
-        .into_iter()
-        .find(|ap| !sim.crashed.contains(ap))
-        .expect("some proxy survived");
+    let alive_ap =
+        sim.layout.aps().into_iter().find(|&ap| !sim.is_crashed(ap)).expect("some proxy survived");
     sim.schedule_mh(10, alive_ap, MhEvent::Join { guid: Guid(9_999), luid: Luid(1) });
     sim.run_until(sim.now + 5_000);
     let witnesses = sim

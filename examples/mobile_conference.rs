@@ -35,9 +35,8 @@ fn main() {
     // Results.
     let root = sim.layout.root_ring().nodes[0];
     let fast_handoffs: usize = sim
-        .delivered
-        .values()
-        .flatten()
+        .delivered_iter()
+        .flat_map(|(_, events)| events)
         .filter(|(_, e)| matches!(e, AppEvent::FastHandoff { .. }))
         .count();
     println!("\nafter {} simulated ticks:", sim.now);
@@ -45,7 +44,7 @@ fn main() {
     println!("  handoffs issued            : {handoffs}");
     println!("  fast-path admissions       : {fast_handoffs}");
     println!("  messages sent              : {}", sim.metrics.sent_total);
-    for (class, count) in &sim.metrics.sent_by_class {
+    for (class, count) in sim.metrics.by_class() {
         println!("    {class:?}: {count}");
     }
 

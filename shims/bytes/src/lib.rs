@@ -7,9 +7,14 @@ use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// Immutable, cheaply clonable byte buffer (`Arc`-backed).
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>` so
+/// [`BytesMut::freeze`] is zero-copy, like the real crate: converting a
+/// `Vec` into an `Arc<[u8]>` would re-allocate and copy every frame, which
+/// is measurable on the simulator's per-send hot path.
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct Bytes {
-    inner: Arc<[u8]>,
+    inner: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -20,7 +25,7 @@ impl Bytes {
 
     /// Copy a slice into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { inner: Arc::from(data) }
+        Bytes { inner: Arc::new(data.to_vec()) }
     }
 
     /// Length in bytes.
@@ -49,7 +54,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { inner: v.into() }
+        Bytes { inner: Arc::new(v) }
     }
 }
 

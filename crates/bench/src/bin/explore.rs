@@ -1,0 +1,200 @@
+//! E12 — deterministic scenario explorer.
+//!
+//! Fault-space fuzzing over randomized [`rgb_sim::Scenario`]s with the
+//! continuous invariant oracle battery, and automatic shrinking of any
+//! violation to a minimal reproducer artifact.
+//!
+//! ```text
+//! explore [--seeds N] [--start-seed S] [--master-seed M] [--smoke]
+//!         [--k TICKS] [--shrink-budget N] [--time-budget-secs T]
+//!         [--repro-dir DIR] [--replay FILE]
+//! ```
+//!
+//! - Default mode explores the full generation envelope; `--smoke` uses
+//!   the bounded envelope the PR pipeline runs
+//!   (`--seeds 200 --smoke` is the CI smoke command).
+//! - A scenario is identified by the pair `(master seed, index)`:
+//!   `--master-seed` picks the generator stream (the nightly job derives
+//!   it from the date), `--start-seed`/`--seeds` select the index block.
+//!   A failing run prints both, so
+//!   `explore --master-seed M --start-seed I --seeds 1` regenerates the
+//!   exact scenario.
+//! - On violation: the scenario is delta-debugged to a minimal reproducer,
+//!   written under `--repro-dir` (default `tests/repros/`), and the
+//!   process exits non-zero — which is what fails the nightly job.
+//! - `--replay FILE` parses a previously written artifact and runs it
+//!   under the standard oracles instead of exploring.
+//! - `--time-budget-secs` stops cleanly (exit 0) once the budget is
+//!   spent, reporting how many seeds were covered; the nightly job uses
+//!   it to stay time-boxed.
+
+use rgb_sim::explore::{artifact, Explorer, ScenarioGen};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    master_seed: u64,
+    smoke: bool,
+    k: u64,
+    shrink_budget: usize,
+    time_budget: Option<Duration>,
+    repro_dir: PathBuf,
+    replay: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 100,
+        start_seed: 0,
+        master_seed: 0,
+        smoke: false,
+        k: 200,
+        shrink_budget: 400,
+        time_budget: None,
+        repro_dir: PathBuf::from("tests/repros"),
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds").parse().expect("--seeds N"),
+            "--start-seed" => {
+                args.start_seed = value("--start-seed").parse().expect("--start-seed S");
+            }
+            "--master-seed" => {
+                args.master_seed = value("--master-seed").parse().expect("--master-seed M");
+            }
+            "--smoke" => args.smoke = true,
+            "--k" => args.k = value("--k").parse().expect("--k TICKS"),
+            "--shrink-budget" => {
+                args.shrink_budget = value("--shrink-budget").parse().expect("--shrink-budget N");
+            }
+            "--time-budget-secs" => {
+                let secs: u64 = value("--time-budget-secs").parse().expect("--time-budget-secs T");
+                args.time_budget = Some(Duration::from_secs(secs));
+            }
+            "--repro-dir" => args.repro_dir = PathBuf::from(value("--repro-dir")),
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let explorer =
+        Explorer { check_every: args.k, shrink_budget: args.shrink_budget, ..Explorer::default() };
+
+    if let Some(path) = &args.replay {
+        replay(&explorer, path);
+        return;
+    }
+
+    let gen = if args.smoke {
+        ScenarioGen::smoke(args.master_seed)
+    } else {
+        ScenarioGen::new(args.master_seed)
+    };
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!(
+        "E12 explore: master seed {}, {} seeds [{}..{}), {mode} envelope, K={}",
+        args.master_seed,
+        args.seeds,
+        args.start_seed,
+        args.start_seed + args.seeds,
+        args.k
+    );
+
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    let mut events = 0usize;
+    for seed in args.start_seed..args.start_seed + args.seeds {
+        if let Some(budget) = args.time_budget {
+            if t0.elapsed() > budget {
+                println!(
+                    "time budget spent after {runs}/{} seeds ({} scheduled events): clean",
+                    args.seeds, events
+                );
+                return;
+            }
+        }
+        let exploration = explorer.explore(&gen, seed, 1);
+        runs += 1;
+        for report in &exploration.reports {
+            events += report.scheduled_events;
+        }
+        if let Some(found) = exploration.found {
+            let path = found.write_artifact(&args.repro_dir).expect("write reproducer artifact");
+            eprintln!("VIOLATION {}", found.violation);
+            eprintln!("  master seed : {}", args.master_seed);
+            eprintln!("  seed (index): {}", found.seed);
+            eprintln!(
+                "  regenerate  : explore{} --master-seed {} --start-seed {} --seeds 1",
+                if args.smoke { " --smoke" } else { "" },
+                args.master_seed,
+                found.seed
+            );
+            eprintln!("  scenario    : {}", found.scenario.name);
+            eprintln!(
+                "  shrunk      : {} -> {} scheduled events in {} re-runs",
+                found.scenario.scheduled_events(),
+                found.shrunk.scheduled_events(),
+                found.shrink_attempts
+            );
+            eprintln!("  reproducer  : {}", path.display());
+            eprintln!(
+                "  replay with : cargo run -p rgb-bench --bin explore -- --replay {}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        if runs.is_multiple_of(50) {
+            println!(
+                "  {runs}/{} seeds clean ({events} scheduled events, {:.1}s)",
+                args.seeds,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!(
+        "{runs} seeds clean ({events} scheduled events, {:.1}s): no invariant violations",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn replay(explorer: &Explorer, path: &std::path::Path) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let scenario = artifact::parse(&text).unwrap_or_else(|e| panic!("parse artifact: {e}"));
+    println!(
+        "replaying '{}' ({} scheduled events, duration {})",
+        scenario.name,
+        scenario.scheduled_events(),
+        scenario.duration
+    );
+    let report =
+        explorer.run_scenario(&scenario).unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+    match report.violation {
+        Some(v) => {
+            eprintln!("VIOLATION {v}");
+            std::process::exit(1);
+        }
+        None => println!(
+            "replay clean ({} observations, settled at {:?})",
+            report.trace.observations.len(),
+            report.trace.settled_at()
+        ),
+    }
+}

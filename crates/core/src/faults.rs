@@ -1,0 +1,63 @@
+//! Declarative fault descriptions shared by every substrate.
+//!
+//! The paper's §5.2 model folds link faults into node faults; the scenario
+//! explorer widens the fault space beyond it with *link-level* faults that
+//! real mobile-Internet deployments exhibit. The types here are pure data —
+//! the simulator schedules them as discrete events, the live runtime
+//! applies them to its router — so one shrunk reproducer replays
+//! identically on both worlds.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A timed bidirectional link partition between one NE pair: from `at`
+/// until `heal_at`, every frame between `a` and `b` (either direction) is
+/// silently dropped. Frames already in flight when the partition starts
+/// still arrive, matching how a real route withdrawal behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkPartition {
+    /// When the link goes down (ticks).
+    pub at: u64,
+    /// When the link heals (ticks, exclusive; must be greater than `at`).
+    pub heal_at: u64,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+}
+
+impl LinkPartition {
+    /// Whether this partition severs the (unordered) pair `x`–`y`.
+    pub fn severs(&self, x: NodeId, y: NodeId) -> bool {
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
+    }
+
+    /// Whether both endpoints lie on the given ring roster (an intra-ring
+    /// partition can split a logical ring into independently progressing
+    /// segments — the condition under which §4.3 consistency is *not*
+    /// promised).
+    pub fn intra_ring(&self, ring_nodes: &[NodeId]) -> bool {
+        ring_nodes.contains(&self.a) && ring_nodes.contains(&self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severs_is_symmetric_and_exact() {
+        let p = LinkPartition { at: 10, heal_at: 50, a: NodeId(1), b: NodeId(2) };
+        assert!(p.severs(NodeId(1), NodeId(2)));
+        assert!(p.severs(NodeId(2), NodeId(1)));
+        assert!(!p.severs(NodeId(1), NodeId(3)));
+        assert!(!p.severs(NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn intra_ring_requires_both_endpoints() {
+        let p = LinkPartition { at: 0, heal_at: 1, a: NodeId(1), b: NodeId(2) };
+        assert!(p.intra_ring(&[NodeId(0), NodeId(1), NodeId(2)]));
+        assert!(!p.intra_ring(&[NodeId(1), NodeId(3)]));
+    }
+}

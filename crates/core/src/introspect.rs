@@ -1,0 +1,197 @@
+//! Oracle-facing introspection: compact, substrate-independent digests of
+//! protocol state.
+//!
+//! Invariant checkers (the `rgb-sim` explorer's oracles, differential
+//! tests) must observe a running system without reaching into
+//! substrate-specific state. A [`StateDigest`] is the neutral answer: the
+//! handful of facts about one [`NodeState`] that the paper's correctness
+//! claims (§4.3 view consistency, §5.2 Function-Well semantics) are stated
+//! over. Both substrates can produce one — the simulator straight from its
+//! node arena, the live runtime from its snapshot channel — so the same
+//! oracle code judges either world.
+
+use crate::ids::{Guid, NodeId, RingId};
+use crate::member::MemberStatus;
+use crate::node::NodeState;
+use std::collections::BTreeSet;
+
+/// The oracle-visible facts about one network entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDigest {
+    /// The node.
+    pub node: NodeId,
+    /// Its logical ring.
+    pub ring: RingId,
+    /// Ring view epoch (one loaded token round = one epoch, §4.3).
+    pub epoch: u64,
+    /// Operational GUIDs of `ListOfRingMembers` (the view this node would
+    /// report).
+    pub members: BTreeSet<Guid>,
+    /// Current ring roster, in ring order.
+    pub roster: Vec<NodeId>,
+    /// Whether the token is parked here.
+    pub holds_token: bool,
+    /// Whether a forwarded token is awaiting acknowledgement.
+    pub has_inflight: bool,
+    /// Locally pending changes: queued-but-unridden records plus
+    /// originated-but-unacknowledged ones. A node with pending changes is
+    /// *knowingly ahead of (or behind) ring agreement* — e.g. a fast
+    /// handoff admitted into the local view before its round (§1) — so
+    /// strict view-equality oracles compare only nodes with none.
+    pub pending_changes: usize,
+    /// `RingOK` flag.
+    pub ring_ok: bool,
+    /// Successors excluded by local repair so far.
+    pub exclusions: u64,
+    /// Whether this node maintains member lists under the configured
+    /// membership scheme (§4.4).
+    pub stores_members: bool,
+}
+
+impl StateDigest {
+    /// Whether `other` is on this node's current roster.
+    pub fn rosters(&self, other: NodeId) -> bool {
+        self.roster.contains(&other)
+    }
+}
+
+/// A point-in-time digest of a whole running system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemDigest {
+    /// Observation time (substrate ticks; live substrates report their own
+    /// tick estimate).
+    pub now: u64,
+    /// One digest per *alive* node, in id order.
+    pub nodes: Vec<StateDigest>,
+    /// Nodes crashed so far.
+    pub crashed: BTreeSet<NodeId>,
+    /// Whether the substrate considers the system settled — no scheduled
+    /// disruptions or protocol exchanges are pending that could still
+    /// change membership state. Quiescence-gated invariants only fire when
+    /// this is set.
+    pub settled: bool,
+}
+
+impl SystemDigest {
+    /// Alive digests grouped by ring, in ring-id order.
+    pub fn by_ring(&self) -> Vec<(RingId, Vec<&StateDigest>)> {
+        let mut rings: Vec<(RingId, Vec<&StateDigest>)> = Vec::new();
+        for d in &self.nodes {
+            match rings.iter_mut().find(|(r, _)| *r == d.ring) {
+                Some((_, v)) => v.push(d),
+                None => rings.push((d.ring, vec![d])),
+            }
+        }
+        rings.sort_by_key(|(r, _)| *r);
+        rings
+    }
+
+    /// Order-independent fingerprint of every node's `(epoch, members)` —
+    /// two digests with equal hashes hold identical views everywhere. Used
+    /// by the explorer's stability (settle) detector.
+    pub fn views_fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical byte walk; no dependency on std's
+        // RandomState, so fingerprints are stable across runs/platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for d in &self.nodes {
+            eat(d.node.0);
+            eat(d.epoch);
+            eat(d.members.len() as u64);
+            for g in &d.members {
+                eat(g.0);
+            }
+            eat(d.roster.len() as u64);
+        }
+        h
+    }
+}
+
+impl NodeState {
+    /// Produce the oracle-facing digest of this node's state.
+    pub fn digest(&self) -> StateDigest {
+        StateDigest {
+            node: self.id,
+            ring: self.ring_id(),
+            epoch: self.epoch,
+            members: self
+                .ring_members
+                .iter()
+                .filter(|m| m.status == MemberStatus::Operational)
+                .map(|m| m.guid)
+                .collect(),
+            roster: self.roster.nodes().to_vec(),
+            holds_token: self.holds_token(),
+            has_inflight: self.inflight.is_some(),
+            pending_changes: self.mq.len() + self.awaiting_ack.len(),
+            ring_ok: self.ring_ok,
+            exclusions: self.stats.exclusions,
+            stores_members: self.is_store_level(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::ids::GroupId;
+    use crate::topology::HierarchySpec;
+
+    fn digest_of(id: u64) -> StateDigest {
+        let layout = HierarchySpec::new(2, 3).build(GroupId(1)).unwrap();
+        NodeState::from_layout(&layout, NodeId(id), ProtocolConfig::default()).unwrap().digest()
+    }
+
+    #[test]
+    fn digest_reflects_fresh_state() {
+        let d = digest_of(0);
+        assert_eq!(d.node, NodeId(0));
+        assert_eq!(d.epoch, 0);
+        assert!(d.members.is_empty());
+        assert_eq!(d.roster.len(), 3);
+        assert!(d.rosters(NodeId(1)));
+        assert!(!d.rosters(NodeId(999)));
+        assert!(!d.holds_token, "token parks only at boot");
+        assert!(!d.has_inflight);
+        assert_eq!(d.pending_changes, 0);
+        assert!(d.ring_ok);
+        assert_eq!(d.exclusions, 0);
+        assert!(d.stores_members, "root ring stores under TMS");
+    }
+
+    #[test]
+    fn by_ring_groups_and_orders() {
+        let sys = SystemDigest {
+            now: 0,
+            nodes: vec![digest_of(0), digest_of(1), digest_of(2)],
+            crashed: BTreeSet::new(),
+            settled: true,
+        };
+        let rings = sys.by_ring();
+        assert_eq!(rings.len(), 1);
+        assert_eq!(rings[0].1.len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_view_changes() {
+        let mut sys = SystemDigest {
+            now: 0,
+            nodes: vec![digest_of(0)],
+            crashed: BTreeSet::new(),
+            settled: false,
+        };
+        let before = sys.views_fingerprint();
+        assert_eq!(before, sys.views_fingerprint(), "fingerprint is pure");
+        sys.nodes[0].members.insert(Guid(7));
+        assert_ne!(before, sys.views_fingerprint());
+        sys.nodes[0].members.remove(&Guid(7));
+        sys.nodes[0].epoch += 1;
+        assert_ne!(before, sys.views_fingerprint());
+    }
+}

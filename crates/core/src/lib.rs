@@ -62,10 +62,12 @@
 pub mod config;
 pub mod error;
 pub mod events;
+pub mod faults;
 pub mod handoff;
 pub mod hierarchy;
 pub mod host;
 pub mod ids;
+pub mod introspect;
 pub mod member;
 pub mod message;
 pub mod mq;
@@ -87,8 +89,10 @@ pub mod prelude {
     pub use crate::config::{MembershipScheme, ProtocolConfig, TokenPolicy};
     pub use crate::error::RgbError;
     pub use crate::events::{AppEvent, Input, Output, TimerKind};
+    pub use crate::faults::LinkPartition;
     pub use crate::host::{GroupHost, HostOutput};
     pub use crate::ids::{GroupId, Guid, Luid, NodeId, RingId, Tier};
+    pub use crate::introspect::{StateDigest, SystemDigest};
     pub use crate::member::{MemberInfo, MemberList, MemberStatus};
     pub use crate::message::{
         ChangeId, ChangeOp, ChangeRecord, Envelope, MhEvent, Msg, MsgLabel, NotifyKind, OpKind,

@@ -134,6 +134,18 @@ impl LiveCluster {
         self.router.dropped()
     }
 
+    /// Sever or heal the link between two NEs (both directions) — the
+    /// operator-API face of scheduled [`rgb_core::faults::LinkPartition`]
+    /// windows during scenario replay.
+    pub fn set_partition(&self, a: NodeId, b: NodeId, severed: bool) {
+        self.router.set_partition(a, b, severed);
+    }
+
+    /// Frames swallowed by link partitions so far.
+    pub fn partition_dropped(&self) -> u64 {
+        self.router.partition_dropped()
+    }
+
     /// A clone of the event sender (lets tests inject synthetic events).
     pub fn event_sender(&self) -> Sender<(NodeId, AppEvent)> {
         self.events_tx.clone()

@@ -25,5 +25,5 @@ pub mod transport;
 
 pub use cluster::LiveCluster;
 pub use runtime::NodeSnapshot;
-pub use scenario::run_scenario;
+pub use scenario::{run_scenario, run_scenario_digest};
 pub use transport::{Router, ToNode};

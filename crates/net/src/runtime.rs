@@ -12,6 +12,7 @@
 use crate::transport::{Router, ToNode};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rgb_core::events::{AppEvent, Input, TimerKind};
+use rgb_core::introspect::StateDigest;
 use rgb_core::member::MemberList;
 use rgb_core::message::MsgLabel;
 use rgb_core::node::NodeState;
@@ -41,6 +42,10 @@ pub struct NodeSnapshot {
     /// Frames the cluster's router has dropped so far (destination unknown
     /// or stopped). Cluster-wide counter, not per-node.
     pub dropped_frames: u64,
+    /// Oracle-facing digest of the node's state — the same shape the
+    /// simulator produces, so invariant oracles judge both substrates with
+    /// identical code.
+    pub digest: StateDigest,
 }
 
 /// The live-runtime implementation of the substrate layer: real wall-clock
@@ -142,6 +147,7 @@ pub fn run_node(
                     leader: state.leader(),
                     ring_ok: state.ring_ok,
                     dropped_frames: router.dropped(),
+                    digest: state.digest(),
                 });
             }
             Ok(ToNode::Stop) => break,

@@ -37,8 +37,17 @@ pub enum ToNode {
 #[derive(Clone, Default)]
 pub struct Router {
     inner: Arc<RwLock<HashMap<NodeId, Sender<ToNode>>>>,
+    /// Currently severed NE pairs (normalised `(min, max)`) with an
+    /// active-window refcount: frames between them are dropped, in both
+    /// directions — the live-world counterpart of the simulator's
+    /// [`rgb_core::faults::LinkPartition`] windows. Scenario replay drives
+    /// this from the timeline; overlapping windows on one pair heal only
+    /// when the last of them ends.
+    severed: Arc<RwLock<HashMap<(NodeId, NodeId), u32>>>,
     /// Messages dropped because the destination was unknown or stopped.
     drops: Arc<std::sync::atomic::AtomicU64>,
+    /// Frames swallowed by an active link partition.
+    partition_drops: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Router {
@@ -69,6 +78,10 @@ impl Router {
     /// [`rgb_core::substrate::Substrate::send_frame`]. Frames to unknown or
     /// stopped nodes are dropped and counted.
     pub fn send_frame(&self, from: NodeId, to: NodeId, frame: Bytes) {
+        if self.is_partitioned(from, to) {
+            self.partition_drops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return;
+        }
         let guard = self.inner.read();
         let Some(tx) = guard.get(&to) else {
             self.note_drop();
@@ -95,6 +108,34 @@ impl Router {
     /// Messages dropped so far.
     pub fn dropped(&self) -> u64 {
         self.drops.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Sever or heal the (unordered) link between `a` and `b`. Calls
+    /// refcount: each sever opens one window, each heal closes one, and
+    /// the link passes frames again only when no window remains open.
+    pub fn set_partition(&self, a: NodeId, b: NodeId, severed: bool) {
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        let mut guard = self.severed.write();
+        if severed {
+            *guard.entry(pair).or_insert(0) += 1;
+        } else if let Some(count) = guard.get_mut(&pair) {
+            *count -= 1;
+            if *count == 0 {
+                guard.remove(&pair);
+            }
+        }
+    }
+
+    /// Whether the (unordered) pair `a`–`b` is currently severed.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        let guard = self.severed.read();
+        !guard.is_empty() && guard.contains_key(&pair)
+    }
+
+    /// Frames swallowed by link partitions so far.
+    pub fn partition_dropped(&self) -> u64 {
+        self.partition_drops.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of registered nodes.
@@ -141,6 +182,43 @@ mod tests {
         let router = Router::new();
         router.send(GroupId(1), NodeId(1), NodeId(9), Msg::TokenAck { ring: RingId(0), seq: 1 });
         assert_eq!(router.dropped(), 1);
+    }
+
+    #[test]
+    fn partition_severs_and_heals_both_directions() {
+        let router = Router::new();
+        let (tx_a, rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        router.register(NodeId(1), tx_a);
+        router.register(NodeId(2), tx_b);
+        router.set_partition(NodeId(2), NodeId(1), true);
+        assert!(router.is_partitioned(NodeId(1), NodeId(2)));
+        router.send(GroupId(1), NodeId(1), NodeId(2), Msg::TokenAck { ring: RingId(0), seq: 1 });
+        router.send(GroupId(1), NodeId(2), NodeId(1), Msg::TokenAck { ring: RingId(0), seq: 2 });
+        assert_eq!(router.partition_dropped(), 2);
+        assert_eq!(router.dropped(), 0, "partition drops are counted separately");
+        assert!(rx_a.try_recv().is_err() && rx_b.try_recv().is_err());
+        router.set_partition(NodeId(1), NodeId(2), false);
+        assert!(!router.is_partitioned(NodeId(2), NodeId(1)));
+        router.send(GroupId(1), NodeId(1), NodeId(2), Msg::TokenAck { ring: RingId(0), seq: 3 });
+        assert!(rx_b.try_recv().is_ok(), "healed link delivers again");
+    }
+
+    #[test]
+    fn overlapping_partition_windows_refcount() {
+        let router = Router::new();
+        router.set_partition(NodeId(1), NodeId(2), true);
+        router.set_partition(NodeId(2), NodeId(1), true); // second window
+        router.set_partition(NodeId(1), NodeId(2), false); // first heals
+        assert!(
+            router.is_partitioned(NodeId(1), NodeId(2)),
+            "pair must stay severed until the last window ends"
+        );
+        router.set_partition(NodeId(1), NodeId(2), false);
+        assert!(!router.is_partitioned(NodeId(1), NodeId(2)));
+        // A heal with no open window is a no-op, not an underflow.
+        router.set_partition(NodeId(1), NodeId(2), false);
+        assert!(!router.is_partitioned(NodeId(1), NodeId(2)));
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Differential replay of explorer artifacts and the named regression
+//! scenario on the **live** substrate.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. the committed `tests/repros/` artifact parses and replays to the
+//!    same converged views on both substrates (reproducers cannot rot);
+//! 2. the named leader-crash-during-handoff scenario reaches post-repair
+//!    ring agreement on the live runtime too (the sim half lives in
+//!    `crates/sim/tests/leader_crash_handoff.rs`);
+//! 3. the acceptance pipeline end-to-end: a deliberately broken oracle
+//!    (inverted epoch check) yields a shrunk reproducer at ≤ 25% of the
+//!    original scheduled events whose artifact replays to the *same*
+//!    violation on the simulator **and** on the live substrate.
+
+use rgb_core::prelude::*;
+use rgb_net::run_scenario_digest;
+use rgb_sim::explore::oracle::{check_digest, Oracle, Violation};
+use rgb_sim::explore::{artifact, Explorer, ScenarioGen};
+use rgb_sim::Scenario;
+use std::time::Duration;
+
+fn committed_artifact(name: &str) -> Scenario {
+    let path = format!("{}/../../tests/repros/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    artifact::parse(&text).expect("committed artifact parses")
+}
+
+#[test]
+fn committed_artifact_replays_identically_on_both_substrates() {
+    let sc = committed_artifact("leader_crash_during_handoff.scn");
+    let sim_out = sc.run_sim();
+    let (live_out, live_digest) =
+        run_scenario_digest(&sc, Duration::from_millis(1), Duration::from_secs(15));
+
+    assert_eq!(sim_out.crashed, live_out.crashed);
+    let all_nodes: Vec<NodeId> = sc.layout().nodes.keys().copied().collect();
+    if let Some(diff) = sim_out.diff(&live_out, &all_nodes) {
+        panic!("substrate views diverged:\n{diff}");
+    }
+
+    // Post-repair ring agreement on the live substrate (satellite claim):
+    // the surviving bottom-ring proxies and the root ring all hold the
+    // schedule's expected membership.
+    let layout = sc.layout();
+    let aps = layout.aps();
+    let crashed = sc.crashes[0].node;
+    let bottom = layout.placement(aps[0]).unwrap().ring;
+    let expected = sc.expected_guids();
+    for &n in layout.ring(bottom).unwrap().nodes.iter().filter(|&&n| n != crashed) {
+        assert_eq!(
+            live_out.views.get(&n),
+            Some(&expected),
+            "live bottom-ring view at {n} diverged post-repair"
+        );
+    }
+    for &n in &layout.root_ring().nodes {
+        assert_eq!(live_out.views.get(&n), Some(&expected), "live root view at {n}");
+    }
+
+    // The live digest passes the same standard oracle battery that
+    // watched the simulated run continuously.
+    let mut oracles = rgb_sim::explore::standard_oracles(&sc);
+    check_digest(&mut oracles, &live_digest).expect("live replay violates an oracle");
+}
+
+/// The acceptance criterion's deliberately broken invariant: an inverted
+/// epoch check that fires when ring peers *agree* — which every healthy
+/// run eventually does, on either substrate.
+#[derive(Debug, Default)]
+struct InvertedEpochCheck;
+
+impl Oracle for InvertedEpochCheck {
+    fn name(&self) -> &'static str {
+        "inverted_epoch_check"
+    }
+
+    fn check_settled(&mut self, digest: &SystemDigest) -> Result<(), Violation> {
+        for (ring, nodes) in digest.by_ring() {
+            for (i, a) in nodes.iter().enumerate() {
+                for b in &nodes[i + 1..] {
+                    if a.epoch == b.epoch && a.members == b.members {
+                        return Err(Violation {
+                            oracle: self.name(),
+                            at: digest.now,
+                            detail: format!("ring {ring}: {} and {} agree", a.node, b.node),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn broken_battery(_: &Scenario) -> Vec<Box<dyn Oracle>> {
+    vec![Box::new(InvertedEpochCheck)]
+}
+
+#[test]
+fn broken_invariant_shrinks_and_replays_on_both_substrates() {
+    // A generated scenario with a substantial schedule.
+    let explorer = Explorer::default();
+    let gen = ScenarioGen::smoke(11);
+    let scenario = (0..32)
+        .map(|i| gen.scenario(i))
+        .find(|sc| sc.scheduled_events() >= 20)
+        .expect("generator produces a loaded scenario");
+
+    let mut oracles = broken_battery(&scenario);
+    let report = explorer.run_scenario_with(&scenario, &mut oracles).unwrap();
+    let violation = report.violation.expect("inverted check fires on a healthy run");
+
+    // Shrink and persist the artifact like the explore bin would.
+    let found = explorer.shrink_violation_with(0, &scenario, &violation, broken_battery);
+    assert!(
+        found.shrunk.scheduled_events() * 4 <= scenario.scheduled_events(),
+        "shrunk reproducer keeps {} of {} scheduled events (> 25%)",
+        found.shrunk.scheduled_events(),
+        scenario.scheduled_events()
+    );
+    let dir = std::env::temp_dir().join("rgb_repro_replay_test");
+    let path = found.write_artifact(&dir).expect("write artifact");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let shrunk = artifact::parse(&text).expect("artifact parses");
+    assert_eq!(shrunk, found.shrunk);
+
+    // Replay on the simulator: same violation.
+    let mut oracles = broken_battery(&shrunk);
+    let sim_replay = explorer.run_scenario_with(&shrunk, &mut oracles).unwrap();
+    assert_eq!(
+        sim_replay.violation.as_ref().map(|v| v.oracle),
+        Some("inverted_epoch_check"),
+        "sim replay lost the violation"
+    );
+
+    // Replay on the live substrate: the final settled digest trips the
+    // same oracle.
+    let (_, digest) =
+        run_scenario_digest(&shrunk, Duration::from_millis(1), Duration::from_secs(10));
+    let mut oracles = broken_battery(&shrunk);
+    let live_verdict = check_digest(&mut oracles, &digest);
+    assert_eq!(
+        live_verdict.unwrap_err().oracle,
+        "inverted_epoch_check",
+        "live replay must reproduce the same violation"
+    );
+}

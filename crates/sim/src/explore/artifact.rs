@@ -1,0 +1,329 @@
+//! Replayable text artifacts for [`Scenario`] values.
+//!
+//! When the explorer shrinks a failing scenario it persists the minimal
+//! reproducer as a RON-flavoured, line-oriented text file under
+//! `tests/repros/` — human-diffable, stable across toolchains, and parsed
+//! back by [`parse`] so a committed artifact can be replayed on either
+//! substrate years later. [`parse`]`(`[`render`]`(s)) == s` for every
+//! representable scenario (property-tested), so reproducers cannot rot.
+//!
+//! Floats are printed with Rust's shortest round-trip representation
+//! (`{:?}`), which `str::parse::<f64>` recovers exactly.
+
+use crate::network::LatencyBand;
+use crate::scenario::Scenario;
+use rgb_core::prelude::*;
+use std::fmt::Write as _;
+
+/// Format tag expected on the first line.
+const HEADER: &str = "rgb-scenario v1";
+
+/// Render a scenario as a replayable text artifact.
+pub fn render(sc: &Scenario) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "{HEADER}");
+    let _ = writeln!(w, "name: {}", sc.name);
+    let _ = writeln!(w, "height: {}", sc.height);
+    let _ = writeln!(w, "ring_size: {}", sc.ring_size);
+    let _ = writeln!(w, "seed: {}", sc.seed);
+    let _ = writeln!(w, "duration: {}", sc.duration);
+    match sc.delivered_cap {
+        Some(cap) => {
+            let _ = writeln!(w, "delivered_cap: {cap}");
+        }
+        None => {
+            let _ = writeln!(w, "delivered_cap: none");
+        }
+    }
+    let policy = match sc.cfg.token_policy {
+        TokenPolicy::Continuous => "continuous",
+        TokenPolicy::OnDemand => "on_demand",
+    };
+    let _ = writeln!(w, "cfg.token_policy: {policy}");
+    let scheme = match sc.cfg.scheme {
+        MembershipScheme::Tms => "tms".to_string(),
+        MembershipScheme::Bms => "bms".to_string(),
+        MembershipScheme::Ims { level } => format!("ims({level})"),
+    };
+    let _ = writeln!(w, "cfg.scheme: {scheme}");
+    let _ = writeln!(w, "cfg.aggregate_mq: {}", sc.cfg.aggregate_mq);
+    let _ = writeln!(w, "cfg.rotate_holder: {}", sc.cfg.rotate_holder);
+    let _ = writeln!(w, "cfg.token_retransmit_timeout: {}", sc.cfg.token_retransmit_timeout);
+    let _ = writeln!(w, "cfg.token_retransmit_limit: {}", sc.cfg.token_retransmit_limit);
+    let _ = writeln!(w, "cfg.token_interval: {}", sc.cfg.token_interval);
+    let _ = writeln!(w, "cfg.heartbeat_interval: {}", sc.cfg.heartbeat_interval);
+    let _ = writeln!(w, "cfg.token_lost_timeout: {}", sc.cfg.token_lost_timeout);
+    let _ = writeln!(w, "cfg.parent_timeout: {}", sc.cfg.parent_timeout);
+    let _ = writeln!(w, "cfg.child_timeout: {}", sc.cfg.child_timeout);
+    let _ = writeln!(w, "cfg.max_ops_per_token: {}", sc.cfg.max_ops_per_token);
+    for (key, band) in [
+        ("wireless", sc.net.wireless),
+        ("intra_ring", sc.net.intra_ring),
+        ("inter_tier", sc.net.inter_tier),
+        ("wide_area", sc.net.wide_area),
+    ] {
+        let _ = writeln!(w, "net.{key}: {}..{}", band.min, band.max);
+    }
+    let _ = writeln!(w, "net.loss: {:?}", sc.net.loss);
+    let _ = writeln!(w, "net.wireless_loss: {:?}", sc.net.wireless_loss);
+    let _ = writeln!(w, "net.dup: {:?}", sc.net.dup);
+    let _ = writeln!(w, "net.reorder: {:?}", sc.net.reorder);
+    let _ = writeln!(w, "net.reorder_extra: {}", sc.net.reorder_extra);
+    for c in &sc.crashes {
+        let _ = writeln!(w, "crash: at={} node={}", c.at, c.node.0);
+    }
+    for p in &sc.partitions {
+        let _ = writeln!(w, "partition: at={} heal={} a={} b={}", p.at, p.heal_at, p.a.0, p.b.0);
+    }
+    for (at, ap, event) in &sc.mh_schedule {
+        let ev = match event {
+            MhEvent::Join { guid, luid } => format!("join guid={} luid={}", guid.0, luid.0),
+            MhEvent::Leave { guid } => format!("leave guid={}", guid.0),
+            MhEvent::HandoffIn { guid, luid, from } => {
+                let from = from.map(|n| n.0.to_string()).unwrap_or_else(|| "none".into());
+                format!("handoff_in guid={} luid={} from={from}", guid.0, luid.0)
+            }
+            MhEvent::FailureDetected { guid } => format!("failure guid={}", guid.0),
+            MhEvent::Disconnect { guid } => format!("disconnect guid={}", guid.0),
+            MhEvent::Resume { guid, luid } => format!("resume guid={} luid={}", guid.0, luid.0),
+        };
+        let _ = writeln!(w, "mh: at={at} ap={} {ev}", ap.0);
+    }
+    for q in &sc.queries {
+        let scope = match q.scope {
+            QueryScope::Global => "global".to_string(),
+            QueryScope::Ring(r) => format!("ring({})", r.0),
+        };
+        let _ = writeln!(w, "query: at={} node={} scope={scope}", q.at, q.node.0);
+    }
+    out
+}
+
+/// One `key=value` token of an event line.
+fn field<'a>(pairs: &'a [(&'a str, &'a str)], key: &str, line: &str) -> Result<&'a str, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing field '{key}' in line: {line}"))
+}
+
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: '{s}'"))
+}
+
+fn band(s: &str) -> Result<LatencyBand, String> {
+    let (min, max) = s.split_once("..").ok_or_else(|| format!("bad latency band: '{s}'"))?;
+    Ok(LatencyBand { min: num(min, "band min")?, max: num(max, "band max")? })
+}
+
+/// Parse a rendered artifact back into a [`Scenario`].
+///
+/// The result is *syntactically* reconstructed; run
+/// [`Scenario::validate`] (or any `build`/`run` entry point, which do)
+/// before executing it, exactly as for a hand-written scenario.
+pub fn parse(text: &str) -> Result<Scenario, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(l) if l.trim() == HEADER => {}
+        other => return Err(format!("expected '{HEADER}' header, got {other:?}")),
+    }
+    let mut sc = Scenario::new("unnamed", 1, 3);
+    // Scenario::new seeds defaults; the artifact overrides every field it
+    // carries. Collections start empty.
+    for raw in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) =
+            line.split_once(':').ok_or_else(|| format!("expected 'key: value': {line}"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "name" => sc.name = value.to_string(),
+            "height" => sc.height = num(value, "height")?,
+            "ring_size" => sc.ring_size = num(value, "ring_size")?,
+            "seed" => sc.seed = num(value, "seed")?,
+            "duration" => sc.duration = num(value, "duration")?,
+            "delivered_cap" => {
+                sc.delivered_cap =
+                    if value == "none" { None } else { Some(num(value, "delivered_cap")?) };
+            }
+            "cfg.token_policy" => {
+                sc.cfg.token_policy = match value {
+                    "continuous" => TokenPolicy::Continuous,
+                    "on_demand" => TokenPolicy::OnDemand,
+                    other => return Err(format!("unknown token policy '{other}'")),
+                };
+            }
+            "cfg.scheme" => {
+                sc.cfg.scheme = match value {
+                    "tms" => MembershipScheme::Tms,
+                    "bms" => MembershipScheme::Bms,
+                    other => {
+                        let level = other
+                            .strip_prefix("ims(")
+                            .and_then(|s| s.strip_suffix(')'))
+                            .ok_or_else(|| format!("unknown scheme '{other}'"))?;
+                        MembershipScheme::Ims { level: num(level, "ims level")? }
+                    }
+                };
+            }
+            "cfg.aggregate_mq" => sc.cfg.aggregate_mq = num(value, "aggregate_mq")?,
+            "cfg.rotate_holder" => sc.cfg.rotate_holder = num(value, "rotate_holder")?,
+            "cfg.token_retransmit_timeout" => {
+                sc.cfg.token_retransmit_timeout = num(value, "token_retransmit_timeout")?;
+            }
+            "cfg.token_retransmit_limit" => {
+                sc.cfg.token_retransmit_limit = num(value, "token_retransmit_limit")?;
+            }
+            "cfg.token_interval" => sc.cfg.token_interval = num(value, "token_interval")?,
+            "cfg.heartbeat_interval" => {
+                sc.cfg.heartbeat_interval = num(value, "heartbeat_interval")?;
+            }
+            "cfg.token_lost_timeout" => {
+                sc.cfg.token_lost_timeout = num(value, "token_lost_timeout")?;
+            }
+            "cfg.parent_timeout" => sc.cfg.parent_timeout = num(value, "parent_timeout")?,
+            "cfg.child_timeout" => sc.cfg.child_timeout = num(value, "child_timeout")?,
+            "cfg.max_ops_per_token" => {
+                sc.cfg.max_ops_per_token = num(value, "max_ops_per_token")?;
+            }
+            "net.wireless" => sc.net.wireless = band(value)?,
+            "net.intra_ring" => sc.net.intra_ring = band(value)?,
+            "net.inter_tier" => sc.net.inter_tier = band(value)?,
+            "net.wide_area" => sc.net.wide_area = band(value)?,
+            "net.loss" => sc.net.loss = num(value, "loss")?,
+            "net.wireless_loss" => sc.net.wireless_loss = num(value, "wireless_loss")?,
+            "net.dup" => sc.net.dup = num(value, "dup")?,
+            "net.reorder" => sc.net.reorder = num(value, "reorder")?,
+            "net.reorder_extra" => sc.net.reorder_extra = num(value, "reorder_extra")?,
+            "crash" | "partition" | "mh" | "query" => {
+                let pairs: Vec<(&str, &str)> =
+                    value.split_whitespace().filter_map(|tok| tok.split_once('=')).collect();
+                // The MH event keyword carries no '=' and is skipped by the
+                // pair filter; recover it separately below.
+                match key {
+                    "crash" => {
+                        sc = sc.crash(
+                            num(field(&pairs, "at", line)?, "at")?,
+                            NodeId(num(field(&pairs, "node", line)?, "node")?),
+                        );
+                    }
+                    "partition" => {
+                        sc = sc.partition(
+                            num(field(&pairs, "at", line)?, "at")?,
+                            num(field(&pairs, "heal", line)?, "heal")?,
+                            NodeId(num(field(&pairs, "a", line)?, "a")?),
+                            NodeId(num(field(&pairs, "b", line)?, "b")?),
+                        );
+                    }
+                    "mh" => {
+                        let kind = value
+                            .split_whitespace()
+                            .find(|tok| !tok.contains('='))
+                            .ok_or_else(|| format!("mh line without event kind: {line}"))?;
+                        let at = num(field(&pairs, "at", line)?, "at")?;
+                        let ap = NodeId(num(field(&pairs, "ap", line)?, "ap")?);
+                        let guid = Guid(num(field(&pairs, "guid", line)?, "guid")?);
+                        let luid = || -> Result<Luid, String> {
+                            Ok(Luid(num(field(&pairs, "luid", line)?, "luid")?))
+                        };
+                        let event = match kind {
+                            "join" => MhEvent::Join { guid, luid: luid()? },
+                            "leave" => MhEvent::Leave { guid },
+                            "handoff_in" => {
+                                let from = field(&pairs, "from", line)?;
+                                let from = if from == "none" {
+                                    None
+                                } else {
+                                    Some(NodeId(num(from, "from")?))
+                                };
+                                MhEvent::HandoffIn { guid, luid: luid()?, from }
+                            }
+                            "failure" => MhEvent::FailureDetected { guid },
+                            "disconnect" => MhEvent::Disconnect { guid },
+                            "resume" => MhEvent::Resume { guid, luid: luid()? },
+                            other => return Err(format!("unknown mh event '{other}'")),
+                        };
+                        sc = sc.mh(at, ap, event);
+                    }
+                    "query" => {
+                        let scope = field(&pairs, "scope", line)?;
+                        let scope = if scope == "global" {
+                            QueryScope::Global
+                        } else {
+                            let r = scope
+                                .strip_prefix("ring(")
+                                .and_then(|s| s.strip_suffix(')'))
+                                .ok_or_else(|| format!("unknown query scope '{scope}'"))?;
+                            QueryScope::Ring(RingId(num(r, "ring id")?))
+                        };
+                        sc = sc.query(
+                            num(field(&pairs, "at", line)?, "at")?,
+                            NodeId(num(field(&pairs, "node", line)?, "node")?),
+                            scope,
+                        );
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    Ok(sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_loaded_scenario() {
+        let sc =
+            Scenario::new("loaded", 2, 3).with_seed(99).with_duration(4_321).with_delivered_cap(64);
+        let aps = sc.layout().aps();
+        let nodes = sc.layout().root_ring().nodes.clone();
+        let mut sc = sc
+            .join(0, aps[0], Guid(1), Luid(1))
+            .mh(10, aps[1], MhEvent::HandoffIn { guid: Guid(1), luid: Luid(2), from: None })
+            .mh(20, aps[1], MhEvent::HandoffIn { guid: Guid(1), luid: Luid(3), from: Some(aps[0]) })
+            .mh(30, aps[1], MhEvent::Leave { guid: Guid(1) })
+            .mh(40, aps[2], MhEvent::FailureDetected { guid: Guid(2) })
+            .mh(50, aps[2], MhEvent::Disconnect { guid: Guid(3) })
+            .mh(60, aps[2], MhEvent::Resume { guid: Guid(3), luid: Luid(9) })
+            .crash(100, nodes[1])
+            .partition(5, 500, nodes[0], aps[4])
+            .query(2_000, nodes[0], QueryScope::Global)
+            .query(2_100, aps[0], QueryScope::Ring(RingId(3)));
+        sc.cfg.token_policy = TokenPolicy::Continuous;
+        sc.cfg.scheme = MembershipScheme::Ims { level: 1 };
+        sc.net.loss = 0.012_345_678_9;
+        sc.net.dup = 0.25;
+        sc.net.reorder = 1.0 / 3.0;
+        sc.net.reorder_extra = 17;
+        let text = render(&sc);
+        let back = parse(&text).expect("parses");
+        assert_eq!(back, sc);
+        // Idempotent: render(parse(render(s))) == render(s).
+        assert_eq!(render(&back), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("not a scenario").is_err());
+        assert!(parse("rgb-scenario v1\nbogus_key: 3").is_err());
+        assert!(parse("rgb-scenario v1\nmh: at=0 ap=3 warp guid=1").is_err());
+        assert!(parse("rgb-scenario v1\ncrash: node=3").unwrap_err().contains("missing field"));
+        assert!(parse("rgb-scenario v1\nnet.wireless: 5").unwrap_err().contains("band"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let sc = Scenario::new("sparse", 1, 3);
+        let mut text = render(&sc);
+        text.push_str("\n# a trailing comment\n\n");
+        assert_eq!(parse(&text).unwrap(), sc);
+    }
+}

@@ -1,0 +1,321 @@
+//! Seeded random [`Scenario`] generation over the widened fault space.
+//!
+//! `ScenarioGen` samples every dimension an experiment can vary in —
+//! topology shape, protocol configuration, network latency bands, loss,
+//! **duplication and reordering**, crash plans, **timed link partitions**,
+//! churn, mobility and query schedules — so the explored space strictly
+//! contains everything the hand-written experiments (E1–E11) exercise.
+//! Generation is a pure function of `(master_seed, index)`: the same pair
+//! always yields the same scenario, which is what makes a failing seed a
+//! complete bug report.
+
+use crate::fault::bernoulli_crashes;
+use crate::network::{LatencyBand, NetConfig};
+use crate::rng::SplitMix64;
+use crate::scenario::Scenario;
+use crate::workload::ChurnParams;
+use rgb_core::prelude::*;
+
+/// Size/aggressiveness limits for generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenLimits {
+    /// Maximum hierarchy height.
+    pub max_height: usize,
+    /// Maximum nodes per logical ring.
+    pub max_ring: usize,
+    /// Scenario duration range (ticks).
+    pub duration: (u64, u64),
+    /// Maximum Bernoulli crash probability per NE.
+    pub max_crash_f: f64,
+    /// Maximum number of link partitions.
+    pub max_partitions: usize,
+    /// Maximum NE-to-NE loss probability.
+    pub max_loss: f64,
+}
+
+impl GenLimits {
+    /// The full exploration envelope (nightly runs).
+    pub fn full() -> Self {
+        GenLimits {
+            max_height: 3,
+            max_ring: 5,
+            duration: (2_000, 8_000),
+            max_crash_f: 0.10,
+            max_partitions: 2,
+            max_loss: 0.05,
+        }
+    }
+
+    /// The bounded envelope for PR-pipeline smoke runs: small topologies
+    /// and short durations, so hundreds of seeds finish in seconds while
+    /// still crossing every fault dimension.
+    pub fn smoke() -> Self {
+        GenLimits {
+            max_height: 2,
+            max_ring: 4,
+            duration: (1_200, 2_400),
+            max_crash_f: 0.08,
+            max_partitions: 1,
+            max_loss: 0.04,
+        }
+    }
+}
+
+/// Deterministic random scenario generator.
+#[derive(Debug, Clone)]
+pub struct ScenarioGen {
+    master_seed: u64,
+    limits: GenLimits,
+}
+
+impl ScenarioGen {
+    /// Generator over the full envelope.
+    pub fn new(master_seed: u64) -> Self {
+        ScenarioGen { master_seed, limits: GenLimits::full() }
+    }
+
+    /// Generator over the bounded smoke envelope.
+    pub fn smoke(master_seed: u64) -> Self {
+        ScenarioGen { master_seed, limits: GenLimits::smoke() }
+    }
+
+    /// Generator with explicit limits.
+    pub fn with_limits(master_seed: u64, limits: GenLimits) -> Self {
+        ScenarioGen { master_seed, limits }
+    }
+
+    /// The limits in force.
+    pub fn limits(&self) -> GenLimits {
+        self.limits
+    }
+
+    /// Generate scenario number `index`. Pure: same `(master_seed, index)`
+    /// in, same scenario out. The result always passes
+    /// [`Scenario::validate`].
+    pub fn scenario(&self, index: u64) -> Scenario {
+        let lim = &self.limits;
+        // Decorrelate the per-index stream from the master stream with a
+        // Weyl-style mix, so consecutive indices explore independently.
+        let mut rng = SplitMix64::new(self.master_seed ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+
+        // --- topology shape ---
+        let height = rng.range(1, lim.max_height as u64 + 1) as usize;
+        let max_ring = if height >= 3 { lim.max_ring.min(4) } else { lim.max_ring };
+        let ring_size = rng.range(3, max_ring as u64 + 1) as usize;
+        let duration = rng.range(lim.duration.0, lim.duration.1 + 1);
+
+        let mut sc = Scenario::new(format!("gen-{index:06}"), height, ring_size)
+            .with_seed(rng.next_u64())
+            .with_duration(duration);
+        let layout = sc.layout();
+        let aps = layout.aps();
+        let all_nodes: Vec<NodeId> = layout.nodes.keys().copied().collect();
+
+        // --- protocol configuration ---
+        sc.cfg = self.sample_cfg(&mut rng, height);
+
+        // --- network model (bands, loss, duplication, reordering) ---
+        sc.net = self.sample_net(&mut rng);
+
+        // --- explicit joins (always some foreground workload) ---
+        let joins = rng.range(3, 13);
+        for j in 0..joins {
+            let at = rng.range(0, duration / 2);
+            let ap = *rng.pick(&aps);
+            sc = sc.join(at, ap, Guid(1_000_000 + index * 1_000 + j), Luid(1));
+        }
+
+        // --- churn / mobility background (coin-flipped per dimension) ---
+        if rng.chance(0.5) {
+            let params = ChurnParams {
+                initial_members: rng.range(3, 16) as usize,
+                mean_join_interval: if rng.chance(0.5) { 0.0 } else { rng.range(80, 400) as f64 },
+                mean_lifetime: rng.range(300, 1_500) as f64,
+                failure_fraction: rng.uniform() * 0.5,
+                duration,
+            };
+            sc = sc.with_churn(params);
+        }
+        if rng.chance(0.4) {
+            let population = rng.range(3, 9) as usize;
+            let dwell = rng.range(60, 400) as f64;
+            // Disjoint GUID range: churn numbers from 0, explicit joins
+            // from 1M + index·1000, mobility from 2M + index·1000 — one
+            // member, one lifecycle, so the committed-join oracle's
+            // departed-set never exempts an unrelated roamer.
+            sc = sc.with_mobility_base(population, dwell, 2_000_000 + index * 1_000);
+        }
+
+        // --- crash plan ---
+        let f = rng.uniform() * lim.max_crash_f;
+        let window = (duration / 10, duration * 3 / 4);
+        sc = sc.with_crashes(bernoulli_crashes(&layout, f, window, rng.next_u64()));
+
+        // --- link partitions (timed heal) ---
+        let partitions = rng.range(0, lim.max_partitions as u64 + 1);
+        for _ in 0..partitions {
+            let a = *rng.pick(&all_nodes);
+            let b = *rng.pick(&all_nodes);
+            if a == b {
+                continue;
+            }
+            let len = rng.range(duration / 20 + 1, duration / 4 + 2);
+            let at = rng.range(0, duration - len);
+            sc = sc.partition(at, at + len, a, b);
+        }
+
+        // --- queries ---
+        let queries = rng.range(0, 4);
+        for _ in 0..queries {
+            let at = rng.range(duration / 2, duration);
+            let node = *rng.pick(&all_nodes);
+            sc = sc.query(at, node, QueryScope::Global);
+        }
+
+        debug_assert!(sc.validate().is_ok(), "generated scenario must validate");
+        sc
+    }
+
+    fn sample_cfg(&self, rng: &mut SplitMix64, height: usize) -> ProtocolConfig {
+        let mut cfg =
+            if rng.chance(0.6) { ProtocolConfig::live() } else { ProtocolConfig::default() };
+        cfg.scheme = match rng.range(0, 10) {
+            0..=5 => MembershipScheme::Tms,
+            6..=7 => MembershipScheme::Bms,
+            _ if height >= 2 => MembershipScheme::Ims { level: rng.range(1, height as u64) as u8 },
+            _ => MembershipScheme::Tms,
+        };
+        cfg.aggregate_mq = rng.chance(0.9);
+        cfg.rotate_holder = rng.chance(0.9);
+        cfg.token_retransmit_timeout = rng.range(20, 61);
+        cfg.token_retransmit_limit = rng.range(2, 4) as u32;
+        cfg.token_interval = rng.range(5, 31);
+        cfg.heartbeat_interval = rng.range(40, 160);
+        // Keep the loss suspicion window comfortably above the retransmit
+        // budget so recovery never races ordinary forwarding.
+        cfg.token_lost_timeout =
+            (cfg.token_retransmit_timeout * u64::from(cfg.token_retransmit_limit) * 3)
+                .max(rng.range(300, 801));
+        cfg.parent_timeout = cfg.heartbeat_interval * rng.range(3, 6);
+        cfg.child_timeout = cfg.heartbeat_interval * rng.range(3, 6);
+        cfg.max_ops_per_token = rng.range(64, 1_025) as usize;
+        cfg
+    }
+
+    fn sample_net(&self, rng: &mut SplitMix64) -> NetConfig {
+        let band = |rng: &mut SplitMix64, lo: u64, hi: u64, span: u64| {
+            let min = rng.range(lo, hi + 1);
+            LatencyBand { min, max: min + rng.range(0, span + 1) }
+        };
+        let mut net = NetConfig {
+            wireless: band(rng, 1, 40, 40),
+            intra_ring: band(rng, 1, 12, 10),
+            inter_tier: band(rng, 2, 30, 30),
+            wide_area: band(rng, 2, 30, 30),
+            loss: 0.0,
+            wireless_loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_extra: 0,
+        };
+        if rng.chance(0.5) {
+            net.loss = rng.uniform() * self.limits.max_loss;
+        }
+        if rng.chance(0.3) {
+            net.wireless_loss = rng.uniform() * 0.03;
+        }
+        if rng.chance(0.4) {
+            net.dup = rng.uniform() * 0.10;
+        }
+        if rng.chance(0.4) {
+            net.reorder = rng.uniform() * 0.20;
+            net.reorder_extra = rng.range(5, 51);
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed_and_index() {
+        let g = ScenarioGen::new(42);
+        assert_eq!(g.scenario(7), g.scenario(7));
+        assert_ne!(g.scenario(7), g.scenario(8));
+        assert_ne!(ScenarioGen::new(42).scenario(7), ScenarioGen::new(43).scenario(7));
+    }
+
+    #[test]
+    fn every_generated_scenario_validates() {
+        for (gen, n) in [(ScenarioGen::new(1), 40u64), (ScenarioGen::smoke(1), 40)] {
+            for i in 0..n {
+                let sc = gen.scenario(i);
+                sc.validate().unwrap_or_else(|e| panic!("index {i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn workload_guid_spaces_are_disjoint() {
+        // Churn, mobility and the explicit joins each get a private GUID
+        // range: no GUID may ever join twice in one generated schedule
+        // (two lifecycles on one identity would blind the committed-join
+        // oracle via its departed-set).
+        for master in [5u64, 6, 7] {
+            let g = ScenarioGen::smoke(master);
+            for i in 0..40 {
+                let sc = g.scenario(i);
+                let mut seen = std::collections::BTreeSet::new();
+                for (_, _, e) in &sc.mh_schedule {
+                    if let MhEvent::Join { guid, .. } = e {
+                        assert!(seen.insert(*guid), "guid {guid} joins twice in {}", sc.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_space_crosses_every_fault_dimension() {
+        // Over a block of seeds, each widened fault dimension must be hit:
+        // crashes, partitions, loss, duplication, reordering, churn,
+        // mobility (handoffs), queries, both token policies, both heights.
+        let g = ScenarioGen::smoke(3);
+        let scs: Vec<Scenario> = (0..60).map(|i| g.scenario(i)).collect();
+        assert!(scs.iter().any(|s| !s.crashes.is_empty()), "no crashes sampled");
+        assert!(scs.iter().any(|s| !s.partitions.is_empty()), "no partitions sampled");
+        assert!(scs.iter().any(|s| s.net.loss > 0.0), "no loss sampled");
+        assert!(scs.iter().any(|s| s.net.dup > 0.0), "no duplication sampled");
+        assert!(scs.iter().any(|s| s.net.reorder > 0.0), "no reordering sampled");
+        assert!(scs.iter().any(|s| !s.queries.is_empty()), "no queries sampled");
+        assert!(
+            scs.iter().any(|s| s
+                .mh_schedule
+                .iter()
+                .any(|(_, _, e)| matches!(e, MhEvent::HandoffIn { .. }))),
+            "no mobility handoffs sampled"
+        );
+        assert!(
+            scs.iter().any(|s| s
+                .mh_schedule
+                .iter()
+                .any(|(_, _, e)| matches!(e, MhEvent::FailureDetected { .. }))),
+            "no churn failures sampled"
+        );
+        assert!(
+            scs.iter().any(|s| s.cfg.token_policy == TokenPolicy::Continuous)
+                && scs.iter().any(|s| s.cfg.token_policy == TokenPolicy::OnDemand),
+            "both token policies must appear"
+        );
+        assert!(
+            scs.iter().any(|s| s.height == 1) && scs.iter().any(|s| s.height == 2),
+            "both heights must appear"
+        );
+        assert!(
+            scs.iter().any(|s| s.cfg.scheme != MembershipScheme::Tms),
+            "non-TMS schemes must appear"
+        );
+    }
+}

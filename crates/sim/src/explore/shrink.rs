@@ -1,0 +1,243 @@
+//! Automatic trace shrinking: delta-debug a failing [`Scenario`] down to a
+//! minimal reproducer.
+//!
+//! The shrinker only ever *removes* scheduled events or *reduces* scalar
+//! dimensions (duration, topology), re-running the oracle harness after
+//! every candidate cut and keeping the cut only if the **same oracle**
+//! still fires. Greedy ddmin-style passes repeat until a fixpoint or the
+//! re-run budget is exhausted, so the result is 1-minimal with respect to
+//! the cuts attempted: dropping any further chunk makes the violation
+//! disappear.
+
+use crate::scenario::Scenario;
+
+/// Outcome of a shrink session.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimised scenario (still reproduces the violation).
+    pub scenario: Scenario,
+    /// Re-runs spent.
+    pub attempts: usize,
+    /// Scheduled events before shrinking.
+    pub events_before: usize,
+    /// Scheduled events after shrinking.
+    pub events_after: usize,
+}
+
+/// Delta-debug `original` against `still_fails` (which must return `true`
+/// when a candidate reproduces the original violation). `budget` caps the
+/// number of `still_fails` re-runs.
+///
+/// The caller guarantees `still_fails(original) == true`; the result then
+/// also fails, since only verified cuts are kept.
+pub fn shrink<F>(original: &Scenario, budget: usize, mut still_fails: F) -> Shrunk
+where
+    F: FnMut(&Scenario) -> bool,
+{
+    let events_before = original.scheduled_events();
+    let mut current = original.clone();
+    let mut attempts = 0usize;
+
+    // One verified attempt against a candidate; returns true (and commits)
+    // when the cut keeps the violation alive.
+    let mut try_accept = |candidate: Scenario, current: &mut Scenario, attempts: &mut usize| {
+        if *attempts >= budget || candidate.validate().is_err() {
+            return false;
+        }
+        *attempts += 1;
+        if still_fails(&candidate) {
+            *current = candidate;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // --- ddmin over each event list -------------------------------
+        // Chunk sizes halve from len/2 down to 1; each surviving pass
+        // restarts from big chunks because earlier cuts change the lists.
+        for list in [ListKind::Mh, ListKind::Crashes, ListKind::Partitions, ListKind::Queries] {
+            let mut chunk = (list.len(&current) / 2).max(1);
+            loop {
+                let len = list.len(&current);
+                if len == 0 {
+                    break;
+                }
+                let mut start = 0;
+                while start < list.len(&current) {
+                    let len = list.len(&current);
+                    let end = (start + chunk).min(len);
+                    let candidate = list.without_range(&current, start..end);
+                    if try_accept(candidate, &mut current, &mut attempts) {
+                        progressed = true;
+                        // Keep `start` in place: the tail shifted left.
+                    } else {
+                        start = end;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+
+        // --- shrink the duration --------------------------------------
+        // Try the tightest bound first (just past the last event), then
+        // successive halvings towards it.
+        let floor = last_event_at(&current).saturating_add(1).max(100);
+        if current.duration > floor {
+            let candidate = current.clone().with_duration(floor);
+            if try_accept(candidate, &mut current, &mut attempts) {
+                progressed = true;
+            } else {
+                let half = (current.duration / 2).max(floor);
+                if half < current.duration {
+                    let candidate = current.clone().with_duration(half);
+                    if try_accept(candidate, &mut current, &mut attempts) {
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        // --- shrink the topology --------------------------------------
+        // Events reference concrete node ids, so a smaller hierarchy only
+        // survives validation when every referenced node still exists —
+        // try it and let validation veto.
+        if current.height > 1 {
+            let mut candidate = current.clone();
+            candidate.height -= 1;
+            if try_accept(candidate, &mut current, &mut attempts) {
+                progressed = true;
+            }
+        }
+        if current.ring_size > 2 {
+            let mut candidate = current.clone();
+            candidate.ring_size -= 1;
+            if try_accept(candidate, &mut current, &mut attempts) {
+                progressed = true;
+            }
+        }
+
+        if !progressed || attempts >= budget {
+            break;
+        }
+    }
+
+    let events_after = current.scheduled_events();
+    Shrunk { scenario: current, attempts, events_before, events_after }
+}
+
+/// The event lists a scenario schedules, as shrinkable dimensions.
+#[derive(Clone, Copy)]
+enum ListKind {
+    Mh,
+    Crashes,
+    Partitions,
+    Queries,
+}
+
+impl ListKind {
+    fn len(self, sc: &Scenario) -> usize {
+        match self {
+            ListKind::Mh => sc.mh_schedule.len(),
+            ListKind::Crashes => sc.crashes.len(),
+            ListKind::Partitions => sc.partitions.len(),
+            ListKind::Queries => sc.queries.len(),
+        }
+    }
+
+    fn without_range(self, sc: &Scenario, range: std::ops::Range<usize>) -> Scenario {
+        let mut out = sc.clone();
+        match self {
+            ListKind::Mh => drop(out.mh_schedule.drain(range)),
+            ListKind::Crashes => drop(out.crashes.drain(range)),
+            ListKind::Partitions => drop(out.partitions.drain(range)),
+            ListKind::Queries => drop(out.queries.drain(range)),
+        }
+        out
+    }
+}
+
+fn last_event_at(sc: &Scenario) -> u64 {
+    let mh = sc.mh_schedule.iter().map(|&(t, _, _)| t).max().unwrap_or(0);
+    let crash = sc.crashes.iter().map(|c| c.at).max().unwrap_or(0);
+    let part = sc.partitions.iter().map(|p| p.heal_at).max().unwrap_or(0);
+    let query = sc.queries.iter().map(|q| q.at).max().unwrap_or(0);
+    mh.max(crash).max(part).max(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgb_core::prelude::*;
+
+    /// A failing predicate that depends on exactly one event: the join of
+    /// GUID 7. Everything else is noise the shrinker must strip.
+    fn needle_scenario() -> Scenario {
+        let sc = Scenario::new("haystack", 2, 3).with_duration(6_000);
+        let aps = sc.layout().aps();
+        let nodes = sc.layout().root_ring().nodes.clone();
+        let mut sc = sc;
+        for i in 0..20u64 {
+            sc = sc.join(i * 10, aps[(i % 9) as usize], Guid(100 + i), Luid(1));
+        }
+        sc = sc.join(333, aps[0], Guid(7), Luid(1));
+        sc = sc.crash(1_000, nodes[1]).crash(1_500, nodes[2]);
+        sc = sc.partition(50, 800, nodes[0], aps[5]);
+        sc.query(4_000, nodes[0], QueryScope::Global).query(4_100, aps[3], QueryScope::Global)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_event() {
+        let original = needle_scenario();
+        let fails = |sc: &Scenario| {
+            sc.mh_schedule
+                .iter()
+                .any(|(_, _, e)| matches!(e, MhEvent::Join { guid, .. } if *guid == Guid(7)))
+        };
+        assert!(fails(&original), "harness: original must fail");
+        let shrunk = shrink(&original, 500, fails);
+        assert_eq!(shrunk.events_before, original.scheduled_events());
+        assert_eq!(shrunk.events_after, 1, "exactly the needle survives");
+        assert_eq!(shrunk.scenario.scheduled_events(), 1);
+        assert!(fails(&shrunk.scenario), "shrunk scenario still fails");
+        assert!(shrunk.scenario.validate().is_ok());
+        assert!(
+            shrunk.scenario.duration < original.duration,
+            "duration shrank ({} -> {})",
+            original.duration,
+            shrunk.scenario.duration
+        );
+        assert!(shrunk.scenario.ring_size <= original.ring_size);
+    }
+
+    #[test]
+    fn budget_bounds_the_rerun_count() {
+        let original = needle_scenario();
+        let mut calls = 0usize;
+        let shrunk = shrink(&original, 7, |_| {
+            calls += 1;
+            true // everything "fails": the shrinker will cut eagerly
+        });
+        assert!(calls <= 7, "budget exceeded: {calls}");
+        assert_eq!(shrunk.attempts, calls);
+        assert!(shrunk.scenario.validate().is_ok());
+    }
+
+    #[test]
+    fn never_accepts_a_passing_candidate() {
+        // Predicate: fails only while BOTH crashes are present.
+        let original = needle_scenario();
+        let fails = |sc: &Scenario| sc.crashes.len() >= 2;
+        let shrunk = shrink(&original, 500, fails);
+        assert_eq!(shrunk.scenario.crashes.len(), 2, "both load-bearing crashes kept");
+        assert_eq!(shrunk.scenario.mh_schedule.len(), 0);
+        assert_eq!(shrunk.scenario.queries.len(), 0);
+        assert!(fails(&shrunk.scenario));
+    }
+}

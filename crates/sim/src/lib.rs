@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod explore;
 pub mod fault;
 pub mod metrics;
 pub mod mobility;
@@ -30,12 +31,13 @@ pub mod scenario;
 pub mod sim;
 pub mod workload;
 
+pub use explore::{Exploration, Explorer, FoundViolation, Oracle, ScenarioGen, Violation};
 pub use fault::{bernoulli_crashes, crash_in_ring, PlannedCrash};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use mobility::{MobilityModel, TimedEvent};
 pub use network::{LatencyBand, LinkClass, LinkClassMatrix, NetConfig, NetworkModel};
 pub use oracle::{check_repair_complete, check_ring_consistency, function_well_report};
 pub use rng::SplitMix64;
-pub use scenario::{operational_guids, Scenario, ScenarioOutcome, TimedQuery};
+pub use scenario::{operational_guids, Scenario, ScenarioError, ScenarioOutcome, TimedQuery};
 pub use sim::{QueueKind, Simulation};
 pub use workload::{churn, expected_members, ChurnParams};

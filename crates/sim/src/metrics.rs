@@ -73,6 +73,14 @@ pub struct Metrics {
     sent_by_class: [u64; LinkClass::COUNT],
     /// Messages lost in the network.
     pub lost: u64,
+    /// Frames swallowed by an active link partition (counted separately
+    /// from random `lost` so fault runs can attribute silence to its
+    /// cause).
+    pub partition_dropped: u64,
+    /// Extra frame copies produced by the duplication fault dimension.
+    pub duplicated: u64,
+    /// Frames delivered out of band by the reordering fault dimension.
+    pub reordered: u64,
     /// Frames that arrived but were dropped by the receive path because
     /// they failed to decode or carried a foreign group id (the simulator
     /// routes every delivery through `rgb_core::wire`, exactly like the

@@ -46,13 +46,32 @@ pub struct MobilityModel {
 }
 
 impl MobilityModel {
-    /// Create `population` MHs spread uniformly over the APs of `layout`.
+    /// Create `population` MHs spread uniformly over the APs of `layout`,
+    /// with GUIDs `0..population`.
     pub fn new(layout: &HierarchyLayout, population: usize, mean_dwell: f64, seed: u64) -> Self {
+        Self::with_guid_base(layout, population, mean_dwell, seed, 0)
+    }
+
+    /// [`MobilityModel::new`] with GUIDs `guid_base..guid_base +
+    /// population` — callers composing several workload generators into
+    /// one scenario give each a disjoint GUID range so the schedules stay
+    /// coherent (one member, one identity).
+    pub fn with_guid_base(
+        layout: &HierarchyLayout,
+        population: usize,
+        mean_dwell: f64,
+        seed: u64,
+        guid_base: u64,
+    ) -> Self {
         let mut rng = SplitMix64::new(seed);
         let aps = layout.aps();
         let adjacency = Self::build_adjacency(layout);
         let mhs = (0..population)
-            .map(|i| MobileHost { guid: Guid(i as u64), ap: *rng.pick(&aps), luid_seq: 0 })
+            .map(|i| MobileHost {
+                guid: Guid(guid_base + i as u64),
+                ap: *rng.pick(&aps),
+                luid_seq: 0,
+            })
             .collect();
         MobilityModel { mhs, adjacency, rng, mean_dwell }
     }
@@ -201,5 +220,17 @@ mod tests {
         let b = MobilityModel::new(&l, 10, 50.0, 9).generate(1_000);
         assert_eq!(a.len(), b.len());
         assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn guid_base_offsets_the_population() {
+        let l = layout();
+        let events = MobilityModel::with_guid_base(&l, 5, 50.0, 9, 700).generate(1_000);
+        for (_, _, e) in &events {
+            let (MhEvent::Join { guid, .. } | MhEvent::HandoffIn { guid, .. }) = e else {
+                panic!("mobility only joins and hands off");
+            };
+            assert!((700..705).contains(&guid.0), "guid {guid} outside base range");
+        }
     }
 }

@@ -87,6 +87,18 @@ pub struct NetConfig {
     pub loss: f64,
     /// Probability the wireless hop loses a message.
     pub wireless_loss: f64,
+    /// Probability an NE-to-NE frame is **duplicated** in transit (the copy
+    /// samples its own independent latency). The wireless hop is exempt:
+    /// its per-MH FIFO ordering models link-layer retransmission, which
+    /// already deduplicates.
+    pub dup: f64,
+    /// Probability an NE-to-NE frame is **delayed out of band** (reordered
+    /// past later traffic): the frame's latency is inflated by a uniform
+    /// extra in `[1, reorder_extra]`.
+    pub reorder: f64,
+    /// Upper bound of the reorder delay (ticks); must be ≥ 1 whenever
+    /// `reorder > 0`.
+    pub reorder_extra: u64,
 }
 
 impl Default for NetConfig {
@@ -100,6 +112,9 @@ impl Default for NetConfig {
             wide_area: LatencyBand { min: 10, max: 40 },
             loss: 0.0,
             wireless_loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_extra: 0,
         }
     }
 }
@@ -114,6 +129,9 @@ impl NetConfig {
             wide_area: LatencyBand::fixed(0),
             loss: 0.0,
             wireless_loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_extra: 0,
         }
     }
 
@@ -126,6 +144,9 @@ impl NetConfig {
             wide_area: LatencyBand::fixed(1),
             loss: 0.0,
             wireless_loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_extra: 0,
         }
     }
 
@@ -156,10 +177,18 @@ impl NetConfig {
                 ));
             }
         }
-        for (name, p) in [("loss", self.loss), ("wireless_loss", self.wireless_loss)] {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("wireless_loss", self.wireless_loss),
+            ("dup", self.dup),
+            ("reorder", self.reorder),
+        ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("net config: {name} probability {p} outside [0, 1]"));
             }
+        }
+        if self.reorder > 0.0 && self.reorder_extra == 0 {
+            return Err("net config: reorder > 0 requires reorder_extra >= 1".to_string());
         }
         Ok(())
     }
@@ -225,6 +254,25 @@ impl NetworkModel {
             _ => self.cfg.loss,
         };
         p > 0.0 && rng.chance(p)
+    }
+
+    /// Sample whether an NE-to-NE frame is duplicated in transit. Draws
+    /// from the RNG only when duplication is configured, so legacy
+    /// scenarios keep their exact event streams.
+    pub fn duplicated(&self, rng: &mut SplitMix64) -> bool {
+        self.cfg.dup > 0.0 && rng.chance(self.cfg.dup)
+    }
+
+    /// Sample the out-of-band reorder delay for an NE-to-NE frame: `0` for
+    /// frames delivered in band, otherwise a uniform extra latency in
+    /// `[1, reorder_extra]`. Draws from the RNG only when reordering is
+    /// configured.
+    pub fn reorder_delay(&self, rng: &mut SplitMix64) -> u64 {
+        if self.cfg.reorder > 0.0 && rng.chance(self.cfg.reorder) {
+            rng.range(1, self.cfg.reorder_extra + 1)
+        } else {
+            0
+        }
     }
 
     /// Tier of a node (diagnostics).
@@ -410,6 +458,36 @@ mod tests {
         assert!(cfg.validate().is_err());
         let cfg = NetConfig { wireless_loss: -0.1, ..NetConfig::default() };
         assert!(cfg.validate().is_err());
+        let cfg = NetConfig { dup: 2.0, ..NetConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = NetConfig { reorder: 0.5, reorder_extra: 0, ..NetConfig::default() };
+        assert!(cfg.validate().unwrap_err().contains("reorder_extra"));
+    }
+
+    #[test]
+    fn dup_and_reorder_sampling_track_probabilities() {
+        let m = NetworkModel::new(NetConfig {
+            dup: 0.3,
+            reorder: 0.5,
+            reorder_extra: 10,
+            ..NetConfig::default()
+        });
+        let mut rng = SplitMix64::new(9);
+        let n = 50_000;
+        let dups = (0..n).filter(|_| m.duplicated(&mut rng)).count();
+        assert!((dups as f64 / n as f64 - 0.3).abs() < 0.02);
+        let delays: Vec<u64> = (0..n).map(|_| m.reorder_delay(&mut rng)).collect();
+        let hit = delays.iter().filter(|&&d| d > 0).count();
+        assert!((hit as f64 / n as f64 - 0.5).abs() < 0.02);
+        assert!(delays.iter().all(|&d| d <= 10));
+        assert!(delays.contains(&10) && delays.contains(&1));
+        // With the dimensions off, no RNG draws happen at all.
+        let off = NetworkModel::new(NetConfig::default());
+        let mut a = SplitMix64::new(1);
+        let before = a.clone().next_u64();
+        assert!(!off.duplicated(&mut a));
+        assert_eq!(off.reorder_delay(&mut a), 0);
+        assert_eq!(a.next_u64(), before, "rng untouched when dup/reorder are zero");
     }
 
     #[test]

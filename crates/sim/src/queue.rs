@@ -90,6 +90,35 @@ pub(crate) enum EventKind {
         node: NodeId,
         scope: QueryScope,
     },
+    /// A scheduled link partition between one NE pair becomes active.
+    PartitionStart {
+        a: NodeId,
+        b: NodeId,
+    },
+    /// A scheduled link partition heals.
+    PartitionHeal {
+        a: NodeId,
+        b: NodeId,
+    },
+}
+
+impl EventKind {
+    /// Whether this occurrence is a *scheduled disruption* — an injected
+    /// scenario event (mobile-host traffic, crash, query, partition
+    /// transition) rather than ordinary protocol traffic or a timer. The
+    /// queue counts pending disruptions so observers can gate
+    /// quiescence-sensitive invariant checks in O(1).
+    pub(crate) fn is_disruption(&self) -> bool {
+        matches!(
+            self,
+            EventKind::MhSend { .. }
+                | EventKind::MhDeliver { .. }
+                | EventKind::Crash { .. }
+                | EventKind::QueryStart { .. }
+                | EventKind::PartitionStart { .. }
+                | EventKind::PartitionHeal { .. }
+        )
+    }
 }
 
 /// The bucketed near-future event store.
@@ -173,6 +202,8 @@ pub(crate) struct EventQueue {
     wheel: Option<Wheel>,
     next_seq: u64,
     peak_len: usize,
+    /// Queued entries whose kind [`EventKind::is_disruption`].
+    disruptions: usize,
 }
 
 impl EventQueue {
@@ -182,6 +213,7 @@ impl EventQueue {
             wheel: (kind == QueueKind::TimerWheel).then(Wheel::new),
             next_seq: 0,
             peak_len: 0,
+            disruptions: 0,
         }
     }
 
@@ -200,6 +232,11 @@ impl EventQueue {
         self.peak_len
     }
 
+    /// Pending scheduled disruptions (see [`EventKind::is_disruption`]).
+    pub fn disruptions(&self) -> usize {
+        self.disruptions
+    }
+
     /// Queue an occurrence: near-future ones go to the wheel, far ones (or
     /// every one in [`QueueKind::BinaryHeap`] mode) to the heap.
     #[inline]
@@ -207,6 +244,9 @@ impl EventQueue {
         debug_assert!(at >= now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        if kind.is_disruption() {
+            self.disruptions += 1;
+        }
         let event = Event { at, seq, kind };
         match &mut self.wheel {
             Some(wheel) if at - now < WHEEL_SLOTS => wheel.push(event),
@@ -238,12 +278,16 @@ impl EventQueue {
             (None, Some(_)) => true,
             (Some(h), Some(w)) => w < h,
         };
-        if take_wheel {
+        let event = if take_wheel {
             let (at, _) = wheel_key.expect("wheel key present");
-            Some(self.wheel.as_mut().expect("wheel mode").pop_at(at))
+            self.wheel.as_mut().expect("wheel mode").pop_at(at)
         } else {
-            self.heap.pop().map(|Reverse(ev)| ev)
+            self.heap.pop().map(|Reverse(ev)| ev)?
+        };
+        if event.kind.is_disruption() {
+            self.disruptions -= 1;
         }
+        Some(event)
     }
 }
 
@@ -334,6 +378,22 @@ mod tests {
         assert_eq!(q.peak_len(), 10);
         let _ = drain(&mut q);
         assert_eq!(q.peak_len(), 10, "peak survives draining");
+    }
+
+    #[test]
+    fn disruption_counter_tracks_scheduled_events() {
+        let mut q = EventQueue::new(QueueKind::TimerWheel);
+        assert_eq!(q.disruptions(), 0);
+        q.push(0, 5, timer(0, 1)); // not a disruption
+        q.push(0, 3, crash(1));
+        q.push(0, WHEEL_SLOTS * 2, crash(2)); // heap-side disruption
+        q.push(0, 4, EventKind::PartitionStart { a: NodeId(1), b: NodeId(2) });
+        assert_eq!(q.disruptions(), 3);
+        let mut now = 0;
+        while let Some(ev) = q.pop(now) {
+            now = now.max(ev.at);
+        }
+        assert_eq!(q.disruptions(), 0);
     }
 
     #[test]

@@ -19,6 +19,90 @@ use crate::workload::{churn, ChurnParams};
 use rgb_core::prelude::*;
 use rgb_core::topology::HierarchyLayout;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A structurally invalid [`Scenario`] definition, reported by
+/// [`Scenario::validate`] before anything runs. Every variant names the
+/// scenario so batch tooling (the explorer, the bench bins) can say *which*
+/// generated definition was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// `duration == 0`: the scenario could never process a scheduled event.
+    ZeroDuration {
+        /// Offending scenario name.
+        scenario: String,
+    },
+    /// A scheduled event falls beyond the scenario duration. The simulator
+    /// would silently leave it unprocessed while a wall-clock substrate
+    /// would apply it — rejecting keeps the substrates equivalent.
+    BeyondDuration {
+        /// Offending scenario name.
+        scenario: String,
+        /// What kind of event ("crash", "MH event", "query", "partition").
+        what: &'static str,
+        /// Scheduled time.
+        at: u64,
+        /// Scenario duration.
+        duration: u64,
+    },
+    /// An event references a node outside the topology.
+    UnknownNode {
+        /// Offending scenario name.
+        scenario: String,
+        /// What kind of event referenced it.
+        what: &'static str,
+        /// The unknown node.
+        node: NodeId,
+    },
+    /// A mobile-host event targets an NE that is not an access proxy.
+    NotAnAccessProxy {
+        /// Offending scenario name.
+        scenario: String,
+        /// The non-AP node.
+        node: NodeId,
+    },
+    /// The network configuration failed [`NetConfig::validate`].
+    Net {
+        /// Offending scenario name.
+        scenario: String,
+        /// The underlying description.
+        reason: String,
+    },
+    /// A link partition is malformed (self-loop or empty window).
+    InvalidPartition {
+        /// Offending scenario name.
+        scenario: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::ZeroDuration { scenario } => {
+                write!(f, "scenario '{scenario}': zero duration")
+            }
+            ScenarioError::BeyondDuration { scenario, what, at, duration } => {
+                write!(f, "scenario '{scenario}': {what} at {at} is beyond duration {duration}")
+            }
+            ScenarioError::UnknownNode { scenario, what, node } => {
+                write!(f, "scenario '{scenario}': {what} references unknown node {node}")
+            }
+            ScenarioError::NotAnAccessProxy { scenario, node } => {
+                write!(f, "scenario '{scenario}': MH event at non-AP node {node}")
+            }
+            ScenarioError::Net { scenario, reason } => {
+                write!(f, "scenario '{scenario}': {reason}")
+            }
+            ScenarioError::InvalidPartition { scenario, reason } => {
+                write!(f, "scenario '{scenario}': invalid partition: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// A membership query scheduled at a point in scenario time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +116,7 @@ pub struct TimedQuery {
 }
 
 /// A complete, substrate-independent experiment definition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Human-readable scenario name (reports, logs).
     pub name: String,
@@ -51,6 +135,10 @@ pub struct Scenario {
     pub duration: u64,
     /// Planned NE crashes.
     pub crashes: Vec<PlannedCrash>,
+    /// Timed link partitions between NE pairs (with heal times). The
+    /// simulator drops frames between severed pairs; the live runtime
+    /// applies the same windows to its router.
+    pub partitions: Vec<LinkPartition>,
     /// Mobile-host events (joins, leaves, handoffs, failures), time-sorted
     /// by [`Scenario::build_sim`] before scheduling.
     pub mh_schedule: Vec<TimedEvent>,
@@ -76,6 +164,7 @@ impl Scenario {
             seed: 1,
             duration: 10_000,
             crashes: Vec::new(),
+            partitions: Vec::new(),
             mh_schedule: Vec::new(),
             queries: Vec::new(),
             delivered_cap: None,
@@ -138,6 +227,19 @@ impl Scenario {
         self
     }
 
+    /// Schedule a timed link partition: frames between `a` and `b` (either
+    /// direction) are dropped from `at` until `heal_at`.
+    pub fn partition(mut self, at: u64, heal_at: u64, a: NodeId, b: NodeId) -> Self {
+        self.partitions.push(LinkPartition { at, heal_at, a, b });
+        self
+    }
+
+    /// Append a pre-computed partition plan.
+    pub fn with_partitions(mut self, partitions: Vec<LinkPartition>) -> Self {
+        self.partitions.extend(partitions);
+        self
+    }
+
     /// Schedule a membership query.
     pub fn query(mut self, at: u64, node: NodeId, scope: QueryScope) -> Self {
         self.queries.push(TimedQuery { at, node, scope });
@@ -154,11 +256,26 @@ impl Scenario {
     }
 
     /// Append a mobility workload: `population` MHs roaming the AP cells
-    /// with exponential dwell times of mean `mean_dwell` ticks.
-    pub fn with_mobility(mut self, population: usize, mean_dwell: f64) -> Self {
+    /// with exponential dwell times of mean `mean_dwell` ticks, with GUIDs
+    /// `0..population`.
+    pub fn with_mobility(self, population: usize, mean_dwell: f64) -> Self {
+        self.with_mobility_base(population, mean_dwell, 0)
+    }
+
+    /// [`Scenario::with_mobility`] with GUIDs starting at `guid_base` —
+    /// use a disjoint base when composing mobility with other workloads
+    /// (churn numbers its members from 0), so no GUID ends up with two
+    /// independent lifecycles in one schedule.
+    pub fn with_mobility_base(
+        mut self,
+        population: usize,
+        mean_dwell: f64,
+        guid_base: u64,
+    ) -> Self {
         let layout = self.layout();
         let events =
-            MobilityModel::new(&layout, population, mean_dwell, self.seed).generate(self.duration);
+            MobilityModel::with_guid_base(&layout, population, mean_dwell, self.seed, guid_base)
+                .generate(self.duration);
         self.mh_schedule.extend(events);
         self
     }
@@ -172,56 +289,97 @@ impl Scenario {
 
     /// Validate the definition: the network configuration must pass
     /// [`NetConfig::validate`], every referenced NE must exist in the
-    /// topology, the duration must be positive, and every scheduled event
-    /// must fall within the duration (the simulator would silently leave
-    /// later events unprocessed while a wall-clock substrate would apply
-    /// them — rejecting them keeps the substrates equivalent).
-    pub fn validate(&self) -> Result<(), String> {
+    /// topology, the duration must be positive, every scheduled event must
+    /// fall within the duration (the simulator would silently leave later
+    /// events unprocessed while a wall-clock substrate would apply them —
+    /// rejecting them keeps the substrates equivalent), and every link
+    /// partition must be a non-empty window over two distinct known nodes.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
         self.validate_with(&self.layout())
     }
 
     /// [`Scenario::validate`] against an already-built layout (avoids
     /// rebuilding the hierarchy when the caller holds one).
-    fn validate_with(&self, layout: &HierarchyLayout) -> Result<(), String> {
-        self.net.validate()?;
-        if self.duration == 0 {
-            return Err(format!("scenario '{}': zero duration", self.name));
+    fn validate_with(&self, layout: &HierarchyLayout) -> Result<(), ScenarioError> {
+        let name = || self.name.clone();
+        if let Err(reason) = self.net.validate() {
+            return Err(ScenarioError::Net { scenario: name(), reason });
         }
+        if self.duration == 0 {
+            return Err(ScenarioError::ZeroDuration { scenario: name() });
+        }
+        let beyond = |what: &'static str, at: u64| ScenarioError::BeyondDuration {
+            scenario: self.name.clone(),
+            what,
+            at,
+            duration: self.duration,
+        };
         for c in &self.crashes {
             if layout.placement(c.node).is_err() {
-                return Err(format!("scenario '{}': crash of unknown node {}", self.name, c.node));
+                return Err(ScenarioError::UnknownNode {
+                    scenario: name(),
+                    what: "crash",
+                    node: c.node,
+                });
             }
             if c.at > self.duration {
-                return Err(format!(
-                    "scenario '{}': crash of {} at {} is beyond duration {}",
-                    self.name, c.node, c.at, self.duration
-                ));
+                return Err(beyond("crash", c.at));
+            }
+        }
+        for p in &self.partitions {
+            for node in [p.a, p.b] {
+                if layout.placement(node).is_err() {
+                    return Err(ScenarioError::UnknownNode {
+                        scenario: name(),
+                        what: "partition",
+                        node,
+                    });
+                }
+            }
+            if p.a == p.b {
+                return Err(ScenarioError::InvalidPartition {
+                    scenario: name(),
+                    reason: format!("self-loop at {}", p.a),
+                });
+            }
+            if p.heal_at <= p.at {
+                return Err(ScenarioError::InvalidPartition {
+                    scenario: name(),
+                    reason: format!("empty window [{}, {})", p.at, p.heal_at),
+                });
+            }
+            if p.heal_at > self.duration {
+                return Err(beyond("partition", p.heal_at));
             }
         }
         let aps: BTreeSet<NodeId> = layout.aps().into_iter().collect();
         for (at, ap, _) in &self.mh_schedule {
             if !aps.contains(ap) {
-                return Err(format!("scenario '{}': MH event at non-AP node {ap}", self.name));
+                return Err(ScenarioError::NotAnAccessProxy { scenario: name(), node: *ap });
             }
             if *at > self.duration {
-                return Err(format!(
-                    "scenario '{}': MH event at {at} is beyond duration {}",
-                    self.name, self.duration
-                ));
+                return Err(beyond("MH event", *at));
             }
         }
         for q in &self.queries {
             if layout.placement(q.node).is_err() {
-                return Err(format!("scenario '{}': query at unknown node {}", self.name, q.node));
+                return Err(ScenarioError::UnknownNode {
+                    scenario: name(),
+                    what: "query",
+                    node: q.node,
+                });
             }
             if q.at > self.duration {
-                return Err(format!(
-                    "scenario '{}': query at {} is beyond duration {}",
-                    self.name, q.at, self.duration
-                ));
+                return Err(beyond("query", q.at));
             }
         }
         Ok(())
+    }
+
+    /// Total number of scheduled events (crashes, partitions, MH events,
+    /// queries) — the size the trace shrinker minimises.
+    pub fn scheduled_events(&self) -> usize {
+        self.crashes.len() + self.partitions.len() + self.mh_schedule.len() + self.queries.len()
     }
 
     /// The set of members the schedule leaves in the group at the end
@@ -250,28 +408,51 @@ impl Scenario {
 
     /// Build a booted simulation with the entire schedule primed.
     ///
-    /// Same-tick ties resolve in schedule order: crashes, then MH events,
-    /// then queries (the live runner replays the timeline in the same
-    /// order, so both substrates see identical same-tick semantics).
+    /// Same-tick ties resolve in schedule order: partition transitions,
+    /// then crashes, then MH events, then queries (the live runner replays
+    /// the timeline in the same order, so both substrates see identical
+    /// same-tick semantics).
     ///
     /// # Panics
     ///
-    /// Panics if [`Scenario::validate`] fails.
+    /// Panics if [`Scenario::validate`] fails; use
+    /// [`Scenario::try_build_sim`] to handle the [`ScenarioError`] instead.
     pub fn build_sim(&self) -> Simulation {
-        self.build_sim_with_queue(crate::sim::QueueKind::TimerWheel)
+        self.try_build_sim().unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Fallible [`Scenario::build_sim`]: validates the definition first and
+    /// reports what is wrong as a typed [`ScenarioError`].
+    pub fn try_build_sim(&self) -> Result<Simulation, ScenarioError> {
+        self.try_build_sim_with_queue(crate::sim::QueueKind::TimerWheel)
     }
 
     /// [`Scenario::build_sim`] with an explicit event-queue implementation
     /// (the engine-determinism tests replay one scenario on both kinds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] fails.
     pub fn build_sim_with_queue(&self, queue: crate::sim::QueueKind) -> Simulation {
+        self.try_build_sim_with_queue(queue).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Fallible [`Scenario::build_sim_with_queue`].
+    pub fn try_build_sim_with_queue(
+        &self,
+        queue: crate::sim::QueueKind,
+    ) -> Result<Simulation, ScenarioError> {
         let layout = self.layout();
-        self.validate_with(&layout).expect("invalid scenario");
+        self.validate_with(&layout)?;
         let mut sim =
             Simulation::new_with_queue(layout, &self.cfg, self.net.clone(), self.seed, queue);
         if let Some(cap) = self.delivered_cap {
             sim.set_delivered_cap(cap);
         }
         sim.boot_all();
+        for p in &self.partitions {
+            sim.schedule_partition(*p);
+        }
         for c in &self.crashes {
             sim.crash_at(c.at, c.node);
         }
@@ -283,7 +464,7 @@ impl Scenario {
         for q in &self.queries {
             sim.schedule_query(q.at, q.node, q.scope);
         }
-        sim
+        Ok(sim)
     }
 
     /// Run the scenario on the simulator substrate for its full duration
@@ -292,6 +473,47 @@ impl Scenario {
         let mut sim = self.build_sim();
         sim.run_until(self.duration);
         ScenarioOutcome::from_sim(&sim)
+    }
+
+    /// Named regression scenario: the leader of a bottom ring crashes while
+    /// a mobile-host handoff into that ring is still in flight — the
+    /// schedule shape a randomized fault explorer hits first, because it
+    /// overlaps the two repair paths (token-retransmission exclusion of the
+    /// dead leader, §5.2) with a membership change that must survive the
+    /// repair (the handoff record is queued but not yet agreed when the
+    /// leader dies).
+    ///
+    /// Both substrates must converge to the same post-repair views: GUID 1
+    /// handed off to the second proxy, GUID 2 untouched, the crashed leader
+    /// excluded.
+    pub fn leader_crash_during_handoff(seed: u64) -> Scenario {
+        let mut cfg = ProtocolConfig::live();
+        cfg.token_interval = 5;
+        cfg.token_retransmit_timeout = 20;
+        cfg.token_retransmit_limit = 2;
+        cfg.token_lost_timeout = 150;
+        cfg.heartbeat_interval = 20;
+        cfg.parent_timeout = 100;
+        cfg.child_timeout = 100;
+        let sc = Scenario::new("leader crash during in-flight handoff", 2, 3)
+            .with_cfg(cfg)
+            .with_net(NetConfig::unit())
+            .with_seed(seed)
+            .with_duration(3_000);
+        let aps = sc.layout().aps();
+        // aps[0..3] form the first bottom ring; its leader is aps[0] (ring
+        // leadership is the minimal roster id). GUID 1 joins at the leader,
+        // then hands off to the neighbour proxy; the leader crashes a few
+        // ticks after the handoff crosses the wireless hop, while the
+        // handoff record is still queued and unagreed.
+        sc.join(0, aps[0], Guid(1), Luid(1))
+            .join(0, aps[2], Guid(2), Luid(1))
+            .mh(
+                600,
+                aps[1],
+                MhEvent::HandoffIn { guid: Guid(1), luid: Luid(2), from: Some(aps[0]) },
+            )
+            .crash(604, aps[0])
     }
 }
 
@@ -393,25 +615,100 @@ mod tests {
     fn validation_rejects_bad_definitions() {
         // MH event at a non-AP node (the root is not an access proxy).
         let sc = Scenario::new("bad ap", 2, 3).join(0, NodeId(0), Guid(1), Luid(1));
-        assert!(sc.validate().unwrap_err().contains("non-AP"));
+        assert!(matches!(
+            sc.validate().unwrap_err(),
+            ScenarioError::NotAnAccessProxy { node: NodeId(0), .. }
+        ));
         // Crash of a node outside the topology.
         let sc = Scenario::new("bad crash", 2, 3).crash(0, NodeId(9_999));
-        assert!(sc.validate().unwrap_err().contains("unknown node"));
+        let err = sc.validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownNode { what: "crash", .. }));
+        assert!(err.to_string().contains("unknown node"), "display stays grep-able: {err}");
         // Inverted latency band propagates out of NetConfig::validate.
         let net = NetConfig {
             wide_area: crate::network::LatencyBand { min: 10, max: 2 },
             ..NetConfig::default()
         };
         let sc = Scenario::new("bad net", 2, 3).with_net(net);
-        assert!(sc.validate().unwrap_err().contains("wide_area"));
+        let err = sc.validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::Net { .. }));
+        assert!(err.to_string().contains("wide_area"));
         // Zero duration.
-        assert!(Scenario::new("no time", 2, 3).with_duration(0).validate().is_err());
+        assert!(matches!(
+            Scenario::new("no time", 2, 3).with_duration(0).validate().unwrap_err(),
+            ScenarioError::ZeroDuration { .. }
+        ));
         // Events beyond the duration would silently stay unprocessed in
         // the simulator but fire on a wall-clock substrate: config error.
         let sc = Scenario::new("late", 1, 3).with_duration(100);
         let ap = sc.layout().aps()[0];
         let sc = sc.join(200, ap, Guid(1), Luid(1));
-        assert!(sc.validate().unwrap_err().contains("beyond duration"));
+        assert!(matches!(
+            sc.validate().unwrap_err(),
+            ScenarioError::BeyondDuration { what: "MH event", at: 200, duration: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_partitions() {
+        let base = || Scenario::new("p", 1, 3).with_duration(1_000);
+        let nodes = base().layout().root_ring().nodes.clone();
+        // Well-formed partition passes.
+        assert!(base().partition(10, 20, nodes[0], nodes[1]).validate().is_ok());
+        // Self-loop.
+        assert!(matches!(
+            base().partition(10, 20, nodes[0], nodes[0]).validate().unwrap_err(),
+            ScenarioError::InvalidPartition { .. }
+        ));
+        // Empty (or inverted) window.
+        assert!(matches!(
+            base().partition(20, 20, nodes[0], nodes[1]).validate().unwrap_err(),
+            ScenarioError::InvalidPartition { .. }
+        ));
+        // Unknown endpoint.
+        assert!(matches!(
+            base().partition(10, 20, nodes[0], NodeId(9_999)).validate().unwrap_err(),
+            ScenarioError::UnknownNode { what: "partition", .. }
+        ));
+        // Heal beyond duration.
+        assert!(matches!(
+            base().partition(10, 2_000, nodes[0], nodes[1]).validate().unwrap_err(),
+            ScenarioError::BeyondDuration { what: "partition", .. }
+        ));
+    }
+
+    #[test]
+    fn try_build_sim_surfaces_typed_errors() {
+        let sc = Scenario::new("no time", 2, 3).with_duration(0);
+        assert_eq!(
+            sc.try_build_sim().err(),
+            Some(ScenarioError::ZeroDuration { scenario: "no time".into() })
+        );
+        let sc = Scenario::new("late crash", 1, 3).with_duration(100).crash(500, NodeId(0));
+        assert!(matches!(
+            sc.try_build_sim().err(),
+            Some(ScenarioError::BeyondDuration { what: "crash", at: 500, duration: 100, .. })
+        ));
+        assert!(Scenario::new("fine", 1, 3).try_build_sim().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn build_sim_panics_on_invalid_definition() {
+        let _ = Scenario::new("no time", 2, 3).with_duration(0).build_sim();
+    }
+
+    #[test]
+    fn scheduled_events_counts_every_dimension() {
+        let sc = Scenario::new("count", 1, 3).with_duration(1_000);
+        let nodes = sc.layout().root_ring().nodes.clone();
+        let aps = sc.layout().aps();
+        let sc = sc
+            .join(0, aps[0], Guid(1), Luid(1))
+            .crash(10, nodes[1])
+            .partition(5, 50, nodes[0], nodes[2])
+            .query(100, nodes[0], QueryScope::Global);
+        assert_eq!(sc.scheduled_events(), 4);
     }
 
     #[test]

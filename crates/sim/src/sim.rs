@@ -92,6 +92,12 @@ pub struct Simulation {
     /// FIFO per MH (link-layer ordering), so a host's Leave can never
     /// overtake its own Join despite latency jitter.
     mh_last_delivery: std::collections::BTreeMap<Guid, u64>,
+    /// Currently severed NE pairs (normalised `(min, max)`), maintained by
+    /// the scheduled [`LinkPartition`] events. A pair appears once per
+    /// active window, so overlapping partitions on the same pair refcount
+    /// naturally: the link heals only when its *last* window ends. Almost
+    /// always empty, so the hot-path check is a single `is_empty` load.
+    partitioned: Vec<(NodeId, NodeId)>,
     /// Reusable output buffer for the hot loop (no per-input allocation).
     out_buf: OutputSink,
 }
@@ -106,11 +112,29 @@ impl Substrate for Simulation {
         let ti = self.indexer.index_of(to);
         let class = self.classes.classify(fi, ti);
         self.metrics.record_send(label, class);
+        if !self.partitioned.is_empty() && self.is_partitioned(from, to) {
+            self.metrics.partition_dropped += 1;
+            return;
+        }
         if self.net.lost(class, &mut self.rng) {
             self.metrics.lost += 1;
             return;
         }
-        let latency = self.net.latency(class, &mut self.rng);
+        let mut latency = self.net.latency(class, &mut self.rng);
+        let extra = self.net.reorder_delay(&mut self.rng);
+        if extra > 0 {
+            self.metrics.reordered += 1;
+            latency += extra;
+        }
+        if self.net.duplicated(&mut self.rng) {
+            self.metrics.duplicated += 1;
+            let copy_latency = self.net.latency(class, &mut self.rng);
+            self.events.push(
+                self.now,
+                self.now + copy_latency,
+                EventKind::Deliver { from, to: ti, frame: frame.clone() },
+            );
+        }
         self.events.push(self.now, self.now + latency, EventKind::Deliver { from, to: ti, frame });
     }
 
@@ -206,6 +230,7 @@ impl Simulation {
             net: NetworkModel::new(net),
             rng: SplitMix64::new(seed),
             mh_last_delivery: std::collections::BTreeMap::new(),
+            partitioned: Vec::new(),
             out_buf: OutputSink::new(),
         }
     }
@@ -260,6 +285,22 @@ impl Simulation {
     /// Schedule a membership query issued at `node`.
     pub fn schedule_query(&mut self, delay: u64, node: NodeId, scope: QueryScope) {
         self.events.push(self.now, self.now + delay, EventKind::QueryStart { node, scope });
+    }
+
+    /// Schedule a timed link partition (see [`LinkPartition`]): the pair is
+    /// severed at `now + p.at` and heals at `now + p.heal_at`. Frames
+    /// already in flight when the partition starts still arrive.
+    pub fn schedule_partition(&mut self, p: LinkPartition) {
+        debug_assert!(p.heal_at > p.at, "validated by Scenario");
+        let (a, b) = (p.a, p.b);
+        self.events.push(self.now, self.now + p.at, EventKind::PartitionStart { a, b });
+        self.events.push(self.now, self.now + p.heal_at, EventKind::PartitionHeal { a, b });
+    }
+
+    /// Whether the (unordered) pair `a`–`b` is currently severed.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        self.partitioned.contains(&pair)
     }
 
     /// Decode an arrived frame and feed it to `to`. Frames that fail to
@@ -361,6 +402,19 @@ impl Simulation {
                     self.inject_idx(idx, Input::StartQuery { scope });
                 }
             }
+            EventKind::PartitionStart { a, b } => {
+                // One entry per active window (no dedup): a heal removes
+                // one entry, so overlapping windows keep the pair severed
+                // until the last of them ends.
+                let pair = if a <= b { (a, b) } else { (b, a) };
+                self.partitioned.push(pair);
+            }
+            EventKind::PartitionHeal { a, b } => {
+                let pair = if a <= b { (a, b) } else { (b, a) };
+                if let Some(pos) = self.partitioned.iter().position(|&p| p == pair) {
+                    self.partitioned.swap_remove(pos);
+                }
+            }
         }
         true
     }
@@ -391,6 +445,57 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// Run until `deadline`, handing the simulation to `observe` every
+    /// `every` ticks of simulated time (and once at the deadline). This is
+    /// the continuous-oracle hook: invariant checkers inspect the running
+    /// system *between* events instead of only at quiescence. The observer
+    /// returns `false` to stop early; the function then returns the stop
+    /// time, and `None` when the deadline was reached with every
+    /// observation passing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_observed<F: FnMut(&Simulation) -> bool>(
+        &mut self,
+        deadline: u64,
+        every: u64,
+        mut observe: F,
+    ) -> Option<u64> {
+        assert!(every > 0, "observation interval must be positive");
+        loop {
+            let next = self.now.saturating_add(every).min(deadline);
+            self.run_until(next);
+            if !observe(self) {
+                return Some(self.now);
+            }
+            if self.now >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Scheduled disruptions (mobile-host traffic, crashes, queries,
+    /// partition transitions) still queued — the explorer's quiescence gate
+    /// only opens when this reaches zero. O(1).
+    pub fn pending_disruptions(&self) -> usize {
+        self.events.disruptions()
+    }
+
+    /// Oracle-facing digest of the whole system: one [`StateDigest`] per
+    /// alive node plus the crash set. `settled` is the caller's quiescence
+    /// verdict (see [`Simulation::pending_disruptions`] and the explorer's
+    /// stability detector) and is recorded verbatim for gate-aware oracles.
+    pub fn system_digest(&self, settled: bool) -> SystemDigest {
+        let nodes = self
+            .indexer
+            .iter()
+            .filter(|&(idx, _)| !self.crashed[idx.as_usize()])
+            .map(|(idx, _)| self.nodes[idx.as_usize()].digest())
+            .collect();
+        SystemDigest { now: self.now, nodes, crashed: self.crashed_ids.clone(), settled }
     }
 
     /// Run until `pred` holds (checked after every event) or `deadline`
@@ -721,6 +826,134 @@ mod tests {
                 >= sim.metrics.app_events_dropped
                     + sim.delivered_iter().map(|(_, e)| e.len() as u64).sum::<u64>(),
             "every event is either retained or counted as dropped"
+        );
+    }
+
+    #[test]
+    fn partition_severs_and_heals_on_schedule() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        sim.boot_all();
+        let nodes = sim.layout.root_ring().nodes.clone();
+        sim.schedule_partition(LinkPartition { at: 10, heal_at: 50, a: nodes[0], b: nodes[1] });
+        sim.run_until(20);
+        assert!(sim.is_partitioned(nodes[0], nodes[1]));
+        assert!(sim.is_partitioned(nodes[1], nodes[0]), "partitions are bidirectional");
+        assert!(!sim.is_partitioned(nodes[0], nodes[2]));
+        let frame = wire::encode(&Envelope {
+            gid: sim.layout.gid,
+            msg: Msg::TokenAck { ring: RingId(0), seq: 1 },
+        });
+        sim.send_frame(nodes[0], nodes[1], MsgLabel::TokenAck, frame.clone());
+        assert_eq!(sim.metrics.partition_dropped, 1, "frame swallowed while severed");
+        sim.run_until(60);
+        assert!(!sim.is_partitioned(nodes[0], nodes[1]), "partition healed");
+        let before = sim.metrics.partition_dropped;
+        sim.send_frame(nodes[0], nodes[1], MsgLabel::TokenAck, frame);
+        assert_eq!(sim.metrics.partition_dropped, before, "healed link passes frames");
+    }
+
+    #[test]
+    fn overlapping_partition_windows_heal_only_when_the_last_ends() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        sim.boot_all();
+        let nodes = sim.layout.root_ring().nodes.clone();
+        sim.schedule_partition(LinkPartition { at: 10, heal_at: 50, a: nodes[0], b: nodes[1] });
+        sim.schedule_partition(LinkPartition { at: 30, heal_at: 90, a: nodes[0], b: nodes[1] });
+        sim.run_until(60); // first window healed, second still open
+        assert!(
+            sim.is_partitioned(nodes[0], nodes[1]),
+            "pair must stay severed while any window is open"
+        );
+        sim.run_until(100);
+        assert!(!sim.is_partitioned(nodes[0], nodes[1]), "last window heals the link");
+    }
+
+    #[test]
+    fn retransmission_rides_out_a_brief_partition() {
+        // A partition that heals within the token-retransmission budget
+        // must not trigger local repair: the stalled token gets through on
+        // a later attempt and the ring converges with nobody excluded.
+        let mut cfg = ProtocolConfig::live();
+        cfg.token_interval = 10;
+        cfg.token_retransmit_timeout = 50;
+        cfg.token_retransmit_limit = 3;
+        cfg.heartbeat_interval = 300;
+        cfg.token_lost_timeout = 2_000;
+        let mut sim = Simulation::full(1, 4, &cfg, NetConfig::unit(), 3);
+        sim.boot_all();
+        let nodes = sim.layout.root_ring().nodes.clone();
+        sim.schedule_partition(LinkPartition { at: 0, heal_at: 120, a: nodes[0], b: nodes[1] });
+        let ap = sim.layout.aps()[2];
+        sim.schedule_mh(300, ap, MhEvent::Join { guid: Guid(5), luid: Luid(1) });
+        sim.run_until(20_000);
+        assert!(sim.metrics.partition_dropped > 0, "partition swallowed traffic");
+        let retransmits: u64 = sim.nodes_iter().map(|(_, n)| n.stats.retransmits).sum();
+        let exclusions: u64 = sim.nodes_iter().map(|(_, n)| n.stats.exclusions).sum();
+        assert!(retransmits > 0, "the stall must be bridged by retransmission");
+        assert_eq!(exclusions, 0, "brief partition must not look like a node fault");
+        for &n in &nodes {
+            assert!(sim.member_at(n, Guid(5)), "post-heal agreement failed at {n}");
+        }
+    }
+
+    #[test]
+    fn duplication_and_reorder_move_their_counters_and_stay_consistent() {
+        let mut cfg = ProtocolConfig::live();
+        cfg.token_interval = 10;
+        cfg.token_retransmit_timeout = 30;
+        cfg.heartbeat_interval = 200;
+        cfg.token_lost_timeout = 500;
+        let mut net = NetConfig::unit();
+        net.dup = 0.10;
+        net.reorder = 0.10;
+        net.reorder_extra = 25;
+        let mut sim = Simulation::full(1, 4, &cfg, net, 17);
+        sim.boot_all();
+        let ap = sim.layout.aps()[1];
+        sim.schedule_mh(0, ap, MhEvent::Join { guid: Guid(8), luid: Luid(1) });
+        sim.run_until(20_000);
+        assert!(sim.metrics.duplicated > 0, "duplication never fired");
+        assert!(sim.metrics.reordered > 0, "reordering never fired");
+        for &n in sim.layout.root_ring().nodes.iter() {
+            assert!(sim.member_at(n, Guid(8)), "dup/reorder broke agreement at {n}");
+        }
+    }
+
+    #[test]
+    fn run_observed_visits_on_schedule_and_stops_early() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::unit(), 1);
+        sim.boot_all();
+        let mut seen = Vec::new();
+        let done = sim.run_observed(1_000, 100, |s| {
+            seen.push(s.now);
+            true
+        });
+        assert_eq!(done, None);
+        assert_eq!(seen, (1..=10).map(|i| i * 100).collect::<Vec<_>>());
+        // Early stop reports the observation time.
+        let stopped = sim.run_observed(2_000, 100, |s| s.now < 1_300);
+        assert_eq!(stopped, Some(1_300));
+    }
+
+    #[test]
+    fn system_digest_covers_alive_nodes() {
+        let mut sim = Simulation::full(1, 3, &ProtocolConfig::default(), NetConfig::instant(), 1);
+        sim.boot_all();
+        let victim = sim.layout.root_ring().nodes[2];
+        sim.crash_at(0, victim);
+        let ap = sim.layout.aps()[0];
+        sim.schedule_mh(1, ap, MhEvent::Join { guid: Guid(3), luid: Luid(1) });
+        assert_eq!(sim.pending_disruptions(), 2, "crash + MH send queued");
+        sim.run_until_quiet(100_000);
+        assert_eq!(sim.pending_disruptions(), 0);
+        let digest = sim.system_digest(true);
+        assert!(digest.settled);
+        assert_eq!(digest.nodes.len(), 2, "crashed node reports no digest");
+        assert!(digest.crashed.contains(&victim));
+        assert!(digest.nodes.iter().all(|d| d.node != victim));
+        assert!(
+            digest.nodes.iter().any(|d| d.members.contains(&Guid(3))),
+            "join visible in some digest"
         );
     }
 

@@ -1,0 +1,47 @@
+//! Bounded smoke run of the scenario explorer, `cargo test`-visible: a
+//! block of generated scenarios across the widened fault space must pass
+//! the standard oracle battery. The full 200-seed block runs in the PR
+//! pipeline as `cargo run --release -p rgb-bench --bin explore --
+//! --seeds 200 --smoke`; nightly CI explores the full envelope.
+
+use rgb_sim::explore::{Explorer, ScenarioGen};
+
+#[test]
+fn smoke_seed_block_is_clean() {
+    let explorer = Explorer::default();
+    let gen = ScenarioGen::smoke(0);
+    let exploration = explorer.explore(&gen, 0, 40);
+    assert_eq!(exploration.runs(), 40);
+    if let Some(found) = &exploration.found {
+        panic!(
+            "seed {} violated {}:\n{}\nshrunk reproducer:\n{}",
+            found.seed, found.violation.oracle, found.violation.detail, found.artifact
+        );
+    }
+    // Every run produced a usable trace, and the overwhelming majority
+    // settle within the budget (a run that never settles only skips the
+    // convergence oracles, but a *block* that never settles would mean
+    // the gate is broken and the settled checks never run at all).
+    let settled = exploration.reports.iter().filter(|r| r.trace.settled_at().is_some()).count();
+    assert!(
+        settled >= 35,
+        "only {settled}/40 runs settled — the quiescence gate is starving the oracles"
+    );
+    for report in &exploration.reports {
+        assert!(!report.trace.observations.is_empty(), "run {} has no trace", report.seed);
+    }
+}
+
+#[test]
+fn full_envelope_spot_check_is_clean() {
+    // A handful of full-envelope seeds (bigger topologies, longer runs)
+    // so the nightly configuration cannot silently rot between nights.
+    let explorer = Explorer::default();
+    let gen = ScenarioGen::new(99);
+    let exploration = explorer.explore(&gen, 0, 8);
+    assert!(
+        exploration.found.is_none(),
+        "violation in full-envelope spot check: {:?}",
+        exploration.found.map(|f| f.violation)
+    );
+}

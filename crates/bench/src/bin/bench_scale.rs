@@ -1,0 +1,244 @@
+//! Scale benchmark: a ~100k-node churn scenario driven through the
+//! sequential engine and a shard-count sweep of the conservative-parallel
+//! engine (`rgb_sim::par`), reporting **events/sec**, speedup vs
+//! sequential, lookahead and bytes/node, written as `BENCH_scale.json`.
+//!
+//! ```text
+//! cargo run --release -p rgb-bench --bin bench_scale -- \
+//!     [--smoke] [--check-digests] [--out BENCH_scale.json] [--budget-secs T]
+//! ```
+//!
+//! - Default (full) mode runs the 100k-node scenario (h=3, r=46 ⇒ 99,498
+//!   NEs); `--smoke` runs the CI-sized 20k-node variant (r=27 ⇒ 20,439
+//!   NEs) and **implies `--check-digests`**.
+//! - `--check-digests` replays the scenario sequentially and on 4 shards,
+//!   comparing [`SystemDigest`]s at every checkpoint — the engines are
+//!   trace-equivalent by construction and this gate keeps CI honest about
+//!   it. A mismatch exits non-zero.
+//! - `--budget-secs` fails the run if the whole sweep (digest check
+//!   included) exceeds the budget — the CI job's time box.
+//!
+//! Speedup is hardware-honest: the report embeds `threads` (what the OS
+//! grants this process), and on a single-core runner the sweep records
+//! ≈1× — the determinism claim is machine-independent, the speedup claim
+//! is not.
+
+use rgb_core::prelude::*;
+use rgb_sim::fault::bernoulli_crashes;
+use rgb_sim::{ChurnParams, Scenario, Simulation};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured engine configuration.
+struct Measurement {
+    mode: String,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    bytes_per_node: usize,
+    lookahead: Option<u64>,
+}
+
+/// The scale scenario: a three-level hierarchy under continuous tokens,
+/// heartbeats, Poisson churn and a sprinkle of crashes.
+fn scale_scenario(ring: usize, duration: u64) -> Scenario {
+    let mut cfg = ProtocolConfig::live();
+    cfg.token_interval = 25;
+    cfg.token_retransmit_timeout = 75;
+    cfg.token_lost_timeout = 600;
+    cfg.heartbeat_interval = 150;
+    cfg.parent_timeout = 750;
+    cfg.child_timeout = 750;
+    let scenario = Scenario::new(format!("scale churn r{ring}"), 3, ring)
+        .with_cfg(cfg)
+        .with_seed(0x5CA1E)
+        .with_duration(duration)
+        .with_delivered_cap(64)
+        .with_churn(ChurnParams {
+            initial_members: 2_000,
+            mean_join_interval: 5.0,
+            mean_lifetime: duration as f64 / 2.0,
+            failure_fraction: 0.2,
+            duration,
+        });
+    let layout = scenario.layout();
+    let crashes = bernoulli_crashes(&layout, 0.0005, (duration / 4, duration / 2), 0x5CA1E ^ 1);
+    scenario.with_crashes(crashes)
+}
+
+/// Drive the sequential engine and count processed events.
+fn run_seq(scenario: &Scenario) -> Measurement {
+    let mut sim = scenario.build_sim();
+    let start = Instant::now();
+    let mut events = 0u64;
+    while sim.peek_at().is_some_and(|t| t <= scenario.duration) {
+        sim.step();
+        events += 1;
+    }
+    let wall = start.elapsed();
+    Measurement {
+        mode: "seq".into(),
+        events,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        bytes_per_node: sim.memory_stats().bytes_per_node(),
+        lookahead: None,
+    }
+}
+
+/// Drive the parallel engine at `shards` and count processed events.
+fn run_par(scenario: &Scenario, shards: usize) -> Measurement {
+    let mut sim = scenario.try_build_par(shards).expect("scenario validates");
+    let booted = sim.processed_events();
+    let start = Instant::now();
+    sim.run_until(scenario.duration);
+    let wall = start.elapsed();
+    let events = sim.processed_events() - booted;
+    Measurement {
+        mode: format!("shards{shards}"),
+        events,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        bytes_per_node: sim.memory_stats().bytes_per_node(),
+        lookahead: Some(sim.lookahead()),
+    }
+}
+
+/// Digest-compare the two engines at checkpoints; returns the number of
+/// compared checkpoints, or an error message naming the first divergence.
+fn check_digests(scenario: &Scenario, shards: usize, stride: u64) -> Result<usize, String> {
+    let mut seq = scenario.build_sim();
+    let mut par = scenario.try_build_par(shards).expect("scenario validates");
+    let mut checked = 0usize;
+    let mut t = 0;
+    while t < scenario.duration {
+        t = (t + stride).min(scenario.duration);
+        Simulation::run_until(&mut seq, t);
+        par.run_until(t);
+        let a = seq.system_digest(false);
+        let b = par.system_digest(false);
+        if a != b {
+            return Err(format!("digest diverged at t={t} ({shards} shards)"));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+fn render_json(
+    smoke: bool,
+    nodes: usize,
+    threads: usize,
+    digest_checkpoints: Option<usize>,
+    runs: &[Measurement],
+) -> String {
+    let seq_eps =
+        runs.iter().find(|m| m.mode == "seq").map(|m| m.events_per_sec).unwrap_or(f64::INFINITY);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"rgb-bench/scale-v1\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"nodes\": {nodes},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    match digest_checkpoints {
+        Some(n) => {
+            let _ = writeln!(out, "  \"digest_checkpoints_equal\": {n},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"digest_checkpoints_equal\": null,");
+        }
+    }
+    out.push_str("  \"runs\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"mode\": \"{}\", \"events\": {}, \"wall_ms\": {:.1}, \
+             \"events_per_sec\": {:.0}, \"speedup_vs_seq\": {:.2}, \"bytes_per_node\": {}",
+            m.mode,
+            m.events,
+            m.wall_ms,
+            m.events_per_sec,
+            m.events_per_sec / seq_eps.max(1e-9),
+            m.bytes_per_node
+        );
+        match m.lookahead {
+            Some(l) => {
+                let _ = write!(out, ", \"lookahead\": {l}");
+            }
+            None => {
+                let _ = write!(out, ", \"lookahead\": null");
+            }
+        }
+        out.push_str(" }");
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = smoke || args.iter().any(|a| a == "--check-digests");
+    let flag_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_scale.json".to_owned());
+    let budget_secs: Option<u64> = flag_value("--budget-secs").map(|v| v.parse().expect("secs"));
+
+    // 100k-node full run (h=3, r=46 ⇒ 99,498 NEs); 20k smoke (r=27 ⇒
+    // 20,439 NEs).
+    let (ring, duration) = if smoke { (27, 3_000) } else { (46, 5_000) };
+    let scenario = scale_scenario(ring, duration);
+    let nodes = scenario.layout().node_count();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "bench_scale: {} mode, {nodes} nodes, duration {duration}, {threads} thread(s)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let t0 = Instant::now();
+    let mut runs = vec![run_seq(&scenario)];
+    for shards in [2usize, 4, 8] {
+        runs.push(run_par(&scenario, shards));
+    }
+    for m in &runs {
+        eprintln!(
+            "  {:<8} {:>10} events  {:>9.1} ms  {:>10.0} events/s  {:>6} B/node{}",
+            m.mode,
+            m.events,
+            m.wall_ms,
+            m.events_per_sec,
+            m.bytes_per_node,
+            m.lookahead.map(|l| format!("  lookahead {l}")).unwrap_or_default()
+        );
+    }
+
+    let digest_checkpoints = if check {
+        let stride = duration / 5;
+        match check_digests(&scenario, 4, stride) {
+            Ok(n) => {
+                eprintln!("  digest check: {n} checkpoints byte-identical (seq vs 4 shards)");
+                Some(n)
+            }
+            Err(e) => {
+                eprintln!("DIGEST MISMATCH: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
+    let json = render_json(smoke, nodes, threads, digest_checkpoints, &runs);
+    std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
+    eprintln!("wrote {out_path}");
+
+    if let Some(budget) = budget_secs {
+        let spent = t0.elapsed().as_secs();
+        if spent > budget {
+            eprintln!("TIME BUDGET EXCEEDED: {spent}s > {budget}s");
+            std::process::exit(1);
+        }
+        eprintln!("time budget: {spent}s of {budget}s");
+    }
+}

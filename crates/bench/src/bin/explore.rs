@@ -6,13 +6,19 @@
 //!
 //! ```text
 //! explore [--seeds N] [--start-seed S] [--master-seed M] [--smoke]
-//!         [--k TICKS] [--shrink-budget N] [--time-budget-secs T]
-//!         [--repro-dir DIR] [--replay FILE]
+//!         [--large] [--shards N] [--k TICKS] [--shrink-budget N]
+//!         [--time-budget-secs T] [--repro-dir DIR] [--replay FILE]
 //! ```
 //!
 //! - Default mode explores the full generation envelope; `--smoke` uses
 //!   the bounded envelope the PR pipeline runs
-//!   (`--seeds 200 --smoke` is the CI smoke command).
+//!   (`--seeds 200 --smoke` is the CI smoke command); `--large` uses the
+//!   10k–50k-node envelope, normally together with `--shards N` so each
+//!   run executes on the sharded parallel engine (trace-equivalent to the
+//!   sequential one, so the oracle battery is judging identical digests).
+//!   Large-envelope violations are reported by `(master seed, index)` and
+//!   **not** shrunk — delta-debugging a 30k-node scenario is a local
+//!   follow-up, not a CI step.
 //! - A scenario is identified by the pair `(master seed, index)`:
 //!   `--master-seed` picks the generator stream (the nightly job derives
 //!   it from the date), `--start-seed`/`--seeds` select the index block.
@@ -37,6 +43,8 @@ struct Args {
     start_seed: u64,
     master_seed: u64,
     smoke: bool,
+    large: bool,
+    shards: Option<usize>,
     k: u64,
     shrink_budget: usize,
     time_budget: Option<Duration>,
@@ -50,6 +58,8 @@ fn parse_args() -> Args {
         start_seed: 0,
         master_seed: 0,
         smoke: false,
+        large: false,
+        shards: None,
         k: 200,
         shrink_budget: 400,
         time_budget: None,
@@ -73,6 +83,8 @@ fn parse_args() -> Args {
                 args.master_seed = value("--master-seed").parse().expect("--master-seed M");
             }
             "--smoke" => args.smoke = true,
+            "--large" => args.large = true,
+            "--shards" => args.shards = Some(value("--shards").parse().expect("--shards N")),
             "--k" => args.k = value("--k").parse().expect("--k TICKS"),
             "--shrink-budget" => {
                 args.shrink_budget = value("--shrink-budget").parse().expect("--shrink-budget N");
@@ -102,19 +114,28 @@ fn main() {
         return;
     }
 
-    let gen = if args.smoke {
+    let gen = if args.large {
+        ScenarioGen::large(args.master_seed)
+    } else if args.smoke {
         ScenarioGen::smoke(args.master_seed)
     } else {
         ScenarioGen::new(args.master_seed)
     };
-    let mode = if args.smoke { "smoke" } else { "full" };
+    let mode = if args.large {
+        "large"
+    } else if args.smoke {
+        "smoke"
+    } else {
+        "full"
+    };
     println!(
-        "E12 explore: master seed {}, {} seeds [{}..{}), {mode} envelope, K={}",
+        "E12 explore: master seed {}, {} seeds [{}..{}), {mode} envelope, K={}{}",
         args.master_seed,
         args.seeds,
         args.start_seed,
         args.start_seed + args.seeds,
-        args.k
+        args.k,
+        args.shards.map(|s| format!(", {s} shards")).unwrap_or_default()
     );
 
     let t0 = Instant::now();
@@ -129,6 +150,40 @@ fn main() {
                 );
                 return;
             }
+        }
+        // Sharded runs go through the parallel engine; violations are
+        // reported by (master seed, index) without shrinking (the
+        // engines are trace-equivalent, so a local sequential re-run of
+        // the same pair reproduces and shrinks it).
+        if let Some(shards) = args.shards {
+            let scenario = gen.scenario(seed);
+            let report = explorer
+                .run_scenario_par(&scenario, shards)
+                .expect("generated scenarios always validate");
+            runs += 1;
+            events += report.scheduled_events;
+            if let Some(v) = report.violation {
+                // The envelope flag is part of the scenario's identity:
+                // the same (master seed, index) means a different
+                // scenario under a different envelope.
+                let envelope = if args.large {
+                    " --large"
+                } else if args.smoke {
+                    " --smoke"
+                } else {
+                    ""
+                };
+                eprintln!("VIOLATION {v}");
+                eprintln!("  master seed : {}", args.master_seed);
+                eprintln!("  seed (index): {seed}");
+                eprintln!(
+                    "  regenerate  : explore{envelope} --master-seed {} --start-seed {seed} \
+                     --seeds 1",
+                    args.master_seed,
+                );
+                std::process::exit(1);
+            }
+            continue;
         }
         let exploration = explorer.explore(&gen, seed, 1);
         runs += 1;

@@ -144,6 +144,31 @@ pub struct NodeState {
 }
 
 impl NodeState {
+    /// Approximate resident bytes of this node's state: the struct itself
+    /// plus its owned collections at their current lengths (roster, member
+    /// lists, message queue, query aggregations, caches). B-tree entries
+    /// are charged a fixed per-entry overhead instead of being measured —
+    /// this is a scaling estimate for capacity planning (`bytes/node` in
+    /// the scale benchmarks), not an exact accounting.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        /// Charged per B-tree map entry beyond the payload (node headers,
+        /// fill slack).
+        const BTREE_OVERHEAD: usize = 32;
+        let member = size_of::<crate::member::MemberInfo>() + BTREE_OVERHEAD;
+        let members =
+            self.local_members.len() + self.ring_members.len() + self.neighbor_members.len();
+        size_of::<Self>()
+            + std::mem::size_of_val(self.roster.nodes())
+            + self.children.len() * (size_of::<ChildLink>() + BTREE_OVERHEAD)
+            + members * member
+            + self.mq.len() * 96
+            + self.awaiting_ack.len() * (size_of::<ChangeId>() + BTREE_OVERHEAD)
+            + self.pending_queries.len() * 160
+            + self.level_ring_counts.len() * size_of::<usize>()
+            + self.parent_roster_cache.len() * size_of::<NodeId>()
+    }
+
     /// Build the state of node `id` from a hierarchy layout.
     pub fn from_layout(
         layout: &HierarchyLayout,

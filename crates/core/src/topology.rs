@@ -337,6 +337,67 @@ impl HierarchyLayout {
         ring_edges + tree_edges
     }
 
+    /// Ring ids in sponsorship-tree depth-first preorder: the root ring
+    /// first, then — per root-ring node, in ring order — that node's whole
+    /// sponsored subtree before the next node's. Consecutive rings in this
+    /// order are therefore close in the hierarchy, which is what makes a
+    /// contiguous cut of it a good shard.
+    pub fn rings_dfs(&self) -> Vec<RingId> {
+        let mut order = Vec::with_capacity(self.rings.len());
+        let mut stack = vec![self.root_ring().id];
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            let Ok(ring) = self.ring(id) else { continue };
+            // Push child subtrees in reverse ring order so they pop (and
+            // appear) in ring order.
+            for &node in ring.nodes.iter().rev() {
+                if let Some(child) = self.nodes.get(&node).and_then(|p| p.child_ring) {
+                    stack.push(child);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.rings.len(), "DFS must visit every ring");
+        order
+    }
+
+    /// Hierarchy-aware partition of the layout's rings into at most
+    /// `shards` groups of roughly equal node count.
+    ///
+    /// Rings are never split (so intra-ring traffic — the bulk of the
+    /// token protocol — stays group-local), and groups are contiguous cuts
+    /// of the [`HierarchyLayout::rings_dfs`] order (so a sponsored subtree
+    /// tends to share its sponsor's group, keeping most parent–child
+    /// traffic local too). The returned vector always has exactly `shards`
+    /// entries; trailing groups may be empty when the layout has fewer
+    /// rings than requested shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn partition_rings(&self, shards: usize) -> Vec<Vec<RingId>> {
+        assert!(shards > 0, "need at least one shard");
+        let mut groups: Vec<Vec<RingId>> = vec![Vec::new(); shards];
+        let total: usize = self.rings.iter().map(|r| r.nodes.len()).sum();
+        let mut remaining_nodes = total;
+        let mut group = 0usize;
+        let mut group_nodes = 0usize;
+        for id in self.rings_dfs() {
+            let size = self.ring(id).map(|r| r.nodes.len()).unwrap_or(0);
+            // Close the group once it reached its fair share of what is
+            // left — the classic streaming balance heuristic.
+            let remaining_groups = shards - group;
+            let target = remaining_nodes.div_ceil(remaining_groups);
+            if group_nodes > 0 && group_nodes + size > target && group + 1 < shards {
+                group += 1;
+                group_nodes = 0;
+            }
+            groups[group].push(id);
+            group_nodes += size;
+            remaining_nodes -= size;
+        }
+        groups
+    }
+
     /// Build the dense-index arena over this layout (see [`NodeIndexer`]).
     pub fn indexer(&self) -> NodeIndexer {
         NodeIndexer::new(self)
@@ -573,6 +634,54 @@ mod tests {
             vec![vec![vec![NodeId(0)]], vec![vec![NodeId(1)], vec![NodeId(2)]],],
         )
         .is_err());
+    }
+
+    #[test]
+    fn rings_dfs_visits_every_ring_subtree_contiguously() {
+        let layout = HierarchySpec::new(3, 3).build(GroupId(1)).unwrap();
+        let order = layout.rings_dfs();
+        assert_eq!(order.len(), layout.ring_count());
+        let mut seen = std::collections::BTreeSet::new();
+        assert!(order.iter().all(|r| seen.insert(*r)), "no ring visited twice");
+        assert_eq!(order[0], layout.root_ring().id);
+        // Preorder: every non-root ring appears after its parent ring.
+        let pos = |id: RingId| order.iter().position(|&r| r == id).unwrap();
+        for ring in &layout.rings[1..] {
+            assert!(pos(ring.parent_ring.unwrap()) < pos(ring.id));
+        }
+    }
+
+    #[test]
+    fn partition_rings_is_whole_ring_and_balanced() {
+        let layout = HierarchySpec::new(3, 4).build(GroupId(1)).unwrap();
+        for shards in [1usize, 2, 3, 4, 8] {
+            let groups = layout.partition_rings(shards);
+            assert_eq!(groups.len(), shards);
+            // Every ring appears in exactly one group.
+            let mut all: Vec<RingId> = groups.iter().flatten().copied().collect();
+            all.sort();
+            let mut expect: Vec<RingId> = layout.rings.iter().map(|r| r.id).collect();
+            expect.sort();
+            assert_eq!(all, expect, "{shards} shards");
+            // Balance: no group holds more than twice its fair share.
+            let total = layout.node_count();
+            for g in &groups {
+                let nodes: usize = g.iter().map(|&r| layout.ring(r).unwrap().nodes.len()).sum();
+                assert!(
+                    nodes <= total.div_ceil(shards) * 2,
+                    "{shards} shards: group of {nodes}/{total} nodes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_rings_with_more_shards_than_rings_leaves_empty_tails() {
+        let layout = HierarchySpec::new(1, 3).build(GroupId(1)).unwrap();
+        let groups = layout.partition_rings(8);
+        assert_eq!(groups.len(), 8);
+        assert_eq!(groups[0], vec![layout.root_ring().id]);
+        assert!(groups[1..].iter().all(|g| g.is_empty()));
     }
 
     #[test]

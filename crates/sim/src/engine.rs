@@ -1,0 +1,147 @@
+//! The [`Engine`] abstraction: what a scenario runner needs from an
+//! execution engine, implemented by both the sequential [`Simulation`]
+//! and the sharded-parallel [`ParSimulation`].
+//!
+//! Everything here is observation-shaped — advance time, read the digest,
+//! read counter totals — because that is the whole contract between the
+//! engines and their drivers (the explorer's oracle loop, the differential
+//! digest tests, the scale benchmarks). The two engines are
+//! trace-equivalent (see [`crate::par`]), so a driver written against this
+//! trait behaves identically whichever engine it is handed.
+
+use crate::metrics::Metrics;
+use crate::par::ParSimulation;
+use crate::sim::Simulation;
+use rgb_core::prelude::SystemDigest;
+
+/// The counter totals a run trace records at each observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Frames sent so far (lost ones included).
+    pub sent_total: u64,
+    /// Application events delivered so far.
+    pub app_events: u64,
+    /// Frames lost to random loss so far.
+    pub lost: u64,
+    /// Frames swallowed by link partitions so far.
+    pub partition_dropped: u64,
+}
+
+impl EngineCounters {
+    fn of(metrics: &Metrics) -> Self {
+        EngineCounters {
+            sent_total: metrics.sent_total,
+            app_events: metrics.app_events,
+            lost: metrics.lost,
+            partition_dropped: metrics.partition_dropped,
+        }
+    }
+}
+
+/// A runnable, observable simulation engine.
+pub trait Engine {
+    /// Current simulated time.
+    fn engine_now(&self) -> u64;
+
+    /// Run until simulated time reaches `deadline` (events beyond it stay
+    /// queued).
+    fn run_until(&mut self, deadline: u64);
+
+    /// Scheduled disruptions still queued (quiescence gating).
+    fn pending_disruptions(&self) -> usize;
+
+    /// Queued entries still to drain.
+    fn queue_len(&self) -> usize;
+
+    /// Oracle-facing digest of the whole system.
+    fn system_digest(&self, settled: bool) -> SystemDigest;
+
+    /// Counter totals for run traces.
+    fn counters(&self) -> EngineCounters;
+
+    /// Run until `deadline`, handing the engine to `observe` every `every`
+    /// ticks of simulated time (and once at the deadline). The observer
+    /// returns `false` to stop early; the function then returns the stop
+    /// time, and `None` when the deadline was reached with every
+    /// observation passing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    fn run_observed<F: FnMut(&Self) -> bool>(
+        &mut self,
+        deadline: u64,
+        every: u64,
+        mut observe: F,
+    ) -> Option<u64>
+    where
+        Self: Sized,
+    {
+        assert!(every > 0, "observation interval must be positive");
+        loop {
+            let next = self.engine_now().saturating_add(every).min(deadline);
+            self.run_until(next);
+            if !observe(self) {
+                return Some(self.engine_now());
+            }
+            if self.engine_now() >= deadline {
+                return None;
+            }
+        }
+    }
+}
+
+impl Engine for Simulation {
+    fn engine_now(&self) -> u64 {
+        self.now
+    }
+
+    fn run_until(&mut self, deadline: u64) {
+        Simulation::run_until(self, deadline);
+    }
+
+    fn pending_disruptions(&self) -> usize {
+        Simulation::pending_disruptions(self)
+    }
+
+    fn queue_len(&self) -> usize {
+        Simulation::queue_len(self)
+    }
+
+    fn system_digest(&self, settled: bool) -> SystemDigest {
+        Simulation::system_digest(self, settled)
+    }
+
+    fn counters(&self) -> EngineCounters {
+        EngineCounters::of(&self.metrics)
+    }
+}
+
+impl Engine for ParSimulation {
+    fn engine_now(&self) -> u64 {
+        ParSimulation::now(self)
+    }
+
+    fn run_until(&mut self, deadline: u64) {
+        ParSimulation::run_until(self, deadline);
+    }
+
+    fn pending_disruptions(&self) -> usize {
+        ParSimulation::pending_disruptions(self)
+    }
+
+    fn queue_len(&self) -> usize {
+        ParSimulation::queue_len(self)
+    }
+
+    fn system_digest(&self, settled: bool) -> SystemDigest {
+        ParSimulation::system_digest(self, settled)
+    }
+
+    fn counters(&self) -> EngineCounters {
+        // Summed directly per shard — the full metrics() merge clones
+        // histogram sample vectors, far too heavy for the per-observation
+        // oracle loop.
+        self.counter_totals()
+    }
+}

@@ -19,10 +19,18 @@ use rgb_core::prelude::*;
 /// Size/aggressiveness limits for generation.
 #[derive(Debug, Clone, Copy)]
 pub struct GenLimits {
+    /// Minimum hierarchy height.
+    pub min_height: usize,
     /// Maximum hierarchy height.
     pub max_height: usize,
-    /// Maximum nodes per logical ring.
+    /// Minimum nodes per logical ring.
+    pub min_ring: usize,
+    /// Maximum nodes per logical ring (heights 1–2).
     pub max_ring: usize,
+    /// Maximum nodes per logical ring at height ≥ 3 (a tall hierarchy
+    /// multiplies the ring size into the node count, so the small
+    /// envelopes cap it harder).
+    pub max_ring_tall: usize,
     /// Scenario duration range (ticks).
     pub duration: (u64, u64),
     /// Maximum Bernoulli crash probability per NE.
@@ -37,8 +45,11 @@ impl GenLimits {
     /// The full exploration envelope (nightly runs).
     pub fn full() -> Self {
         GenLimits {
+            min_height: 1,
             max_height: 3,
+            min_ring: 3,
             max_ring: 5,
+            max_ring_tall: 4,
             duration: (2_000, 8_000),
             max_crash_f: 0.10,
             max_partitions: 2,
@@ -51,12 +62,36 @@ impl GenLimits {
     /// still crossing every fault dimension.
     pub fn smoke() -> Self {
         GenLimits {
+            min_height: 1,
             max_height: 2,
+            min_ring: 3,
             max_ring: 4,
+            max_ring_tall: 4,
             duration: (1_200, 2_400),
             max_crash_f: 0.08,
             max_partitions: 1,
             max_loss: 0.04,
+        }
+    }
+
+    /// The **large** envelope: three-level hierarchies of 10k–50k nodes
+    /// (`n = r·(1 + r + r²)`, ring sizes 22–36) with short durations and
+    /// *shallow* fault schedules — crash probabilities an order of
+    /// magnitude below [`GenLimits::full`], at most one partition, mild
+    /// loss. Meant to be driven through
+    /// [`Parallelism::Shards`](crate::par::Parallelism): the point is the
+    /// oracle battery at scale, not fault density.
+    pub fn large() -> Self {
+        GenLimits {
+            min_height: 3,
+            max_height: 3,
+            min_ring: 22,
+            max_ring: 36,
+            max_ring_tall: 36,
+            duration: (800, 1_600),
+            max_crash_f: 0.002,
+            max_partitions: 1,
+            max_loss: 0.02,
         }
     }
 }
@@ -79,6 +114,11 @@ impl ScenarioGen {
         ScenarioGen { master_seed, limits: GenLimits::smoke() }
     }
 
+    /// Generator over the large (10k–50k node) envelope.
+    pub fn large(master_seed: u64) -> Self {
+        ScenarioGen { master_seed, limits: GenLimits::large() }
+    }
+
     /// Generator with explicit limits.
     pub fn with_limits(master_seed: u64, limits: GenLimits) -> Self {
         ScenarioGen { master_seed, limits }
@@ -99,9 +139,9 @@ impl ScenarioGen {
         let mut rng = SplitMix64::new(self.master_seed ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03));
 
         // --- topology shape ---
-        let height = rng.range(1, lim.max_height as u64 + 1) as usize;
-        let max_ring = if height >= 3 { lim.max_ring.min(4) } else { lim.max_ring };
-        let ring_size = rng.range(3, max_ring as u64 + 1) as usize;
+        let height = rng.range(lim.min_height as u64, lim.max_height as u64 + 1) as usize;
+        let max_ring = if height >= 3 { lim.max_ring_tall } else { lim.max_ring };
+        let ring_size = rng.range(lim.min_ring as u64, max_ring as u64 + 1) as usize;
         let duration = rng.range(lim.duration.0, lim.duration.1 + 1);
 
         let mut sc = Scenario::new(format!("gen-{index:06}"), height, ring_size)
@@ -274,6 +314,30 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn large_envelope_yields_10k_to_50k_node_topologies_with_shallow_faults() {
+        let g = ScenarioGen::large(11);
+        for i in 0..12u64 {
+            let sc = g.scenario(i);
+            let spec = HierarchySpec::new(sc.height, sc.ring_size);
+            let nodes = spec.node_count();
+            assert!(
+                (10_000..=50_000).contains(&nodes),
+                "index {i}: {nodes} nodes outside the large envelope"
+            );
+            assert_eq!(sc.height, 3, "large envelope is three-level");
+            // Shallow fault schedule: the crash plan stays far below the
+            // full envelope's density.
+            assert!(
+                sc.crashes.len() <= nodes / 100,
+                "index {i}: {} crashes on {nodes} nodes",
+                sc.crashes.len()
+            );
+            assert!(sc.partitions.len() <= 1);
+            sc.validate().unwrap_or_else(|e| panic!("index {i}: {e}"));
         }
     }
 

@@ -11,7 +11,7 @@
 //!    strictly contains everything the hand-written experiments exercise;
 //! 2. [`oracle`] promotes the quiescence-only checks of [`crate::oracle`]
 //!    into [`oracle::Oracle`]s evaluated every K ticks through
-//!    [`Simulation::run_observed`], with a quiescence-aware gate for the
+//!    [`Simulation::run_observed`](crate::sim::Simulation::run_observed), with a quiescence-aware gate for the
 //!    convergence claims;
 //! 3. [`Explorer`] drives N seeds, records a compact observation trace per
 //!    run, and on violation delta-debugs the scenario to a minimal
@@ -31,8 +31,8 @@ pub use gen::{GenLimits, ScenarioGen};
 pub use oracle::{standard_oracles, Oracle, Violation};
 pub use shrink::{shrink, Shrunk};
 
+use crate::engine::{Engine, EngineCounters};
 use crate::scenario::{Scenario, ScenarioError};
-use crate::sim::Simulation;
 use std::path::{Path, PathBuf};
 
 /// One observation point of a run's compact trace.
@@ -65,14 +65,14 @@ pub struct RunTrace {
 }
 
 impl RunTrace {
-    fn record(&mut self, sim: &Simulation, fingerprint: u64, settled: bool) {
+    fn record(&mut self, at: u64, counters: EngineCounters, fingerprint: u64, settled: bool) {
         self.observations.push(Observation {
-            at: sim.now,
+            at,
             fingerprint,
-            sent_total: sim.metrics.sent_total,
-            app_events: sim.metrics.app_events,
-            lost: sim.metrics.lost,
-            partition_dropped: sim.metrics.partition_dropped,
+            sent_total: counters.sent_total,
+            app_events: counters.app_events,
+            lost: counters.lost,
+            partition_dropped: counters.partition_dropped,
             settled,
         });
     }
@@ -196,20 +196,45 @@ impl Explorer {
         scenario: &Scenario,
         oracles: &mut [Box<dyn Oracle>],
     ) -> Result<RunReport, ScenarioError> {
+        let mut sim = scenario.try_build_sim()?;
+        Ok(self.drive(&mut sim, scenario, oracles))
+    }
+
+    /// Run one scenario on the **sharded parallel engine** under the
+    /// standard oracle battery. The engines are trace-equivalent, so the
+    /// oracles see the identical digest stream either way — this is how
+    /// the explorer spends multi-core hardware on large envelopes.
+    pub fn run_scenario_par(
+        &self,
+        scenario: &Scenario,
+        shards: usize,
+    ) -> Result<RunReport, ScenarioError> {
+        let mut oracles = standard_oracles(scenario);
+        let mut sim = scenario.try_build_par(shards)?;
+        Ok(self.drive(&mut sim, scenario, &mut oracles))
+    }
+
+    /// The engine-generic observation loop behind
+    /// [`Explorer::run_scenario_with`] and [`Explorer::run_scenario_par`].
+    fn drive<E: Engine>(
+        &self,
+        sim: &mut E,
+        scenario: &Scenario,
+        oracles: &mut [Box<dyn Oracle>],
+    ) -> RunReport {
         for o in oracles.iter_mut() {
             o.reset();
         }
-        let mut sim = scenario.try_build_sim()?;
         let mut trace = RunTrace::default();
         let mut violation: Option<Violation> = None;
 
-        // Phase 1: the scheduled run, observed through the simulation's
+        // Phase 1: the scheduled run, observed through the engine's
         // continuous-oracle hook. Always-on checks each K ticks; the gate
         // can already open mid-run if the system fully quiesces.
         sim.run_observed(scenario.duration, self.check_every, |s| {
             let quiet = s.pending_disruptions() == 0 && s.queue_len() == 0;
             let digest = s.system_digest(quiet);
-            trace.record(s, digest.views_fingerprint(), quiet);
+            trace.record(s.engine_now(), s.counters(), digest.views_fingerprint(), quiet);
             violation = check_oracles(oracles, &digest);
             violation.is_none()
         });
@@ -228,19 +253,19 @@ impl Explorer {
                 last_fp = Some(fp);
                 let quiescent = s.pending_disruptions() == 0 && s.queue_len() == 0;
                 digest.settled = quiescent || stable >= self.stable_windows;
-                trace.record(s, fp, digest.settled);
+                trace.record(s.engine_now(), s.counters(), fp, digest.settled);
                 violation = check_oracles(oracles, &digest);
                 violation.is_none() && !digest.settled
             });
         }
 
-        Ok(RunReport {
+        RunReport {
             seed: u64::MAX,
             scenario: scenario.name.clone(),
             scheduled_events: scenario.scheduled_events(),
             violation,
             trace,
-        })
+        }
     }
 
     /// Explore `count` seeds starting at `first_seed`: generate, run,

@@ -19,25 +19,29 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod explore;
 pub mod fault;
 pub mod metrics;
 pub mod mobility;
 pub mod network;
 pub mod oracle;
+pub mod par;
 mod queue;
 pub mod rng;
 pub mod scenario;
 pub mod sim;
 pub mod workload;
 
+pub use engine::{Engine, EngineCounters};
 pub use explore::{Exploration, Explorer, FoundViolation, Oracle, ScenarioGen, Violation};
 pub use fault::{bernoulli_crashes, crash_in_ring, PlannedCrash};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use mobility::{MobilityModel, TimedEvent};
 pub use network::{LatencyBand, LinkClass, LinkClassMatrix, NetConfig, NetworkModel};
 pub use oracle::{check_repair_complete, check_ring_consistency, function_well_report};
+pub use par::{ParSimulation, Parallelism};
 pub use rng::SplitMix64;
 pub use scenario::{operational_guids, Scenario, ScenarioError, ScenarioOutcome, TimedQuery};
-pub use sim::{QueueKind, Simulation};
+pub use sim::{MemoryStats, QueueKind, Simulation};
 pub use workload::{churn, expected_members, ChurnParams};

@@ -62,6 +62,17 @@ impl Histogram {
     pub fn max(&self) -> Option<u64> {
         self.samples.iter().copied().max()
     }
+
+    /// Fold another histogram's samples into this one (multiset union —
+    /// counts, mean, quantiles and max behave as if every sample had been
+    /// recorded here).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
 }
 
 /// Counters collected during a simulation.
@@ -166,6 +177,35 @@ impl Metrics {
             .map(|c| (c, self.sent_class(c)))
     }
 
+    /// Fold `other` into `self`: every counter — the fixed-slot
+    /// `sent_by_label`/`sent_by_class` arrays included — is summed, and
+    /// the latency histograms take the multiset union of their samples.
+    ///
+    /// This is the shard-aggregation primitive of the parallel engine
+    /// ([`crate::par::ParSimulation::metrics`] merges one `Metrics` per
+    /// shard), and it is exactly additive: merging the per-shard counters
+    /// of a run yields the same totals a sequential execution of the same
+    /// event set would have counted.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (slot, v) in self.sent_by_label.iter_mut().zip(other.sent_by_label) {
+            *slot += v;
+        }
+        for (slot, v) in self.sent_by_class.iter_mut().zip(other.sent_by_class) {
+            *slot += v;
+        }
+        self.lost += other.lost;
+        self.partition_dropped += other.partition_dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.codec_rejected += other.codec_rejected;
+        self.sent_total += other.sent_total;
+        self.app_events += other.app_events;
+        self.app_events_dropped += other.app_events_dropped;
+        self.stale_timer_skips += other.stale_timer_skips;
+        self.change_latency.merge(&other.change_latency);
+        self.query_latency.merge(&other.query_latency);
+    }
+
     /// Take a snapshot of the counter totals (for differencing).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -251,6 +291,76 @@ mod tests {
         let delta = snap.delta(&m);
         assert_eq!(delta.get("token"), Some(&5));
         assert_eq!(delta.get("token_ack"), None);
+    }
+
+    #[test]
+    fn merge_is_additive_over_every_counter() {
+        // Populate *every* slot of both operands with distinct values:
+        // each label/class slot gets a unique count, and each scalar
+        // counter a unique prime, so a merge that dropped or double-added
+        // any one field would break at least one assertion below.
+        let fill = |base: u64| {
+            let mut m = Metrics::default();
+            for (i, label) in MsgLabel::ALL.into_iter().enumerate() {
+                for (j, class) in LinkClass::ALL.into_iter().enumerate() {
+                    for _ in 0..base + (i as u64 + 1) * (j as u64 + 1) {
+                        m.record_send(label, class);
+                    }
+                }
+            }
+            m.lost = base + 3;
+            m.partition_dropped = base + 5;
+            m.duplicated = base + 7;
+            m.reordered = base + 11;
+            m.codec_rejected = base + 13;
+            m.app_events = base + 17;
+            m.app_events_dropped = base + 19;
+            m.stale_timer_skips = base + 23;
+            m.change_latency.record(base + 29);
+            m.query_latency.record(base + 31);
+            m.query_latency.record(base + 37);
+            m
+        };
+        let a = fill(100);
+        let b = fill(1_000);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for label in MsgLabel::ALL {
+            assert_eq!(
+                merged.sent_label(label),
+                a.sent_label(label) + b.sent_label(label),
+                "label slot {label:?}"
+            );
+        }
+        for class in LinkClass::ALL {
+            assert_eq!(
+                merged.sent_class(class),
+                a.sent_class(class) + b.sent_class(class),
+                "class slot {class:?}"
+            );
+        }
+        assert_eq!(merged.sent_total, a.sent_total + b.sent_total);
+        assert_eq!(merged.lost, a.lost + b.lost);
+        assert_eq!(merged.partition_dropped, a.partition_dropped + b.partition_dropped);
+        assert_eq!(merged.duplicated, a.duplicated + b.duplicated);
+        assert_eq!(merged.reordered, a.reordered + b.reordered);
+        assert_eq!(merged.codec_rejected, a.codec_rejected + b.codec_rejected);
+        assert_eq!(merged.app_events, a.app_events + b.app_events);
+        assert_eq!(merged.app_events_dropped, a.app_events_dropped + b.app_events_dropped);
+        assert_eq!(merged.stale_timer_skips, a.stale_timer_skips + b.stale_timer_skips);
+        assert_eq!(
+            merged.change_latency.count(),
+            a.change_latency.count() + b.change_latency.count()
+        );
+        assert_eq!(merged.query_latency.count(), 4);
+        let mut q = merged.query_latency.clone();
+        assert_eq!(q.quantile(0.0), Some(131), "merged histogram holds both sample sets");
+        assert_eq!(q.quantile(1.0), Some(1_037));
+        // Merging an empty Metrics is the identity.
+        let mut id = a.clone();
+        id.merge(&Metrics::default());
+        assert_eq!(id.sent_total, a.sent_total);
+        assert_eq!(id.query_latency.count(), a.query_latency.count());
     }
 
     #[test]

@@ -279,6 +279,49 @@ impl NetworkModel {
     pub fn tier(&self, layout: &HierarchyLayout, node: NodeId) -> Option<Tier> {
         layout.placement(node).ok().map(|p| p.tier)
     }
+
+    /// Decide the fate of one NE-to-NE frame of `class`: `None` when the
+    /// network loses it, otherwise the sampled delivery plan.
+    ///
+    /// This is the **single** sampling routine both engines use — the
+    /// sequential [`crate::sim::Simulation`] and every shard of
+    /// [`crate::par::ParSimulation`] — so the draw order (loss, latency,
+    /// reorder, duplication, duplicate latency) can never diverge between
+    /// them. Dimensions that are switched off draw nothing.
+    pub(crate) fn plan_frame(&self, class: LinkClass, rng: &mut SplitMix64) -> Option<FramePlan> {
+        if self.lost(class, rng) {
+            return None;
+        }
+        let mut latency = self.latency(class, rng);
+        let extra = self.reorder_delay(rng);
+        let reordered = extra > 0;
+        latency += extra;
+        let dup_latency = self.duplicated(rng).then(|| self.latency(class, rng));
+        Some(FramePlan { latency, reordered, dup_latency })
+    }
+}
+
+/// The sampled fate of one frame that the network delivers (see
+/// [`NetworkModel::plan_frame`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FramePlan {
+    /// Delivery latency of the primary copy (reorder extra included).
+    pub latency: u64,
+    /// Whether the reordering fault dimension delayed this frame out of
+    /// band.
+    pub reordered: bool,
+    /// Latency of the duplicated copy, when the duplication dimension
+    /// fired.
+    pub dup_latency: Option<u64>,
+}
+
+impl NetConfig {
+    /// Floor of the latency band for `class` — the conservative-parallel
+    /// engine's lookahead building block: a frame of this class can never
+    /// arrive sooner than this many ticks after it was sent.
+    pub fn min_latency(&self, class: LinkClass) -> u64 {
+        self.band(class).min
+    }
 }
 
 /// Compact hierarchy coordinates of one node, for O(1) link

@@ -1,0 +1,559 @@
+//! `rgb_sim::par` — the sharded conservative-parallel simulation engine.
+//!
+//! [`ParSimulation`] runs the same protocol world as the sequential
+//! [`Simulation`](crate::sim::Simulation), split across shards:
+//!
+//! 1. **Partitioning** is hierarchy-aware
+//!    ([`rgb_core::topology::HierarchyLayout::partition_rings`] via
+//!    `partition::ShardMap`): rings are never split and sponsored
+//!    subtrees stay contiguous, so intra-ring token traffic and most
+//!    parent–child traffic is shard-local.
+//! 2. **Each shard** owns a dense local arena — node states, crash flags,
+//!    timer wheel, per-node random streams, metrics — and is a full
+//!    [`rgb_core::substrate::Substrate`] (`shard::Shard`).
+//! 3. **Synchronisation is conservative**: the engine advances in bounded
+//!    time windows whose length is the *lookahead* — the minimum
+//!    [`LatencyBand`](crate::network::LatencyBand) floor over link classes
+//!    that cross shards (`partition::lookahead`). A frame sent inside a
+//!    window can only arrive in a later window, so shards process a window
+//!    wholly independently, exchange cross-shard frames through
+//!    `crossbeam` channel mailboxes at the barrier, and every mailbox
+//!    entry is merged into the destination's queue *before* the window
+//!    that contains its arrival tick.
+//! 4. **Zero lookahead** (instant networks) admits no conservative
+//!    window; the engine then degrades to a merged single-threaded drive
+//!    that pops the global `(at, key)` minimum across shard queues —
+//!    exactly the sequential semantics, still shard-partitioned state.
+//!
+//! ## Determinism
+//!
+//! The engine is not "deterministic for a fixed shard count" — it is
+//! **trace-equivalent to the sequential engine**, for every shard count.
+//! Randomness is drawn from per-node and per-MH streams, event order is
+//! decided by content-derived `EventKey`s (the crate-private `queue` module), and the window
+//! protocol guarantees every event is enqueued before its window is
+//! processed; therefore each node sees the identical input sequence it
+//! would have seen sequentially, and [`ParSimulation::system_digest`]
+//! reproduces the sequential [`SystemDigest`] byte for byte. The
+//! `par_equivalence` integration test pins this across seeds × shard
+//! counts × fault plans.
+
+pub(crate) mod partition;
+pub(crate) mod shard;
+
+use crate::metrics::Metrics;
+use crate::network::{LinkClassMatrix, NetConfig, NetworkModel};
+use crate::queue::{Event, EventKey, EventKind};
+use crate::sim::{MemoryStats, WirelessHop};
+use partition::ShardMap;
+use rgb_core::node::NodeState;
+use rgb_core::prelude::*;
+use rgb_core::topology::{HierarchyLayout, NodeIndexer};
+use shard::Shard;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A window barrier with **panic poisoning**: when any window thread
+/// unwinds (a protocol invariant `panic!`, a mailbox failure), it poisons
+/// the barrier on the way out, every parked peer wakes with `Err`, exits
+/// its window loop, and `std::thread::scope` can join and propagate the
+/// original panic. With `std::sync::Barrier` the surviving threads would
+/// block forever — a hung CI job instead of a backtrace.
+struct WindowBarrier {
+    state: Mutex<WindowBarrierState>,
+    cv: Condvar,
+    threads: usize,
+}
+
+struct WindowBarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// The barrier was poisoned by a panicking peer.
+struct BarrierPoisoned;
+
+impl WindowBarrier {
+    fn new(threads: usize) -> Self {
+        WindowBarrier {
+            state: Mutex::new(WindowBarrierState { arrived: 0, generation: 0, poisoned: false }),
+            cv: Condvar::new(),
+            threads,
+        }
+    }
+
+    /// Block until every thread arrives (like `Barrier::wait`), or until a
+    /// peer poisons the barrier.
+    fn wait(&self) -> Result<(), BarrierPoisoned> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.poisoned {
+            return Err(BarrierPoisoned);
+        }
+        state.arrived += 1;
+        if state.arrived == self.threads {
+            state.arrived = 0;
+            state.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let generation = state.generation;
+        while state.generation == generation && !state.poisoned {
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        if state.poisoned {
+            Err(BarrierPoisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Poisons the barrier if dropped during a panic (one lives on each
+/// window thread's stack).
+struct PoisonOnPanic<'a>(&'a WindowBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// How a scenario run executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// The sequential engine ([`crate::sim::Simulation`]).
+    #[default]
+    Seq,
+    /// The sharded conservative-parallel engine with this many shards.
+    /// `Shards(1)` is a valid (single-shard) parallel run; both produce
+    /// digest streams identical to [`Parallelism::Seq`].
+    Shards(usize),
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Seq => write!(f, "seq"),
+            Parallelism::Shards(n) => write!(f, "shards({n})"),
+        }
+    }
+}
+
+/// The sharded conservative-parallel discrete-event engine (see module
+/// docs).
+#[derive(Debug)]
+pub struct ParSimulation {
+    /// The hierarchy under simulation.
+    pub layout: HierarchyLayout,
+    indexer: Arc<NodeIndexer>,
+    map: Arc<ShardMap>,
+    shards: Vec<Shard>,
+    /// Driver clock: the deadline of the last [`ParSimulation::run_until`].
+    now: u64,
+    /// Conservative window length; `u64::MAX` when at most one shard is
+    /// populated, 0 when an instant network admits no window (merged
+    /// fallback).
+    lookahead: u64,
+    /// Schedule counter (mirrors the sequential engine's, so scheduled
+    /// events carry identical keys).
+    sched_seq: u64,
+    /// Wireless hop resolver (identical per-MH streams to sequential).
+    wireless: WirelessHop,
+    net: NetworkModel,
+    /// Send/loss counters accrued at schedule time (wireless hop), merged
+    /// into [`ParSimulation::metrics`].
+    driver_metrics: Metrics,
+    /// Every scheduled crash `(at, node)` — including ids outside the
+    /// layout, exactly like the sequential engine's crash bookkeeping.
+    crash_log: Vec<(u64, NodeId)>,
+}
+
+impl ParSimulation {
+    /// Build a parallel simulation over `layout` with every node running
+    /// `cfg`, split into `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `net` fails
+    /// [`NetConfig::validate`].
+    pub fn new(
+        layout: HierarchyLayout,
+        cfg: &ProtocolConfig,
+        net: NetConfig,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let indexer = Arc::new(layout.indexer());
+        let classes = Arc::new(LinkClassMatrix::new(&layout, &indexer));
+        let map = Arc::new(ShardMap::new(&layout, &indexer, shards));
+        let lookahead = partition::lookahead(&layout, &indexer, &map, &net);
+        let model = NetworkModel::new(net);
+        let shards = (0..shards)
+            .map(|id| {
+                Shard::new(
+                    id,
+                    &layout,
+                    cfg,
+                    model.clone(),
+                    seed,
+                    Arc::clone(&indexer),
+                    Arc::clone(&classes),
+                    Arc::clone(&map),
+                )
+            })
+            .collect();
+        ParSimulation {
+            layout,
+            indexer,
+            map,
+            shards,
+            now: 0,
+            lookahead,
+            sched_seq: 0,
+            wireless: WirelessHop::new(seed),
+            net: model,
+            driver_metrics: Metrics::default(),
+            crash_log: Vec::new(),
+        }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative window length in force (see module docs).
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    /// Current driver time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Boot every node (each shard boots its own, then boot-time
+    /// cross-shard frames are exchanged once).
+    pub fn boot_all(&mut self) {
+        for shard in &mut self.shards {
+            shard.boot_all();
+        }
+        self.flush_outboxes();
+    }
+
+    /// Cap every node's delivery log (see
+    /// [`crate::sim::Simulation::set_delivered_cap`]).
+    pub fn set_delivered_cap(&mut self, cap: usize) {
+        for shard in &mut self.shards {
+            shard.set_delivered_cap(cap);
+        }
+    }
+
+    fn sched_key(&mut self) -> EventKey {
+        let key = EventKey::scheduled(self.sched_seq);
+        self.sched_seq += 1;
+        key
+    }
+
+    /// Route a scheduled event to the shard owning `node`; events for ids
+    /// outside the layout are dropped (their side effects, if any, are the
+    /// caller's bookkeeping — see [`ParSimulation::crash_at`]).
+    fn route_to_owner(&mut self, node: NodeId, at: u64, key: EventKey, kind: EventKind) {
+        if let Some(global) = self.indexer.index_of(node) {
+            let s = self.map.shard_of(global);
+            self.shards[s].enqueue(Event { at, key, kind });
+        }
+    }
+
+    /// Schedule a mobile-host event against access proxy `ap` (wireless
+    /// hop resolved now, exactly like the sequential engine).
+    pub fn schedule_mh(&mut self, delay: u64, ap: NodeId, event: MhEvent) {
+        let send_at = self.now.saturating_add(delay);
+        if let Some(at) =
+            self.wireless.resolve(send_at, &event, &self.net, &mut self.driver_metrics)
+        {
+            let frame = rgb_core::wire::encode(&Envelope {
+                gid: self.layout.gid,
+                msg: Msg::FromMh { event },
+            });
+            let key = self.sched_key();
+            self.route_to_owner(ap, at, key, EventKind::MhDeliver { ap, frame });
+        }
+    }
+
+    /// Schedule a node crash (ids outside the layout are remembered in the
+    /// crash set without any engine effect, like sequentially).
+    pub fn crash_at(&mut self, delay: u64, node: NodeId) {
+        let at = self.now.saturating_add(delay);
+        self.crash_log.push((at, node));
+        let key = self.sched_key();
+        self.route_to_owner(node, at, key, EventKind::Crash { node });
+    }
+
+    /// Schedule a membership query issued at `node`.
+    pub fn schedule_query(&mut self, delay: u64, node: NodeId, scope: QueryScope) {
+        let at = self.now.saturating_add(delay);
+        let key = self.sched_key();
+        self.route_to_owner(node, at, key, EventKind::QueryStart { node, scope });
+    }
+
+    /// Schedule a timed link partition. The transition events are
+    /// replicated to the shard(s) owning the endpoints — each shard keeps
+    /// its own severed-pair list, and only an endpoint's shard ever
+    /// consults this pair (the drop check runs on the sender's shard, and
+    /// the sender of an affected frame is always an endpoint).
+    pub fn schedule_partition(&mut self, p: LinkPartition) {
+        debug_assert!(p.heal_at > p.at, "validated by Scenario");
+        let start_key = self.sched_key();
+        let heal_key = self.sched_key();
+        let mut targets: Vec<usize> = [p.a, p.b]
+            .iter()
+            .filter_map(|&n| self.indexer.index_of(n))
+            .map(|g| self.map.shard_of(g))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for s in targets {
+            self.shards[s].enqueue(Event {
+                at: self.now.saturating_add(p.at),
+                key: start_key,
+                kind: EventKind::PartitionStart { a: p.a, b: p.b },
+            });
+            self.shards[s].enqueue(Event {
+                at: self.now.saturating_add(p.heal_at),
+                key: heal_key,
+                kind: EventKind::PartitionHeal { a: p.a, b: p.b },
+            });
+        }
+    }
+
+    /// Single-threaded outbox routing (boot and merged mode).
+    fn flush_outboxes(&mut self) {
+        let mut staged: Vec<(usize, Event)> = Vec::new();
+        for shard in &mut self.shards {
+            for (dest, events) in shard.outbox.iter_mut().enumerate() {
+                staged.extend(events.drain(..).map(|e| (dest, e)));
+            }
+        }
+        for (dest, event) in staged {
+            self.shards[dest].enqueue(event);
+        }
+    }
+
+    /// Run until simulated time reaches `deadline` (events beyond it stay
+    /// queued), windows permitting parallel execution whenever the
+    /// lookahead is positive.
+    pub fn run_until(&mut self, deadline: u64) {
+        if deadline <= self.now {
+            return;
+        }
+        if self.lookahead == 0 {
+            self.run_merged(deadline);
+        } else {
+            self.run_windowed(deadline);
+        }
+        self.now = deadline;
+    }
+
+    /// Windowed execution: one thread per populated shard, two phases per
+    /// window (process + flush, then drain), one barrier between them per
+    /// window. A frame sent at tick `t` of window `[T, T+L)` arrives at
+    /// `t + latency ≥ T + L` — strictly after the window — so draining
+    /// mailboxes at the barrier enqueues every frame before the window
+    /// containing its arrival is processed.
+    fn run_windowed(&mut self, deadline: u64) {
+        let start = self.now;
+        let lookahead = self.lookahead;
+        let nshards = self.shards.len();
+        let active: Vec<bool> =
+            self.shards.iter().map(|s| s.len() > 0 || s.queue_len() > 0).collect();
+        let threads = active.iter().filter(|&&a| a).count();
+        if threads <= 1 {
+            // Nothing can cross shards: drive the one populated shard
+            // (if any) straight to the deadline.
+            for (shard, _) in self.shards.iter_mut().zip(&active).filter(|(_, &a)| a) {
+                shard.run_window(deadline);
+            }
+            return;
+        }
+        let barrier = WindowBarrier::new(threads);
+        let channels: Vec<_> = (0..nshards).map(|_| crossbeam::channel::unbounded()).collect();
+        let txs: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let mut rxs: Vec<_> = channels.into_iter().map(|(_, rx)| Some(rx)).collect();
+        let barrier = &barrier;
+        let txs = &txs;
+        std::thread::scope(|scope| {
+            for (shard, rx) in self.shards.iter_mut().zip(rxs.iter_mut()) {
+                if !active[shard.id] {
+                    continue;
+                }
+                let rx = rx.take().expect("one thread per shard");
+                scope.spawn(move || {
+                    // If this thread panics (protocol invariant, mailbox
+                    // failure), poison the barrier so peers exit instead
+                    // of waiting forever; the scope join then propagates
+                    // the panic.
+                    let _guard = PoisonOnPanic(barrier);
+                    let mut t = start;
+                    loop {
+                        // Window [t, horizon], truncated at the deadline —
+                        // shorter-than-lookahead windows are always safe.
+                        let horizon = t.saturating_add(lookahead - 1).min(deadline);
+                        shard.run_window(horizon);
+                        for (dest, events) in shard.outbox.iter_mut().enumerate() {
+                            for event in events.drain(..) {
+                                // A closed mailbox means its owner already
+                                // unwound; stop at the barrier below.
+                                let _ = txs[dest].send(event);
+                            }
+                        }
+                        if barrier.wait().is_err() {
+                            return;
+                        }
+                        while let Ok(event) = rx.try_recv() {
+                            shard.enqueue(event);
+                        }
+                        if horizon >= deadline {
+                            break;
+                        }
+                        t = horizon + 1;
+                    }
+                });
+            }
+        });
+    }
+
+    /// Merged fallback for zero lookahead: a single thread pops the global
+    /// `(at, key)` minimum across shard queues — the sequential semantics
+    /// over the partitioned state. No parallel speedup, but scenario knobs
+    /// and digests behave identically, so an instant-network run is still
+    /// valid under any `Parallelism`.
+    fn run_merged(&mut self, deadline: u64) {
+        loop {
+            let mut best: Option<(u64, EventKey, usize)> = None;
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                if let Some((at, key)) = shard.peek_entry() {
+                    if at <= deadline && best.is_none_or(|(ba, bk, _)| (at, key) < (ba, bk)) {
+                        best = Some((at, key, i));
+                    }
+                }
+            }
+            let Some((_, _, i)) = best else { break };
+            self.shards[i].step();
+            if self.shards[i].outbox.iter().any(|o| !o.is_empty()) {
+                self.flush_outboxes();
+            }
+        }
+        for shard in &mut self.shards {
+            shard.run_window(deadline); // pins shard.now to the deadline
+        }
+    }
+
+    /// Total events processed across all shards.
+    pub fn processed_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Queued entries across all shards (stale timer entries and
+    /// replicated partition transitions included).
+    pub fn queue_len(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_len()).sum()
+    }
+
+    /// Scheduled disruptions still queued across all shards.
+    pub fn pending_disruptions(&self) -> usize {
+        self.shards.iter().map(|s| s.pending_disruptions()).sum()
+    }
+
+    /// Whether `node` has crashed (scheduled ids outside the layout
+    /// included once their time has passed).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crash_log.iter().any(|&(at, n)| n == node && at <= self.now)
+    }
+
+    /// The four scalar counter totals a run trace records, summed across
+    /// the driver and every shard without touching the histograms —
+    /// cheap enough for a per-observation oracle loop (the full
+    /// [`ParSimulation::metrics`] merge clones every latency sample).
+    pub fn counter_totals(&self) -> crate::engine::EngineCounters {
+        let mut totals = crate::engine::EngineCounters {
+            sent_total: self.driver_metrics.sent_total,
+            app_events: self.driver_metrics.app_events,
+            lost: self.driver_metrics.lost,
+            partition_dropped: self.driver_metrics.partition_dropped,
+        };
+        for shard in &self.shards {
+            totals.sent_total += shard.metrics.sent_total;
+            totals.app_events += shard.metrics.app_events;
+            totals.lost += shard.metrics.lost;
+            totals.partition_dropped += shard.metrics.partition_dropped;
+        }
+        totals
+    }
+
+    /// Merged metrics: the driver's schedule-time counters plus every
+    /// shard's, folded with [`Metrics::merge`]. Totals equal the
+    /// sequential engine's for the same run.
+    pub fn metrics(&self) -> Metrics {
+        let mut merged = self.driver_metrics.clone();
+        for shard in &self.shards {
+            merged.merge(&shard.metrics);
+        }
+        merged
+    }
+
+    /// Aggregate memory accounting across shards.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut stats = MemoryStats::default();
+        for shard in &self.shards {
+            stats.merge(&shard.memory_stats());
+        }
+        stats
+    }
+
+    /// Oracle-facing digest of the whole system, byte-identical to the
+    /// sequential engine's at every `run_until` boundary.
+    pub fn system_digest(&self, settled: bool) -> SystemDigest {
+        let mut tagged = Vec::new();
+        for shard in &self.shards {
+            shard.digests_into(&mut tagged);
+        }
+        tagged.sort_by_key(|&(global, _)| global);
+        let nodes = tagged.into_iter().map(|(_, digest)| digest).collect();
+        SystemDigest { now: self.now, nodes, crashed: self.crashed_set(), settled }
+    }
+
+    /// Crashed NEs so far (scheduled ids outside the layout included).
+    pub fn crashed_set(&self) -> BTreeSet<NodeId> {
+        self.crash_log.iter().filter(|&&(at, _)| at <= self.now).map(|&(_, n)| n).collect()
+    }
+
+    /// Final membership views (the substrate-independent
+    /// [`ScenarioOutcome`](crate::scenario::ScenarioOutcome) content).
+    pub fn views(&self) -> std::collections::BTreeMap<NodeId, BTreeSet<Guid>> {
+        let mut views = Vec::new();
+        for shard in &self.shards {
+            shard.views_into(&mut views);
+        }
+        views.into_iter().collect()
+    }
+
+    /// Every node's protocol state, in id order (cold path: gathers across
+    /// shards).
+    pub fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &NodeState)> + '_ {
+        self.indexer.iter().map(|(global, id)| {
+            let shard = &self.shards[self.map.shard_of(global)];
+            (id, shard.node_at(self.map.local_of(global).as_usize()))
+        })
+    }
+}

@@ -1,0 +1,188 @@
+//! Shard assignment and lookahead derivation for the parallel engine.
+//!
+//! The node→shard map is a thin arena view over
+//! [`HierarchyLayout::partition_rings`]: rings are never split and
+//! sponsored subtrees stay contiguous, so the overwhelming share of
+//! protocol traffic (intra-ring token rounds, parent–child notifications)
+//! never crosses a shard boundary. What *can* cross is what bounds the
+//! conservative window: the lookahead is the minimum latency-band floor
+//! over every link class that actually crosses shards in the chosen
+//! partition.
+
+use crate::network::{LinkClass, NetConfig};
+use rgb_core::prelude::*;
+use rgb_core::topology::{HierarchyLayout, NodeIdx, NodeIndexer};
+
+/// Immutable node→shard arena of one partitioned layout.
+#[derive(Debug)]
+pub(crate) struct ShardMap {
+    /// Number of shards (groups; trailing ones may be empty).
+    pub shards: usize,
+    /// Global [`NodeIdx`] → owning shard.
+    pub shard_of: Vec<u16>,
+    /// Global [`NodeIdx`] → index local to the owning shard's arenas.
+    pub local_of: Vec<u32>,
+    /// Per shard: its nodes as global indices, ascending (local index
+    /// order therefore follows global id order).
+    pub members: Vec<Vec<NodeIdx>>,
+}
+
+impl ShardMap {
+    /// Partition `layout` into `shards` groups (see
+    /// [`HierarchyLayout::partition_rings`]).
+    pub fn new(layout: &HierarchyLayout, indexer: &NodeIndexer, shards: usize) -> Self {
+        let groups = layout.partition_rings(shards);
+        let mut shard_of = vec![0u16; indexer.len()];
+        for (s, rings) in groups.iter().enumerate() {
+            for &rid in rings {
+                for &node in &layout.ring(rid).expect("partition ring exists").nodes {
+                    let idx = indexer.index_of(node).expect("ring node is in layout");
+                    shard_of[idx.as_usize()] = s as u16;
+                }
+            }
+        }
+        let mut members: Vec<Vec<NodeIdx>> = vec![Vec::new(); shards];
+        let mut local_of = vec![0u32; indexer.len()];
+        for (idx, _) in indexer.iter() {
+            let s = shard_of[idx.as_usize()] as usize;
+            local_of[idx.as_usize()] = members[s].len() as u32;
+            members[s].push(idx);
+        }
+        ShardMap { shards, shard_of, local_of, members }
+    }
+
+    /// Owning shard of a global index.
+    #[inline]
+    pub fn shard_of(&self, idx: NodeIdx) -> usize {
+        self.shard_of[idx.as_usize()] as usize
+    }
+
+    /// Local index of a global index within its owning shard.
+    #[inline]
+    pub fn local_of(&self, idx: NodeIdx) -> NodeIdx {
+        NodeIdx(self.local_of[idx.as_usize()])
+    }
+
+    /// Shards that actually own nodes.
+    pub fn populated(&self) -> usize {
+        self.members.iter().filter(|m| !m.is_empty()).count()
+    }
+}
+
+/// The conservative lookahead of a partitioned layout under `net`: the
+/// minimum number of ticks any cross-shard frame spends in flight.
+///
+/// Derived from the [`crate::network::LatencyBand`] floors per link class,
+/// restricted to classes that can cross shards under `map`:
+///
+/// - wide-area always can (any two non-adjacent nodes on different
+///   shards);
+/// - intra-ring only if the partitioner split a ring (it never does today,
+///   but the derivation re-checks rather than assumes);
+/// - inter-tier only if some sponsor link crosses shards.
+///
+/// The wireless class never contributes: the MH→AP hop is resolved at
+/// schedule time and routed directly to the proxy's shard. Returns
+/// `u64::MAX` when at most one shard is populated — there is no
+/// cross-shard traffic to bound, so the whole run is one window.
+pub(crate) fn lookahead(
+    layout: &HierarchyLayout,
+    indexer: &NodeIndexer,
+    map: &ShardMap,
+    net: &NetConfig,
+) -> u64 {
+    if map.populated() <= 1 {
+        return u64::MAX;
+    }
+    let shard =
+        |node: NodeId| indexer.index_of(node).map(|idx| map.shard_of(idx)).expect("layout node");
+    let mut la = net.min_latency(LinkClass::WideArea);
+    for ring in &layout.rings {
+        let first = shard(ring.nodes[0]);
+        if ring.nodes.iter().any(|&n| shard(n) != first) {
+            la = la.min(net.min_latency(LinkClass::IntraRing));
+        }
+        if let Some(parent) = ring.parent_node {
+            let ps = shard(parent);
+            if ring.nodes.iter().any(|&n| shard(n) != ps) {
+                la = la.min(net.min_latency(LinkClass::InterTier));
+            }
+        }
+    }
+    la
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LatencyBand;
+
+    fn layout() -> HierarchyLayout {
+        HierarchySpec::new(3, 3).build(GroupId(1)).unwrap()
+    }
+
+    #[test]
+    fn map_round_trips_local_and_global_indices() {
+        let layout = layout();
+        let indexer = layout.indexer();
+        for shards in [1usize, 2, 4, 8] {
+            let map = ShardMap::new(&layout, &indexer, shards);
+            assert_eq!(map.shards, shards);
+            let mut seen = 0usize;
+            for (s, members) in map.members.iter().enumerate() {
+                for (local, &global) in members.iter().enumerate() {
+                    assert_eq!(map.shard_of(global), s);
+                    assert_eq!(map.local_of(global), NodeIdx(local as u32));
+                    seen += 1;
+                }
+                // Local order follows global id order.
+                assert!(members.windows(2).all(|w| w[0] < w[1]));
+            }
+            assert_eq!(seen, indexer.len(), "every node owned exactly once");
+        }
+    }
+
+    #[test]
+    fn rings_are_never_split() {
+        let layout = layout();
+        let indexer = layout.indexer();
+        let map = ShardMap::new(&layout, &indexer, 4);
+        for ring in &layout.rings {
+            let shards: std::collections::BTreeSet<usize> =
+                ring.nodes.iter().map(|&n| map.shard_of(indexer.index_of(n).unwrap())).collect();
+            assert_eq!(shards.len(), 1, "ring {} split across {shards:?}", ring.id);
+        }
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_shard_band_floor() {
+        let layout = layout();
+        let indexer = layout.indexer();
+        let mut net = NetConfig {
+            intra_ring: LatencyBand { min: 2, max: 4 },
+            inter_tier: LatencyBand { min: 7, max: 9 },
+            wide_area: LatencyBand { min: 12, max: 20 },
+            ..NetConfig::default()
+        };
+
+        // One shard: no cross traffic, unbounded window.
+        let one = ShardMap::new(&layout, &indexer, 1);
+        assert_eq!(lookahead(&layout, &indexer, &one, &net), u64::MAX);
+
+        // Multiple shards: rings stay whole, so intra-ring never bounds;
+        // sponsor links cross, so the floor is min(inter_tier, wide_area).
+        let four = ShardMap::new(&layout, &indexer, 4);
+        assert_eq!(lookahead(&layout, &indexer, &four, &net), 7);
+
+        // If the wide-area floor is the smallest it wins.
+        net.wide_area = LatencyBand { min: 3, max: 5 };
+        assert_eq!(lookahead(&layout, &indexer, &four, &net), 3);
+
+        // Zero floors (instant nets) yield zero lookahead.
+        assert_eq!(
+            lookahead(&layout, &indexer, &four, &NetConfig::instant()),
+            0,
+            "instant net has no conservative window"
+        );
+    }
+}

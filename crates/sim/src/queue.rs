@@ -2,16 +2,31 @@
 //! occurrences in front of a `BinaryHeap` fallback for events beyond the
 //! wheel horizon.
 //!
-//! Every queued occurrence carries a global sequence number and the queue
-//! pops in strict `(at, seq)` order **regardless of which container holds
-//! the entry**, so the wheel is purely an optimisation: scheduling a
-//! near-future event (a frame delivery a few ticks out, a re-armed
-//! heartbeat) costs an O(1) bucket append instead of an O(log n) sift of a
-//! large `Event` struct, and superseded timer entries drain as the wheel
-//! turns instead of accumulating in the heap. The
-//! [`QueueKind::BinaryHeap`] mode keeps the plain-heap ordering semantics
-//! alive as a *reference implementation*; the engine-determinism tests run
-//! both modes on identical scenarios and assert byte-identical traces.
+//! Every queued occurrence carries a **deterministic content-derived
+//! [`EventKey`]** — `(class, creator, creator-sequence)` — and the queue
+//! pops in strict `(at, key)` order **regardless of which container holds
+//! the entry**. The key is assigned from the event's *provenance* (which
+//! node created it, as that node's how-many-th emission), not from global
+//! push order, so two executions that interleave nodes differently — the
+//! sequential engine and the sharded-parallel engine of [`crate::par`] —
+//! assign identical keys to identical events and therefore drain them in
+//! an identical global order. The wheel is purely an optimisation:
+//! scheduling a near-future event costs an O(log bucket) sorted insert
+//! instead of an O(log n) sift of a large `Event` struct, and superseded
+//! timer entries drain as the wheel turns instead of accumulating in the
+//! heap. The [`QueueKind::BinaryHeap`] mode keeps the plain-heap ordering
+//! semantics alive as a *reference implementation*; the engine-determinism
+//! tests run both modes on identical scenarios and assert byte-identical
+//! traces.
+//!
+//! ## Far-horizon arithmetic
+//!
+//! Timestamps are plain `u64` ticks and scenarios may legitimately
+//! schedule sentinels near `u64::MAX` (e.g. "practically never" timers).
+//! Admission (`at - now < WHEEL_SLOTS`), the wheel scan bound and the
+//! cursor arithmetic therefore avoid `now + WHEEL_SLOTS` style sums that
+//! could wrap: far events fall back to the heap, and the scan bound
+//! saturates. A regression test drains events parked at `u64::MAX`.
 
 use bytes::Bytes;
 use rgb_core::prelude::*;
@@ -36,17 +51,66 @@ pub enum QueueKind {
     BinaryHeap,
 }
 
+/// One generation-stamped live timer of a node. The queue may hold many
+/// entries for the same `(node, kind)`; only the one whose generation
+/// matches the slot fires. Shared by the sequential engine and every
+/// shard of the parallel engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TimerSlot {
+    pub kind: TimerKind,
+    pub gen: u64,
+}
+
+/// Deterministic same-tick tiebreaker of one queued occurrence.
+///
+/// Keys order lexicographically as `(cls, src, seq)`:
+///
+/// - `cls` 0 marks **scheduled** events (the scenario's crashes, queries,
+///   partition transitions and pre-resolved wireless deliveries), with
+///   `seq` the schedule counter — so same-tick scheduled events resolve in
+///   schedule order, before any same-tick protocol traffic;
+/// - `cls` 1 marks **runtime-created** events (frames, timers), with `src`
+///   the creating node's dense index and `seq` that node's emission
+///   counter.
+///
+/// Because every component derives from the event's provenance — not from
+/// when some engine happened to push it — the key is identical across the
+/// sequential and the sharded-parallel engine, which is the foundation of
+/// their trace equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct EventKey {
+    /// 0 = scheduled, 1 = runtime-created.
+    pub cls: u8,
+    /// Creating node's dense index (scheduled events: 0; runtime events
+    /// from outside the layout: `u32::MAX`).
+    pub src: u32,
+    /// Schedule counter (`cls` 0) or per-creator emission counter.
+    pub seq: u64,
+}
+
+impl EventKey {
+    /// Key of the `seq`-th scheduled event.
+    pub fn scheduled(seq: u64) -> Self {
+        EventKey { cls: 0, src: 0, seq }
+    }
+
+    /// Key of the `seq`-th emission of node `src`.
+    pub fn emitted(src: u32, seq: u64) -> Self {
+        EventKey { cls: 1, src, seq }
+    }
+}
+
 /// One scheduled occurrence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Event {
     pub at: u64,
-    pub seq: u64,
+    pub key: EventKey,
     pub kind: EventKind,
 }
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key).cmp(&(other.at, other.key))
     }
 }
 
@@ -61,7 +125,8 @@ pub(crate) enum EventKind {
     /// An encoded [`Envelope`] frame in flight between two NEs. `to` is
     /// `None` when the destination is outside the layout (the frame is
     /// still decoded and counted on arrival, like the live runtime's
-    /// receive path for unroutable destinations).
+    /// receive path for unroutable destinations). In the sharded engine
+    /// `to` is the destination's index *local to the owning shard*.
     Deliver {
         from: NodeId,
         to: Option<NodeIdx>,
@@ -74,11 +139,10 @@ pub(crate) enum EventKind {
         kind: TimerKind,
         gen: u64,
     },
-    MhSend {
-        ap: NodeId,
-        event: MhEvent,
-    },
-    /// An encoded [`Msg::FromMh`] frame crossing the wireless hop.
+    /// An encoded [`Msg::FromMh`] frame crossing the wireless hop. The
+    /// hop's loss, latency and per-MH FIFO floor are resolved at schedule
+    /// time (they depend only on the schedule and the per-MH random
+    /// stream), so the queue only ever sees the resolved delivery.
     MhDeliver {
         ap: NodeId,
         frame: Bytes,
@@ -111,8 +175,7 @@ impl EventKind {
     pub(crate) fn is_disruption(&self) -> bool {
         matches!(
             self,
-            EventKind::MhSend { .. }
-                | EventKind::MhDeliver { .. }
+            EventKind::MhDeliver { .. }
                 | EventKind::Crash { .. }
                 | EventKind::QueryStart { .. }
                 | EventKind::PartitionStart { .. }
@@ -121,16 +184,29 @@ impl EventKind {
     }
 }
 
+/// One wheel bucket: the pending entries of a single tick.
+///
+/// Entries arrive in push order and are sorted by [`EventKey`] **lazily**,
+/// the first time the scan reaches the bucket's tick — almost every push
+/// happens before its tick becomes current, so the common push is an O(1)
+/// append and the per-tick sort runs once. Entries created *while* their
+/// own tick is being drained (zero-latency cascades) hit the already-
+/// sorted bucket and insert at their key's position.
+#[derive(Debug, Default)]
+struct Bucket {
+    entries: VecDeque<Event>,
+    /// The tick this bucket is currently sorted for (`None` = unsorted).
+    sorted_for: Option<u64>,
+}
+
 /// The bucketed near-future event store.
 #[derive(Debug)]
 struct Wheel {
     /// `buckets[at & (WHEEL_SLOTS-1)]` holds every pending entry for tick
-    /// `at`; within a bucket entries are in push order, i.e. ascending
-    /// `seq`, so the bucket front is always the next candidate. All live
-    /// entries of one bucket share the same `at`: ticks a full rotation
-    /// apart cannot coexist because an entry is admitted only within
-    /// `now + WHEEL_SLOTS` and drained before `now` passes it.
-    buckets: Vec<VecDeque<Event>>,
+    /// `at`. All live entries of one bucket share the same `at`: ticks a
+    /// full rotation apart cannot coexist because an entry is admitted
+    /// only within `now + WHEEL_SLOTS` and drained before `now` passes it.
+    buckets: Vec<Bucket>,
     len: usize,
     /// Monotone lower bound on the earliest entry's `at` (scan cursor).
     hint: u64,
@@ -138,7 +214,7 @@ struct Wheel {
 
 impl Wheel {
     fn new() -> Self {
-        Wheel { buckets: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(), len: 0, hint: 0 }
+        Wheel { buckets: (0..WHEEL_SLOTS).map(|_| Bucket::default()).collect(), len: 0, hint: 0 }
     }
 
     #[inline]
@@ -151,33 +227,50 @@ impl Wheel {
         if event.at < self.hint {
             self.hint = event.at;
         }
-        self.buckets[Self::bucket_of(event.at)].push_back(event);
+        let bucket = &mut self.buckets[Self::bucket_of(event.at)];
+        if bucket.entries.is_empty() {
+            bucket.sorted_for = None;
+            bucket.entries.push_back(event);
+        } else if bucket.sorted_for == Some(event.at) {
+            // The bucket's tick is being drained right now: keep it in key
+            // order so same-tick cascades still pop deterministically.
+            let pos = bucket.entries.partition_point(|e| e.key < event.key);
+            bucket.entries.insert(pos, event);
+        } else {
+            bucket.entries.push_back(event);
+        }
         self.len += 1;
     }
 
-    /// Earliest `(at, seq)` across the wheel, or `None` when empty.
+    /// Earliest `(at, key)` across the wheel, or `None` when empty.
     ///
     /// All entries satisfy `now <= at < now + WHEEL_SLOTS` (earlier ones
     /// were popped before `now` could advance past them; later ones are
     /// rejected at push time), so the scan from `max(hint, now)` visits at
     /// most `WHEEL_SLOTS` buckets, and the amortised cost is O(1) per
     /// event because the cursor only ever moves forward between pushes.
-    fn min_entry(&mut self, now: u64) -> Option<(u64, u64)> {
+    fn min_entry(&mut self, now: u64) -> Option<(u64, EventKey)> {
         if self.len == 0 {
             return None;
         }
         let mut t = self.hint.max(now);
         loop {
-            if let Some(front) = self.buckets[Self::bucket_of(t)].front() {
+            let bucket = &mut self.buckets[Self::bucket_of(t)];
+            if let Some(front) = bucket.entries.front() {
                 if front.at == t {
+                    if bucket.sorted_for != Some(t) {
+                        bucket.entries.make_contiguous().sort_unstable_by_key(|e| e.key);
+                        bucket.sorted_for = Some(t);
+                    }
                     self.hint = t;
-                    return Some((t, front.seq));
+                    return Some((t, bucket.entries.front().expect("non-empty").key));
                 }
                 debug_assert!(front.at > t, "wheel bucket holds an entry in the past");
             }
+            debug_assert!(t < u64::MAX, "wheel scan ran past u64::MAX with entries pending");
             t += 1;
             debug_assert!(
-                t <= now + WHEEL_SLOTS,
+                t <= now.saturating_add(WHEEL_SLOTS),
                 "wheel scan overran the horizon with {} entries pending",
                 self.len
             );
@@ -185,11 +278,14 @@ impl Wheel {
     }
 
     /// Pop the front entry of the bucket for tick `at` (which
-    /// [`Wheel::min_entry`] just identified).
+    /// [`Wheel::min_entry`] just identified and sorted).
     fn pop_at(&mut self, at: u64) -> Event {
-        let event =
-            self.buckets[Self::bucket_of(at)].pop_front().expect("min_entry found this bucket");
+        let bucket = &mut self.buckets[Self::bucket_of(at)];
+        let event = bucket.entries.pop_front().expect("min_entry found this bucket");
         debug_assert_eq!(event.at, at);
+        if bucket.entries.is_empty() {
+            bucket.sorted_for = None;
+        }
         self.len -= 1;
         event
     }
@@ -200,7 +296,6 @@ impl Wheel {
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Reverse<Event>>,
     wheel: Option<Wheel>,
-    next_seq: u64,
     peak_len: usize,
     /// Queued entries whose kind [`EventKind::is_disruption`].
     disruptions: usize,
@@ -211,7 +306,6 @@ impl EventQueue {
         EventQueue {
             heap: BinaryHeap::new(),
             wheel: (kind == QueueKind::TimerWheel).then(Wheel::new),
-            next_seq: 0,
             peak_len: 0,
             disruptions: 0,
         }
@@ -238,16 +332,16 @@ impl EventQueue {
     }
 
     /// Queue an occurrence: near-future ones go to the wheel, far ones (or
-    /// every one in [`QueueKind::BinaryHeap`] mode) to the heap.
+    /// every one in [`QueueKind::BinaryHeap`] mode) to the heap. The
+    /// `at - now < WHEEL_SLOTS` admission keeps the difference well-formed
+    /// for timestamps up to and including `u64::MAX`.
     #[inline]
-    pub fn push(&mut self, now: u64, at: u64, kind: EventKind) {
+    pub fn push(&mut self, now: u64, at: u64, key: EventKey, kind: EventKind) {
         debug_assert!(at >= now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
         if kind.is_disruption() {
             self.disruptions += 1;
         }
-        let event = Event { at, seq, kind };
+        let event = Event { at, key, kind };
         match &mut self.wheel {
             Some(wheel) if at - now < WHEEL_SLOTS => wheel.push(event),
             _ => self.heap.push(Reverse(event)),
@@ -258,19 +352,25 @@ impl EventQueue {
         }
     }
 
-    /// Timestamp of the next entry in `(at, seq)` order.
+    /// Timestamp of the next entry in `(at, key)` order.
     pub fn peek_at(&mut self, now: u64) -> Option<u64> {
-        let heap_at = self.heap.peek().map(|Reverse(ev)| ev.at);
-        let wheel_at = self.wheel.as_mut().and_then(|w| w.min_entry(now)).map(|(at, _)| at);
-        match (heap_at, wheel_at) {
+        self.peek_entry(now).map(|(at, _)| at)
+    }
+
+    /// `(at, key)` of the next entry — what the parallel engine's merged
+    /// driver compares across shard queues to pop the global minimum.
+    pub fn peek_entry(&mut self, now: u64) -> Option<(u64, EventKey)> {
+        let heap_key = self.heap.peek().map(|Reverse(ev)| (ev.at, ev.key));
+        let wheel_key = self.wheel.as_mut().and_then(|w| w.min_entry(now));
+        match (heap_key, wheel_key) {
             (Some(h), Some(w)) => Some(h.min(w)),
             (h, w) => h.or(w),
         }
     }
 
-    /// Pop the next entry in strict global `(at, seq)` order.
+    /// Pop the next entry in strict global `(at, key)` order.
     pub fn pop(&mut self, now: u64) -> Option<Event> {
-        let heap_key = self.heap.peek().map(|Reverse(ev)| (ev.at, ev.seq));
+        let heap_key = self.heap.peek().map(|Reverse(ev)| (ev.at, ev.key));
         let wheel_key = self.wheel.as_mut().and_then(|w| w.min_entry(now));
         let take_wheel = match (heap_key, wheel_key) {
             (None, None) => return None,
@@ -303,51 +403,120 @@ mod tests {
         EventKind::Timer { node: NodeIdx(node), kind: TimerKind::Heartbeat, gen }
     }
 
-    /// Drain a queue to `(at, seq)` pairs, advancing `now` like the engine.
-    fn drain(q: &mut EventQueue) -> Vec<(u64, u64)> {
+    /// Drain a queue to `(at, key)` pairs, advancing `now` like the engine.
+    fn drain(q: &mut EventQueue) -> Vec<(u64, EventKey)> {
         let mut now = 0;
         let mut out = Vec::new();
         while let Some(ev) = q.pop(now) {
             now = now.max(ev.at);
-            out.push((ev.at, ev.seq));
+            out.push((ev.at, ev.key));
         }
         out
     }
 
     #[test]
     fn wheel_and_heap_agree_on_global_order() {
-        // Interleave timers and non-timers with colliding timestamps; both
-        // modes must pop the identical (at, seq) stream.
+        // Interleave timers and non-timers with colliding timestamps and
+        // out-of-order keys; both modes must pop the identical (at, key)
+        // stream.
         let mut orders = Vec::new();
         for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
             let mut q = EventQueue::new(kind);
             for i in 0..200u64 {
                 let at = (i * 7) % 50;
                 if i % 3 == 0 {
-                    q.push(0, at, crash(i));
+                    q.push(0, at, EventKey::scheduled(i), crash(i));
                 } else {
-                    q.push(0, at, timer(i as u32, i));
+                    // Descending src within a tick: key order != push order.
+                    q.push(0, at, EventKey::emitted(200 - i as u32, i % 5), timer(i as u32, i));
                 }
             }
             orders.push(drain(&mut q));
         }
         assert_eq!(orders[0], orders[1]);
-        // (at, seq) must be sorted.
+        // (at, key) must be sorted, scheduled before runtime at each tick.
         let mut sorted = orders[0].clone();
         sorted.sort_unstable();
         assert_eq!(orders[0], sorted);
     }
 
     #[test]
+    fn same_tick_entries_pop_in_key_order_not_push_order() {
+        let mut q = EventQueue::new(QueueKind::TimerWheel);
+        q.push(0, 5, EventKey::emitted(9, 0), timer(9, 1));
+        q.push(0, 5, EventKey::emitted(2, 3), timer(2, 1));
+        q.push(0, 5, EventKey::scheduled(0), crash(1));
+        q.push(0, 5, EventKey::emitted(2, 1), timer(2, 2));
+        let order = drain(&mut q);
+        assert_eq!(
+            order,
+            vec![
+                (5, EventKey::scheduled(0)),
+                (5, EventKey::emitted(2, 1)),
+                (5, EventKey::emitted(2, 3)),
+                (5, EventKey::emitted(9, 0)),
+            ]
+        );
+    }
+
+    #[test]
     fn far_events_fall_back_to_the_heap_and_still_order() {
         let mut q = EventQueue::new(QueueKind::TimerWheel);
         // Far beyond the wheel horizon.
-        q.push(0, WHEEL_SLOTS * 3, timer(0, 1));
+        q.push(0, WHEEL_SLOTS * 3, EventKey::emitted(0, 1), timer(0, 1));
         // Near event.
-        q.push(0, 5, timer(1, 2));
-        q.push(0, WHEEL_SLOTS * 3, crash(9));
+        q.push(0, 5, EventKey::emitted(1, 2), timer(1, 2));
+        q.push(0, WHEEL_SLOTS * 3, EventKey::scheduled(9), crash(9));
         let order = drain(&mut q);
-        assert_eq!(order, vec![(5, 1), (WHEEL_SLOTS * 3, 0), (WHEEL_SLOTS * 3, 2)]);
+        assert_eq!(
+            order,
+            vec![
+                (5, EventKey::emitted(1, 2)),
+                (WHEEL_SLOTS * 3, EventKey::scheduled(9)),
+                (WHEEL_SLOTS * 3, EventKey::emitted(0, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn extreme_timestamps_near_u64_max_do_not_overflow() {
+        // Regression for the far-event fallback audit: sentinels at and
+        // around u64::MAX must be admitted (to the heap), ordered and
+        // drained without any wrapping `now + WHEEL_SLOTS` arithmetic —
+        // including once `now` itself has advanced into the last wheel
+        // rotation before u64::MAX.
+        for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::new(kind);
+            q.push(0, u64::MAX, EventKey::scheduled(0), crash(1));
+            q.push(0, u64::MAX - 1, EventKey::emitted(3, 0), timer(3, 1));
+            q.push(0, 7, EventKey::emitted(1, 0), timer(1, 1));
+            q.push(0, u64::MAX, EventKey::emitted(2, 5), timer(2, 2));
+            let mut now = 0;
+            let mut seen = Vec::new();
+            while let Some(ev) = q.pop(now) {
+                now = now.max(ev.at);
+                // Once `now` sits one tick below u64::MAX, push an entry at
+                // u64::MAX itself: in wheel mode this is admitted *into the
+                // wheel* (at - now = 1), so the bucket scan and its horizon
+                // bound run at the very top of the tick range.
+                if ev.at == u64::MAX - 1 {
+                    q.push(now, u64::MAX, EventKey::emitted(7, 0), timer(7, 1));
+                }
+                seen.push((ev.at, ev.key));
+            }
+            assert_eq!(
+                seen,
+                vec![
+                    (7, EventKey::emitted(1, 0)),
+                    (u64::MAX - 1, EventKey::emitted(3, 0)),
+                    (u64::MAX, EventKey::scheduled(0)),
+                    (u64::MAX, EventKey::emitted(2, 5)),
+                    (u64::MAX, EventKey::emitted(7, 0)),
+                ],
+                "mode {kind:?}"
+            );
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
@@ -359,7 +528,7 @@ mod tests {
         // the push inside the horizon.
         for round in 0..5u64 {
             let at = now + (round * 37) % WHEEL_SLOTS;
-            q.push(now, at, timer(0, round));
+            q.push(now, at, EventKey::emitted(0, round), timer(0, round));
             let ev = q.pop(now).expect("entry queued");
             now = now.max(ev.at);
             popped.push(ev.at);
@@ -373,7 +542,7 @@ mod tests {
     fn peak_len_tracks_high_water_mark() {
         let mut q = EventQueue::new(QueueKind::TimerWheel);
         for i in 0..10u64 {
-            q.push(0, i, timer(0, i));
+            q.push(0, i, EventKey::emitted(0, i), timer(0, i));
         }
         assert_eq!(q.peak_len(), 10);
         let _ = drain(&mut q);
@@ -384,10 +553,15 @@ mod tests {
     fn disruption_counter_tracks_scheduled_events() {
         let mut q = EventQueue::new(QueueKind::TimerWheel);
         assert_eq!(q.disruptions(), 0);
-        q.push(0, 5, timer(0, 1)); // not a disruption
-        q.push(0, 3, crash(1));
-        q.push(0, WHEEL_SLOTS * 2, crash(2)); // heap-side disruption
-        q.push(0, 4, EventKind::PartitionStart { a: NodeId(1), b: NodeId(2) });
+        q.push(0, 5, EventKey::emitted(0, 0), timer(0, 1)); // not a disruption
+        q.push(0, 3, EventKey::scheduled(0), crash(1));
+        q.push(0, WHEEL_SLOTS * 2, EventKey::scheduled(1), crash(2)); // heap-side disruption
+        q.push(
+            0,
+            4,
+            EventKey::scheduled(2),
+            EventKind::PartitionStart { a: NodeId(1), b: NodeId(2) },
+        );
         assert_eq!(q.disruptions(), 3);
         let mut now = 0;
         while let Some(ev) = q.pop(now) {
@@ -401,8 +575,8 @@ mod tests {
         for kind in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
             let mut q = EventQueue::new(kind);
             for i in 0..64u64 {
-                q.push(0, (i * 13) % 40, timer(0, i));
-                q.push(0, (i * 5) % 40, crash(i));
+                q.push(0, (i * 13) % 40, EventKey::emitted((i % 7) as u32, i), timer(0, i));
+                q.push(0, (i * 5) % 40, EventKey::scheduled(i), crash(i));
             }
             let mut now = 0;
             while let Some(at) = q.peek_at(now) {

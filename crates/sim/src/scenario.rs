@@ -14,6 +14,7 @@
 use crate::fault::PlannedCrash;
 use crate::mobility::{MobilityModel, TimedEvent};
 use crate::network::NetConfig;
+use crate::par::{ParSimulation, Parallelism};
 use crate::sim::Simulation;
 use crate::workload::{churn, ChurnParams};
 use rgb_core::prelude::*;
@@ -446,6 +447,19 @@ impl Scenario {
         self.validate_with(&layout)?;
         let mut sim =
             Simulation::new_with_queue(layout, &self.cfg, self.net.clone(), self.seed, queue);
+        self.prime(&mut sim);
+        Ok(sim)
+    }
+
+    /// Boot `sim` and prime the entire schedule, in the one canonical
+    /// order (partition transitions, then crashes, then time-sorted MH
+    /// events, then queries). Every engine builds through this single
+    /// function — that is what *guarantees* scheduled events carry
+    /// identical deterministic keys in the sequential and the parallel
+    /// engine (their schedule counters advance through the same calls in
+    /// the same order), rather than two builders promising to stay in
+    /// sync.
+    fn prime<E: ScheduleSink>(&self, sim: &mut E) {
         if let Some(cap) = self.delivered_cap {
             sim.set_delivered_cap(cap);
         }
@@ -464,15 +478,48 @@ impl Scenario {
         for q in &self.queries {
             sim.schedule_query(q.at, q.node, q.scope);
         }
-        Ok(sim)
     }
 
     /// Run the scenario on the simulator substrate for its full duration
     /// and collect the outcome.
     pub fn run_sim(&self) -> ScenarioOutcome {
-        let mut sim = self.build_sim();
-        sim.run_until(self.duration);
-        ScenarioOutcome::from_sim(&sim)
+        self.run_with(Parallelism::Seq)
+    }
+
+    /// [`Scenario::run_sim`] under an explicit execution mode. Both modes
+    /// produce identical outcomes — the parallel engine is
+    /// trace-equivalent to the sequential one (see [`crate::par`]) — so
+    /// the knob trades nothing but wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] fails.
+    pub fn run_with(&self, parallelism: Parallelism) -> ScenarioOutcome {
+        match parallelism {
+            Parallelism::Seq => {
+                let mut sim = self.build_sim();
+                sim.run_until(self.duration);
+                ScenarioOutcome::from_sim(&sim)
+            }
+            Parallelism::Shards(shards) => {
+                let mut sim =
+                    self.try_build_par(shards).unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+                sim.run_until(self.duration);
+                ScenarioOutcome::from_par(&sim)
+            }
+        }
+    }
+
+    /// Build a booted [`ParSimulation`] with the entire schedule primed —
+    /// the sharded twin of [`Scenario::try_build_sim`], primed through
+    /// the same canonical sequence (so scheduled events carry identical
+    /// keys in both engines by construction).
+    pub fn try_build_par(&self, shards: usize) -> Result<ParSimulation, ScenarioError> {
+        let layout = self.layout();
+        self.validate_with(&layout)?;
+        let mut sim = ParSimulation::new(layout, &self.cfg, self.net.clone(), self.seed, shards);
+        self.prime(&mut sim);
+        Ok(sim)
     }
 
     /// Named regression scenario: the leader of a bottom ring crashes while
@@ -517,6 +564,61 @@ impl Scenario {
     }
 }
 
+/// What [`Scenario::prime`] needs from an engine: the scheduling surface,
+/// with identical semantics in every implementation. Keeping the trait
+/// crate-private keeps the canonical priming order the *only* way a
+/// scenario reaches an engine.
+trait ScheduleSink {
+    fn set_delivered_cap(&mut self, cap: usize);
+    fn boot_all(&mut self);
+    fn schedule_partition(&mut self, p: LinkPartition);
+    fn crash_at(&mut self, at: u64, node: NodeId);
+    fn schedule_mh(&mut self, at: u64, ap: NodeId, event: MhEvent);
+    fn schedule_query(&mut self, at: u64, node: NodeId, scope: QueryScope);
+}
+
+impl ScheduleSink for Simulation {
+    fn set_delivered_cap(&mut self, cap: usize) {
+        Simulation::set_delivered_cap(self, cap);
+    }
+    fn boot_all(&mut self) {
+        Simulation::boot_all(self);
+    }
+    fn schedule_partition(&mut self, p: LinkPartition) {
+        Simulation::schedule_partition(self, p);
+    }
+    fn crash_at(&mut self, at: u64, node: NodeId) {
+        Simulation::crash_at(self, at, node);
+    }
+    fn schedule_mh(&mut self, at: u64, ap: NodeId, event: MhEvent) {
+        Simulation::schedule_mh(self, at, ap, event);
+    }
+    fn schedule_query(&mut self, at: u64, node: NodeId, scope: QueryScope) {
+        Simulation::schedule_query(self, at, node, scope);
+    }
+}
+
+impl ScheduleSink for ParSimulation {
+    fn set_delivered_cap(&mut self, cap: usize) {
+        ParSimulation::set_delivered_cap(self, cap);
+    }
+    fn boot_all(&mut self) {
+        ParSimulation::boot_all(self);
+    }
+    fn schedule_partition(&mut self, p: LinkPartition) {
+        ParSimulation::schedule_partition(self, p);
+    }
+    fn crash_at(&mut self, at: u64, node: NodeId) {
+        ParSimulation::crash_at(self, at, node);
+    }
+    fn schedule_mh(&mut self, at: u64, ap: NodeId, event: MhEvent) {
+        ParSimulation::schedule_mh(self, at, ap, event);
+    }
+    fn schedule_query(&mut self, at: u64, node: NodeId, scope: QueryScope) {
+        ParSimulation::schedule_query(self, at, node, scope);
+    }
+}
+
 /// The substrate-independent result of running a scenario: every alive
 /// node's final membership view, keyed by node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -541,6 +643,11 @@ impl ScenarioOutcome {
             .map(|(id, state)| (id, operational_guids(&state.ring_members)))
             .collect();
         ScenarioOutcome { views, crashed: sim.crashed_set().clone() }
+    }
+
+    /// Collect the outcome of a finished parallel run.
+    pub fn from_par(sim: &ParSimulation) -> Self {
+        ScenarioOutcome { views: sim.views(), crashed: sim.crashed_set() }
     }
 
     /// If every listed (alive) node holds the same view, return it.

@@ -28,31 +28,118 @@
 //!   wheel (the crate-private `queue` module), so re-armed periodic
 //!   timers stop
 //!   accumulating stale heap entries.
+//!
+//! ## Execution-order-independent determinism
+//!
+//! Randomness and event ordering are both keyed by **provenance**, not by
+//! global execution order:
+//!
+//! - every node draws latency/loss/duplication samples from its **own
+//!   [`SplitMix64`] stream** (seeded from `(seed, node id)`), and every
+//!   mobile host's wireless hop from a per-GUID stream resolved at
+//!   schedule time;
+//! - every queued event carries a deterministic key (the crate-private
+//!   `queue` module's `EventKey`) derived from its creator and that
+//!   creator's emission counter.
+//!
+//! A node's behaviour therefore depends only on the sequence of inputs
+//! *it* receives — never on how the engine interleaved *other* nodes in
+//! between. That property is what lets the sharded conservative-parallel
+//! engine ([`crate::par`]) reproduce this sequential engine's
+//! [`SystemDigest`] stream byte for byte.
 
 use crate::metrics::Metrics;
 use crate::network::{LinkClass, LinkClassMatrix, NetConfig, NetworkModel};
-use crate::queue::{Event, EventKind, EventQueue};
+use crate::queue::{Event, EventKey, EventKind, EventQueue};
 use crate::rng::SplitMix64;
 use bytes::Bytes;
 use rgb_core::node::NodeState;
 use rgb_core::prelude::*;
 use rgb_core::topology::HierarchyLayout;
 use rgb_core::wire;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 pub use crate::queue::QueueKind;
 
 /// Sentinel for "no query outstanding" in the per-node query clock.
-const NO_QUERY: u64 = u64::MAX;
+pub(crate) const NO_QUERY: u64 = u64::MAX;
 
-/// One generation-stamped live timer of a node. The queue may hold many
-/// entries for the same `(node, kind)`; only the one whose generation
-/// matches the slot fires.
-#[derive(Debug, Clone, Copy)]
-struct TimerSlot {
-    kind: TimerKind,
-    gen: u64,
+/// Stream-id salt of per-node RNG streams (XORed with the node id).
+pub(crate) const NODE_STREAM_SALT: u64 = 0x4e4f_4445_0000_0000; // "NODE"
+/// Stream-id salt of per-MH wireless streams (XORed with the GUID).
+pub(crate) const MH_STREAM_SALT: u64 = 0x7769_7265_6c65_7373; // "wireless"
+/// Stream id of the fallback stream for sends from outside the layout.
+pub(crate) const EXT_STREAM_SALT: u64 = 0x4558_5445_524e_414c; // "EXTERNAL"
+/// `src` slot marking runtime events created outside the layout.
+pub(crate) const EXT_SRC: u32 = u32::MAX;
+
+/// The GUID an [`MhEvent`] concerns (its wireless-stream key).
+pub(crate) fn mh_guid(event: &MhEvent) -> Guid {
+    match event {
+        MhEvent::Join { guid, .. }
+        | MhEvent::Leave { guid }
+        | MhEvent::HandoffIn { guid, .. }
+        | MhEvent::FailureDetected { guid }
+        | MhEvent::Disconnect { guid }
+        | MhEvent::Resume { guid, .. } => *guid,
+    }
 }
+
+/// The wireless MH→AP hop, resolved at schedule time.
+///
+/// A mobile-host event's loss, latency and per-MH FIFO floor depend only
+/// on the schedule itself and the MH's private random stream — nothing the
+/// simulation computes feeds back into them — so both engines resolve the
+/// whole hop the moment the event is scheduled and queue only the
+/// resulting [`EventKind::MhDeliver`] (or count the loss). This keeps the
+/// per-GUID FIFO state out of the hot path entirely, and out of the
+/// sharded engine's cross-shard state.
+#[derive(Debug)]
+pub(crate) struct WirelessHop {
+    seed: u64,
+    streams: BTreeMap<Guid, SplitMix64>,
+    /// Last wireless delivery time per MH: the hop is FIFO per MH
+    /// (link-layer ordering), so a host's Leave can never overtake its own
+    /// Join despite latency jitter.
+    last_delivery: BTreeMap<Guid, u64>,
+}
+
+impl WirelessHop {
+    pub fn new(seed: u64) -> Self {
+        WirelessHop { seed, streams: BTreeMap::new(), last_delivery: BTreeMap::new() }
+    }
+
+    /// Resolve one scheduled MH event sent at `send_at`: counts the send,
+    /// samples loss and latency from the MH's stream and applies the
+    /// per-MH FIFO floor. Returns the delivery time, or `None` when the
+    /// wireless hop lost the event.
+    pub fn resolve(
+        &mut self,
+        send_at: u64,
+        event: &MhEvent,
+        net: &NetworkModel,
+        metrics: &mut Metrics,
+    ) -> Option<u64> {
+        metrics.record_send(MsgLabel::FromMh, LinkClass::Wireless);
+        let guid = mh_guid(event);
+        let seed = self.seed;
+        let rng = self
+            .streams
+            .entry(guid)
+            .or_insert_with(|| SplitMix64::stream(seed, MH_STREAM_SALT ^ guid.0));
+        if net.lost(LinkClass::Wireless, rng) {
+            metrics.lost += 1;
+            return None;
+        }
+        let latency = net.latency(LinkClass::Wireless, rng);
+        let earliest = self.last_delivery.get(&guid).map(|&t| t.saturating_add(1)).unwrap_or(0);
+        let deliver_at = send_at.saturating_add(latency).max(earliest);
+        self.last_delivery.insert(guid, deliver_at);
+        Some(deliver_at)
+    }
+}
+
+use crate::queue::TimerSlot;
 
 /// The discrete-event simulator.
 #[derive(Debug)]
@@ -87,11 +174,22 @@ pub struct Simulation {
     classes: LinkClassMatrix,
     events: EventQueue,
     net: NetworkModel,
-    rng: SplitMix64,
-    /// Last wireless delivery time per mobile host: the wireless hop is
-    /// FIFO per MH (link-layer ordering), so a host's Leave can never
-    /// overtake its own Join despite latency jitter.
-    mh_last_delivery: std::collections::BTreeMap<Guid, u64>,
+    /// Per-node random streams, by [`NodeIdx`] — a node's draws depend only
+    /// on its own activity, never on engine interleaving.
+    rngs: Vec<SplitMix64>,
+    /// Per-node event-emission counters, by [`NodeIdx`] (the `seq` of
+    /// runtime [`EventKey`]s).
+    emit: Vec<u64>,
+    /// Stream + counter for runtime events created outside the layout.
+    ext_rng: SplitMix64,
+    ext_emit: u64,
+    /// Schedule counter (the `seq` of scheduled [`EventKey`]s).
+    sched_seq: u64,
+    /// Root stream handed to callers via [`Simulation::rng`] (workload
+    /// generators fork from it); the engine itself never draws from it.
+    root_rng: SplitMix64,
+    /// The wireless MH→AP hop, resolved at schedule time.
+    wireless: WirelessHop,
     /// Currently severed NE pairs (normalised `(min, max)`), maintained by
     /// the scheduled [`LinkPartition`] events. A pair appears once per
     /// active window, so overlapping partitions on the same pair refcount
@@ -116,26 +214,38 @@ impl Substrate for Simulation {
             self.metrics.partition_dropped += 1;
             return;
         }
-        if self.net.lost(class, &mut self.rng) {
+        // The sender's private stream and emission counter: both the frame
+        // fate and the event key derive from the sender alone.
+        let (rng, src, emit) = match fi {
+            Some(i) => (&mut self.rngs[i.as_usize()], i.0, &mut self.emit[i.as_usize()]),
+            None => (&mut self.ext_rng, EXT_SRC, &mut self.ext_emit),
+        };
+        let Some(plan) = self.net.plan_frame(class, rng) else {
             self.metrics.lost += 1;
             return;
-        }
-        let mut latency = self.net.latency(class, &mut self.rng);
-        let extra = self.net.reorder_delay(&mut self.rng);
-        if extra > 0 {
+        };
+        if plan.reordered {
             self.metrics.reordered += 1;
-            latency += extra;
         }
-        if self.net.duplicated(&mut self.rng) {
+        if let Some(dup_latency) = plan.dup_latency {
             self.metrics.duplicated += 1;
-            let copy_latency = self.net.latency(class, &mut self.rng);
+            let key = EventKey::emitted(src, *emit);
+            *emit += 1;
             self.events.push(
                 self.now,
-                self.now + copy_latency,
+                self.now.saturating_add(dup_latency),
+                key,
                 EventKind::Deliver { from, to: ti, frame: frame.clone() },
             );
         }
-        self.events.push(self.now, self.now + latency, EventKind::Deliver { from, to: ti, frame });
+        let key = EventKey::emitted(src, *emit);
+        *emit += 1;
+        self.events.push(
+            self.now,
+            self.now.saturating_add(plan.latency),
+            key,
+            EventKind::Deliver { from, to: ti, frame },
+        );
     }
 
     fn arm_timer(&mut self, node: NodeId, kind: TimerKind, after: u64) {
@@ -151,7 +261,14 @@ impl Substrate for Simulation {
             Some(slot) => slot.gen = gen,
             None => slots.push(TimerSlot { kind, gen }),
         }
-        self.events.push(self.now, self.now + after, EventKind::Timer { node: idx, kind, gen });
+        let key = EventKey::emitted(idx.0, self.emit[i]);
+        self.emit[i] += 1;
+        self.events.push(
+            self.now,
+            self.now.saturating_add(after),
+            key,
+            EventKind::Timer { node: idx, kind, gen },
+        );
     }
 
     fn cancel_timer(&mut self, node: NodeId, kind: TimerKind) {
@@ -212,6 +329,13 @@ impl Simulation {
             .map(|(_, id)| NodeState::from_layout(&layout, id, cfg.clone()).expect("valid layout"))
             .collect();
         let classes = LinkClassMatrix::new(&layout, &indexer);
+        // Streams are keyed by the stable NodeId (not the dense index), so
+        // any engine covering any subset of the layout derives identical
+        // streams for identical nodes.
+        let rngs = indexer
+            .iter()
+            .map(|(_, id)| SplitMix64::stream(seed, NODE_STREAM_SALT ^ id.0))
+            .collect();
         Simulation {
             layout,
             now: 0,
@@ -228,8 +352,13 @@ impl Simulation {
             classes,
             events: EventQueue::new(queue),
             net: NetworkModel::new(net),
-            rng: SplitMix64::new(seed),
-            mh_last_delivery: std::collections::BTreeMap::new(),
+            rngs,
+            emit: vec![0; n],
+            ext_rng: SplitMix64::stream(seed, EXT_STREAM_SALT),
+            ext_emit: 0,
+            sched_seq: 0,
+            root_rng: SplitMix64::new(seed),
+            wireless: WirelessHop::new(seed),
             partitioned: Vec::new(),
             out_buf: OutputSink::new(),
         }
@@ -271,20 +400,45 @@ impl Simulation {
         self.out_buf = outs;
     }
 
+    /// Next scheduled-event key (schedule order, assigned at schedule
+    /// time — identical in every engine that schedules the same plan in
+    /// the same order).
+    fn sched_key(&mut self) -> EventKey {
+        let key = EventKey::scheduled(self.sched_seq);
+        self.sched_seq += 1;
+        key
+    }
+
     /// Schedule a mobile-host event to reach `ap` after `delay` ticks plus
-    /// the wireless hop.
+    /// the wireless hop. The hop (loss, latency, per-MH FIFO floor) is
+    /// resolved immediately from the MH's private stream (the crate's
+    /// wireless-hop resolver), so the send and any loss are counted now,
+    /// and only the resolved delivery is queued.
     pub fn schedule_mh(&mut self, delay: u64, ap: NodeId, event: MhEvent) {
-        self.events.push(self.now, self.now + delay, EventKind::MhSend { ap, event });
+        let send_at = self.now.saturating_add(delay);
+        if let Some(at) = self.wireless.resolve(send_at, &event, &self.net, &mut self.metrics) {
+            let frame =
+                wire::encode(&Envelope { gid: self.layout.gid, msg: Msg::FromMh { event } });
+            let key = self.sched_key();
+            self.events.push(self.now, at, key, EventKind::MhDeliver { ap, frame });
+        }
     }
 
     /// Schedule a node crash.
     pub fn crash_at(&mut self, delay: u64, node: NodeId) {
-        self.events.push(self.now, self.now + delay, EventKind::Crash { node });
+        let key = self.sched_key();
+        self.events.push(self.now, self.now.saturating_add(delay), key, EventKind::Crash { node });
     }
 
     /// Schedule a membership query issued at `node`.
     pub fn schedule_query(&mut self, delay: u64, node: NodeId, scope: QueryScope) {
-        self.events.push(self.now, self.now + delay, EventKind::QueryStart { node, scope });
+        let key = self.sched_key();
+        self.events.push(
+            self.now,
+            self.now.saturating_add(delay),
+            key,
+            EventKind::QueryStart { node, scope },
+        );
     }
 
     /// Schedule a timed link partition (see [`LinkPartition`]): the pair is
@@ -293,8 +447,20 @@ impl Simulation {
     pub fn schedule_partition(&mut self, p: LinkPartition) {
         debug_assert!(p.heal_at > p.at, "validated by Scenario");
         let (a, b) = (p.a, p.b);
-        self.events.push(self.now, self.now + p.at, EventKind::PartitionStart { a, b });
-        self.events.push(self.now, self.now + p.heal_at, EventKind::PartitionHeal { a, b });
+        let key = self.sched_key();
+        self.events.push(
+            self.now,
+            self.now.saturating_add(p.at),
+            key,
+            EventKind::PartitionStart { a, b },
+        );
+        let key = self.sched_key();
+        self.events.push(
+            self.now,
+            self.now.saturating_add(p.heal_at),
+            key,
+            EventKind::PartitionHeal { a, b },
+        );
     }
 
     /// Whether the (unordered) pair `a`–`b` is currently severed.
@@ -344,30 +510,6 @@ impl Simulation {
                     }
                 } else {
                     self.metrics.stale_timer_skips += 1;
-                }
-            }
-            EventKind::MhSend { ap, event } => {
-                self.metrics.record_send(MsgLabel::FromMh, LinkClass::Wireless);
-                if self.net.lost(LinkClass::Wireless, &mut self.rng) {
-                    self.metrics.lost += 1;
-                } else {
-                    let latency = self.net.latency(LinkClass::Wireless, &mut self.rng);
-                    let guid = match &event {
-                        MhEvent::Join { guid, .. }
-                        | MhEvent::Leave { guid }
-                        | MhEvent::HandoffIn { guid, .. }
-                        | MhEvent::FailureDetected { guid }
-                        | MhEvent::Disconnect { guid }
-                        | MhEvent::Resume { guid, .. } => *guid,
-                    };
-                    let earliest = self.mh_last_delivery.get(&guid).map(|&t| t + 1).unwrap_or(0);
-                    let deliver_at = (self.now + latency).max(earliest);
-                    self.mh_last_delivery.insert(guid, deliver_at);
-                    let frame = wire::encode(&Envelope {
-                        gid: self.layout.gid,
-                        msg: Msg::FromMh { event },
-                    });
-                    self.events.push(self.now, deliver_at, EventKind::MhDeliver { ap, frame });
                 }
             }
             EventKind::MhDeliver { ap, frame } => {
@@ -462,19 +604,10 @@ impl Simulation {
         &mut self,
         deadline: u64,
         every: u64,
-        mut observe: F,
+        observe: F,
     ) -> Option<u64> {
-        assert!(every > 0, "observation interval must be positive");
-        loop {
-            let next = self.now.saturating_add(every).min(deadline);
-            self.run_until(next);
-            if !observe(self) {
-                return Some(self.now);
-            }
-            if self.now >= deadline {
-                return None;
-            }
-        }
+        // One observation loop for every engine: the [`Engine`] default.
+        crate::engine::Engine::run_observed(self, deadline, every, observe)
     }
 
     /// Scheduled disruptions (mobile-host traffic, crashes, queries,
@@ -609,10 +742,12 @@ impl Simulation {
             .unwrap_or_default()
     }
 
-    /// Mutable access to the deterministic RNG (workload generators fork
-    /// their streams from here).
+    /// Mutable access to the deterministic root RNG (workload generators
+    /// fork their streams from here). The engine itself never draws from
+    /// this stream — every node and every mobile host has a private one —
+    /// so caller draws cannot perturb a run.
     pub fn rng(&mut self) -> &mut SplitMix64 {
-        &mut self.rng
+        &mut self.root_rng
     }
 
     /// Number of queued events (stale timer entries included) — the
@@ -629,6 +764,88 @@ impl Simulation {
     /// Timestamp of the next queued event, if any.
     pub fn peek_at(&mut self) -> Option<u64> {
         self.events.peek_at(self.now)
+    }
+
+    /// Approximate resident memory of the engine's per-node state: the
+    /// node arena, timer slots, delivered-event buffers and the event
+    /// queue. See [`MemoryStats`] for what is (and is not) counted.
+    pub fn memory_stats(&self) -> MemoryStats {
+        memory_stats_of(&self.nodes, &self.timer_slots, &self.delivered, self.events.len())
+    }
+}
+
+/// Approximate resident memory of a simulation engine, in bytes.
+///
+/// The figures are **estimates**: they count the arena `Vec`s and each
+/// node's owned collections (rosters, member lists, message queue) at
+/// their current lengths, plus a fixed per-entry overhead for B-tree
+/// collections. Allocator slack and `Vec` growth headroom are not
+/// modelled. The point is the *scaling* signal — bytes per node across a
+/// shard-count or node-count sweep — not byte-exact accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Nodes covered by these stats.
+    pub nodes: usize,
+    /// Node arena: `NodeState` structs plus their owned collections.
+    pub node_state_bytes: usize,
+    /// Live timer slots across all nodes.
+    pub timer_bytes: usize,
+    /// Retained application deliveries across all nodes.
+    pub delivered_bytes: usize,
+    /// Entries currently queued (stale timer entries included).
+    pub queue_entries: usize,
+    /// Event-queue storage for those entries.
+    pub queue_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Sum of every byte category.
+    pub fn total_bytes(&self) -> usize {
+        self.node_state_bytes + self.timer_bytes + self.delivered_bytes + self.queue_bytes
+    }
+
+    /// Total bytes divided by the node count (0 for empty engines).
+    pub fn bytes_per_node(&self) -> usize {
+        self.total_bytes().checked_div(self.nodes).unwrap_or(0)
+    }
+
+    /// Fold another engine's stats into this one (shard aggregation).
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.nodes += other.nodes;
+        self.node_state_bytes += other.node_state_bytes;
+        self.timer_bytes += other.timer_bytes;
+        self.delivered_bytes += other.delivered_bytes;
+        self.queue_entries += other.queue_entries;
+        self.queue_bytes += other.queue_bytes;
+    }
+}
+
+/// Shared [`MemoryStats`] accounting over one engine's arenas (the
+/// sequential engine and every shard of the parallel one call this with
+/// their own slices).
+pub(crate) fn memory_stats_of(
+    nodes: &[NodeState],
+    timer_slots: &[Vec<TimerSlot>],
+    delivered: &[Vec<(u64, AppEvent)>],
+    queue_entries: usize,
+) -> MemoryStats {
+    use std::mem::size_of;
+    let node_state_bytes = nodes.iter().map(|n| n.approx_bytes()).sum::<usize>();
+    let timer_bytes = timer_slots
+        .iter()
+        .map(|s| size_of::<Vec<TimerSlot>>() + s.len() * size_of::<TimerSlot>())
+        .sum();
+    let delivered_bytes = delivered
+        .iter()
+        .map(|d| size_of::<Vec<(u64, AppEvent)>>() + d.len() * size_of::<(u64, AppEvent)>())
+        .sum();
+    MemoryStats {
+        nodes: nodes.len(),
+        node_state_bytes,
+        timer_bytes,
+        delivered_bytes,
+        queue_entries,
+        queue_bytes: queue_entries * size_of::<Event>(),
     }
 }
 
@@ -955,6 +1172,43 @@ mod tests {
             digest.nodes.iter().any(|d| d.members.contains(&Guid(3))),
             "join visible in some digest"
         );
+    }
+
+    #[test]
+    fn memory_stats_pin_a_per_node_upper_bound() {
+        // A populated ~800-node hierarchy mid-run: every accounting
+        // category must be live, and the per-node figure must stay under a
+        // hard ceiling (the scale benchmarks budget 100k-node runs against
+        // this bound — 16 KiB/node ⇒ ≤ ~1.6 GiB arena at 100k).
+        let mut cfg = ProtocolConfig::live();
+        cfg.token_interval = 20;
+        cfg.heartbeat_interval = 100;
+        let mut sim = Simulation::full(3, 9, &cfg, NetConfig::default(), 1);
+        sim.boot_all();
+        let aps = sim.layout.aps();
+        for (i, &ap) in aps.iter().take(60).enumerate() {
+            sim.schedule_mh(i as u64, ap, MhEvent::Join { guid: Guid(i as u64), luid: Luid(1) });
+        }
+        sim.run_until(2_000);
+        let stats = sim.memory_stats();
+        assert_eq!(stats.nodes, 819, "h=3 r=9 arena");
+        assert!(stats.node_state_bytes > 0, "node arena accounted");
+        assert!(stats.timer_bytes > 0, "live timers accounted");
+        assert!(stats.delivered_bytes > 0, "retained deliveries accounted");
+        assert!(stats.queue_entries > 0 && stats.queue_bytes > 0, "queue accounted");
+        assert_eq!(
+            stats.total_bytes(),
+            stats.node_state_bytes + stats.timer_bytes + stats.delivered_bytes + stats.queue_bytes
+        );
+        let per_node = stats.bytes_per_node();
+        assert!(per_node > 0);
+        assert!(per_node <= 16 * 1024, "{per_node} bytes/node blows the 16 KiB budget");
+        // MemoryStats::merge is additive (shard aggregation).
+        let mut doubled = stats;
+        doubled.merge(&stats);
+        assert_eq!(doubled.nodes, stats.nodes * 2);
+        assert_eq!(doubled.total_bytes(), stats.total_bytes() * 2);
+        assert_eq!(doubled.bytes_per_node(), stats.bytes_per_node());
     }
 
     #[test]

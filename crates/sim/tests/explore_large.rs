@@ -1,0 +1,50 @@
+//! Large-envelope smoke: the oracle battery stays green on 10k+-node
+//! generated scenarios executed by the sharded parallel engine.
+//!
+//! The full large envelope (up to ~50k nodes) is exercised by the CI
+//! `scale-smoke` job and the `explore --large --shards N` bin in release
+//! builds; this in-tree test pins the *seeded* path — generation, shard
+//! partitioning, windowed execution and the continuous oracle battery —
+//! on the envelope's lighter indices so it stays affordable under the
+//! debug profile.
+
+use rgb_core::prelude::HierarchySpec;
+use rgb_sim::explore::{Explorer, ScenarioGen};
+
+#[test]
+fn oracle_battery_stays_green_on_large_sharded_runs() {
+    let gen = ScenarioGen::large(11);
+    // A short settle budget keeps debug-profile runtime bounded; the
+    // stability detector still gets three windows to open the gate.
+    let explorer = Explorer {
+        check_every: 400,
+        settle_ticks: 2_000,
+        stable_windows: 3,
+        ..Explorer::default()
+    };
+    // Indices 3 and 6 sample the envelope's ~11k-node floor with both
+    // token policies (3: on-demand, 6: continuous) — asserted below so a
+    // generator change cannot silently shrink this test's coverage.
+    let mut policies: Vec<String> = Vec::new();
+    for index in [3u64, 6] {
+        let scenario = gen.scenario(index);
+        let nodes = HierarchySpec::new(scenario.height, scenario.ring_size).node_count();
+        assert!(nodes >= 10_000, "index {index}: {nodes} nodes is below the large envelope");
+        policies.push(format!("{:?}", scenario.cfg.token_policy));
+        let report = explorer
+            .run_scenario_par(&scenario, 4)
+            .unwrap_or_else(|e| panic!("index {index}: {e}"));
+        assert!(
+            report.violation.is_none(),
+            "index {index} ({nodes} nodes): oracle fired: {:?}",
+            report.violation
+        );
+        assert!(
+            report.trace.observations.len() >= 2,
+            "index {index}: the continuous oracle never observed the run"
+        );
+    }
+    policies.sort();
+    policies.dedup();
+    assert_eq!(policies.len(), 2, "indices must cover both token policies");
+}

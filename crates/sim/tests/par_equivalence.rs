@@ -1,0 +1,207 @@
+//! Trace equivalence of the sharded conservative-parallel engine.
+//!
+//! The acceptance bar of the `rgb_sim::par` subsystem: across seeds ×
+//! shard counts × fault plans, [`ParSimulation`] must produce
+//! **byte-identical [`SystemDigest`] sequences** to the sequential
+//! [`Simulation`] — same alive-node digests in the same order, same crash
+//! sets, same clocks — at every observation checkpoint, not only at the
+//! end. The checkpoint stride is deliberately coprime-ish to the latency
+//! bands so window boundaries and checkpoint boundaries interleave in
+//! every relative phase.
+//!
+//! The matrix covers the three scheduling regimes:
+//! - **instant** — zero latency ⇒ zero lookahead ⇒ the merged fallback
+//!   (same-tick cascades, the hardest ordering case);
+//! - **lossy tokens** — continuous tokens + loss + dup/reorder ⇒ windowed
+//!   execution with heavy per-node RNG traffic;
+//! - **churn + crash + partition** — the full fault surface, scheduled
+//!   disruptions crossing shard boundaries.
+
+use rgb_core::prelude::*;
+use rgb_sim::workload::ChurnParams;
+use rgb_sim::{NetConfig, Parallelism, Scenario, ScenarioOutcome};
+
+/// The fault-plan matrix (mirrors the engine-determinism scenarios, plus
+/// a partition so every scheduled-event kind crosses the driver).
+fn scenarios(seed: u64) -> Vec<Scenario> {
+    let mut lossy = NetConfig::unit();
+    lossy.loss = 0.05;
+    lossy.wireless_loss = 0.02;
+    lossy.dup = 0.05;
+    lossy.reorder = 0.05;
+    lossy.reorder_extra = 7;
+    let mut live = ProtocolConfig::live();
+    live.token_interval = 10;
+    live.token_retransmit_timeout = 30;
+    live.heartbeat_interval = 100;
+    live.token_lost_timeout = 400;
+
+    let mut out = Vec::new();
+
+    // Same-tick stress: zero latency puts every cascade on one tick and
+    // forces the merged (zero-lookahead) driver.
+    let sc = Scenario::new("instant joins", 2, 3).with_net(NetConfig::instant()).with_seed(seed);
+    let aps = sc.layout().aps();
+    let mut sc = sc;
+    for (i, &ap) in aps.iter().enumerate() {
+        sc = sc.join((i % 3) as u64, ap, Guid(i as u64), Luid(1));
+    }
+    out.push(sc.with_duration(5_000));
+
+    // Loss + dup/reorder + continuous tokens: windowed execution under
+    // constant retransmission and re-arming.
+    let sc = Scenario::new("lossy tokens", 2, 4)
+        .with_cfg(live.clone())
+        .with_net(lossy.clone())
+        .with_seed(seed)
+        .with_duration(6_000);
+    let ap = sc.layout().aps()[1];
+    out.push(sc.join(0, ap, Guid(1), Luid(1)));
+
+    // Churn + crash + partition: every scheduled-disruption kind, loss,
+    // and a default (banded) network.
+    let sc = Scenario::new("churn crash partition", 2, 3)
+        .with_cfg(live)
+        .with_seed(seed)
+        .with_duration(8_000)
+        .with_churn(ChurnParams {
+            initial_members: 12,
+            mean_join_interval: 300.0,
+            mean_lifetime: 2_000.0,
+            failure_fraction: 0.3,
+            duration: 8_000,
+        });
+    let victim = sc.layout().aps()[2];
+    let roots = sc.layout().root_ring().nodes.clone();
+    let sc = sc.crash(4_000, victim).partition(1_000, 2_500, roots[0], roots[1]).query(
+        6_000,
+        roots[0],
+        QueryScope::Global,
+    );
+    out.push(sc);
+
+    out
+}
+
+/// Digest stream at checkpoints every `stride` ticks, via the given
+/// engine. `settled` is fixed to `false` so the digest compares pure
+/// engine state, not the caller's quiescence verdict.
+fn digest_stream_seq(sc: &Scenario, stride: u64) -> Vec<SystemDigest> {
+    let mut sim = sc.build_sim();
+    let mut out = Vec::new();
+    let mut t = 0;
+    while t < sc.duration {
+        t = (t + stride).min(sc.duration);
+        sim.run_until(t);
+        out.push(sim.system_digest(false));
+    }
+    out
+}
+
+fn digest_stream_par(sc: &Scenario, stride: u64, shards: usize) -> Vec<SystemDigest> {
+    let mut sim = sc.try_build_par(shards).expect("scenario validates");
+    let mut out = Vec::new();
+    let mut t = 0;
+    while t < sc.duration {
+        t = (t + stride).min(sc.duration);
+        sim.run_until(t);
+        out.push(sim.system_digest(false));
+    }
+    out
+}
+
+#[test]
+fn par_digest_streams_match_sequential_across_the_matrix() {
+    for seed in [1u64, 7, 23] {
+        for sc in scenarios(seed) {
+            let seq = digest_stream_seq(&sc, 499);
+            for shards in [1usize, 2, 4, 8] {
+                let par = digest_stream_par(&sc, 499, shards);
+                assert_eq!(
+                    seq.len(),
+                    par.len(),
+                    "seed {seed}, '{}', {shards} shards: checkpoint counts",
+                    sc.name
+                );
+                for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+                    assert_eq!(
+                        a, b,
+                        "seed {seed}, '{}', {shards} shards: digest diverged at checkpoint {i} \
+                         (t={})",
+                        sc.name, a.now
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn par_outcomes_and_counter_totals_match_sequential() {
+    for seed in [3u64, 11] {
+        for sc in scenarios(seed) {
+            let mut seq = sc.build_sim();
+            seq.run_until(sc.duration);
+            let seq_outcome = ScenarioOutcome::from_sim(&seq);
+            for shards in [2usize, 4] {
+                let mut par = sc.try_build_par(shards).expect("scenario validates");
+                par.run_until(sc.duration);
+                assert_eq!(
+                    ScenarioOutcome::from_par(&par),
+                    seq_outcome,
+                    "seed {seed}, '{}', {shards} shards",
+                    sc.name
+                );
+                // Merged shard metrics equal the sequential totals: the
+                // same events happened, just distributed.
+                let pm = par.metrics();
+                let sm = &seq.metrics;
+                assert_eq!(pm.sent_total, sm.sent_total, "'{}' sent_total", sc.name);
+                assert_eq!(pm.lost, sm.lost, "'{}' lost", sc.name);
+                assert_eq!(pm.duplicated, sm.duplicated, "'{}' duplicated", sc.name);
+                assert_eq!(pm.reordered, sm.reordered, "'{}' reordered", sc.name);
+                assert_eq!(
+                    pm.partition_dropped, sm.partition_dropped,
+                    "'{}' partition_dropped",
+                    sc.name
+                );
+                assert_eq!(pm.app_events, sm.app_events, "'{}' app_events", sc.name);
+                assert_eq!(pm.codec_rejected, sm.codec_rejected, "'{}' codec_rejected", sc.name);
+                assert_eq!(pm.by_label(), sm.by_label(), "'{}' per-label sends", sc.name);
+                assert!(
+                    par.processed_events() > 0,
+                    "'{}' parallel engine processed nothing",
+                    sc.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_with_knob_produces_identical_outcomes() {
+    let sc =
+        Scenario::new("knob", 2, 3).with_duration(4_000).with_seed(9).with_churn(ChurnParams {
+            initial_members: 8,
+            mean_join_interval: 0.0,
+            mean_lifetime: 800.0,
+            failure_fraction: 0.25,
+            duration: 4_000,
+        });
+    let seq = sc.run_with(Parallelism::Seq);
+    assert_eq!(seq, sc.run_with(Parallelism::Shards(1)));
+    assert_eq!(seq, sc.run_with(Parallelism::Shards(4)));
+    assert_eq!(seq, sc.run_sim());
+}
+
+#[test]
+fn mid_run_digests_are_checkpoint_consistent_under_odd_strides() {
+    // Different checkpoint strides must not change the trajectory — the
+    // window protocol may not leak observation granularity into state.
+    let sc = &scenarios(5)[1];
+    let coarse = digest_stream_par(sc, 1_999, 4);
+    let fine = digest_stream_par(sc, 499, 4);
+    let last_coarse = coarse.last().unwrap();
+    let last_fine = fine.last().unwrap();
+    assert_eq!(last_coarse, last_fine, "final digest depends on observation stride");
+}

@@ -19,7 +19,7 @@ use rgb_baselines::{
 };
 use rgb_core::prelude::*;
 use rgb_sim::fault::bernoulli_crashes;
-use rgb_sim::Scenario;
+use rgb_sim::{Backend, Scenario};
 
 /// One E9c trial: a populated (h=2, r=5) hierarchy running continuous
 /// tokens, Bernoulli NE faults at probability `f` injected mid-run.
@@ -62,7 +62,7 @@ fn protocol_fault_trial(f: f64, seed: u64) -> bool {
         })
         .collect();
     let scenario = scenario.with_crashes(crashes);
-    let outcome = scenario.run_sim();
+    let outcome = scenario.run_on(Backend::Sim).expect("valid scenario");
     let alive_root: Vec<NodeId> =
         root.iter().copied().filter(|n| !outcome.crashed.contains(n)).collect();
     outcome.agreed_view(&alive_root).is_some()

@@ -7,8 +7,9 @@
 //!
 //! Measurement runs are **built from declarative [`Scenario`] values**
 //! (topology, configuration, schedule) and then driven imperatively with
-//! predicates; the scenario part could be replayed unchanged on the live
-//! substrate (`rgb_net::run_scenario`).
+//! predicates; the scenario part can be replayed unchanged on any backend
+//! through `Scenario::run_on` (including the live reactor via
+//! `Backend::Live`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -86,6 +86,49 @@ impl SystemDigest {
         rings
     }
 
+    /// Compare the *membership views* of two digests — each alive node's
+    /// operational members plus the crashed set — ignoring every
+    /// timing-dependent field (epochs, token position, pending queues,
+    /// `now`). This is the parity a wall-clock substrate can actually
+    /// promise against the discrete-event simulator: thread interleavings
+    /// legitimately shift how many token rounds each ring ran, but the
+    /// *converged membership* must be identical. Returns a human-readable
+    /// description of the first divergences (at most eight lines), or
+    /// `None` when the views agree.
+    pub fn view_divergence(&self, other: &SystemDigest) -> Option<String> {
+        const MAX_LINES: usize = 8;
+        let mut lines: Vec<String> = Vec::new();
+        if self.crashed != other.crashed {
+            lines.push(format!("crashed sets differ: {:?} vs {:?}", self.crashed, other.crashed));
+        }
+        let views = |d: &SystemDigest| -> std::collections::BTreeMap<NodeId, BTreeSet<Guid>> {
+            d.nodes.iter().map(|n| (n.node, n.members.clone())).collect()
+        };
+        let a = views(self);
+        let b = views(other);
+        for (node, view) in &a {
+            if lines.len() >= MAX_LINES {
+                break;
+            }
+            match b.get(node) {
+                None => lines.push(format!("node {node}: present vs absent")),
+                Some(v) if v != view => {
+                    lines.push(format!("node {node}: members {view:?} vs {v:?}"));
+                }
+                Some(_) => {}
+            }
+        }
+        for node in b.keys() {
+            if lines.len() >= MAX_LINES {
+                break;
+            }
+            if !a.contains_key(node) {
+                lines.push(format!("node {node}: absent vs present"));
+            }
+        }
+        (!lines.is_empty()).then(|| lines.join("\n"))
+    }
+
     /// Order-independent fingerprint of every node's `(epoch, members)` —
     /// two digests with equal hashes hold identical views everywhere. Used
     /// by the explorer's stability (settle) detector.
@@ -176,6 +219,36 @@ mod tests {
         let rings = sys.by_ring();
         assert_eq!(rings.len(), 1);
         assert_eq!(rings[0].1.len(), 3);
+    }
+
+    #[test]
+    fn view_divergence_ignores_timing_but_not_membership() {
+        let sys = |epoch: u64, members: &[u64]| SystemDigest {
+            now: 0,
+            nodes: vec![StateDigest {
+                epoch,
+                members: members.iter().copied().map(Guid).collect(),
+                ..digest_of(0)
+            }],
+            crashed: BTreeSet::new(),
+            settled: true,
+        };
+        // Different epochs (and now), same views: no divergence.
+        let mut b = sys(9, &[1, 2]);
+        b.now = 777;
+        assert_eq!(sys(2, &[1, 2]).view_divergence(&b), None);
+        // Different members at one node: named in the report.
+        let report = sys(2, &[1, 2]).view_divergence(&sys(2, &[1, 3])).expect("diverges");
+        assert!(report.contains("n0"), "offending node is named: {report}");
+        // Different crashed sets diverge even with equal views.
+        let mut crashed = sys(2, &[1]);
+        crashed.crashed.insert(NodeId(5));
+        assert!(sys(2, &[1]).view_divergence(&crashed).is_some());
+        // A node present on one side only diverges.
+        let mut missing = sys(2, &[1]);
+        missing.nodes.clear();
+        let report = sys(2, &[1]).view_divergence(&missing).expect("diverges");
+        assert!(report.contains("present vs absent"));
     }
 
     #[test]

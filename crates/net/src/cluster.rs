@@ -1,55 +1,128 @@
-//! The live cluster: spawn the whole ring-based hierarchy as concurrent
-//! node threads and drive it through an operator API.
+//! The live cluster: deploy the whole ring-based hierarchy onto a small
+//! reactor worker pool and drive it through an operator API.
+//!
+//! Nodes are assigned to workers ring-whole and DFS-contiguous
+//! ([`HierarchyLayout::partition_rings`]), so the token that circulates a
+//! ring usually stays inside one worker's mailbox. The operator API talks
+//! to workers with **blocking** sends: an operator thread parking on a full
+//! mailbox is safe (it is outside the worker-to-worker graph, so no cycle),
+//! whereas the data plane inside workers never parks — see
+//! [`crate::transport`].
 
-use crate::runtime::{run_node, NodeSnapshot};
-use crate::transport::{Router, ToNode};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::error::NetError;
+use crate::reactor::{ClusterStats, LiveConfig, NodeSnapshot, ReactorShared, Worker, WorkerSpec};
+use crate::transport::{Router, ToWorker};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use rgb_core::config::ProtocolConfig;
 use rgb_core::events::AppEvent;
 use rgb_core::node::NodeState;
 use rgb_core::prelude::*;
 use rgb_core::topology::HierarchyLayout;
-use std::collections::HashMap;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A running RGB deployment (one thread per network entity).
-pub struct LiveCluster {
+/// A running RGB deployment: the hierarchy multiplexed onto a reactor
+/// worker pool.
+pub struct Cluster {
     /// The deployed hierarchy.
     pub layout: HierarchyLayout,
     router: Router,
     events_rx: Receiver<(NodeId, AppEvent)>,
     events_tx: Sender<(NodeId, AppEvent)>,
-    handles: HashMap<NodeId, JoinHandle<()>>,
+    worker_txs: Vec<Sender<ToWorker>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<ReactorShared>,
     tick: Duration,
 }
 
-impl LiveCluster {
-    /// Spawn every node of `layout` with configuration `cfg`; one protocol
-    /// tick lasts `tick` of real time.
-    pub fn start(layout: HierarchyLayout, cfg: &ProtocolConfig, tick: Duration) -> Self {
+impl Cluster {
+    /// Deploy every node of `layout` with protocol configuration `cfg`
+    /// onto the worker pool described by `live`. All inboxes are
+    /// registered before any worker starts, so early frames are never
+    /// dropped.
+    pub fn try_new(
+        layout: HierarchyLayout,
+        cfg: &ProtocolConfig,
+        live: &LiveConfig,
+    ) -> Result<Cluster, NetError> {
+        live.validate()?;
         let router = Router::new();
-        let (events_tx, events_rx) = unbounded();
-        let mut handles = HashMap::new();
-        // Register all inboxes before starting any thread so early messages
-        // are never dropped.
-        let mut inboxes: Vec<(NodeId, Receiver<ToNode>)> = Vec::new();
-        for &id in layout.nodes.keys() {
-            let (tx, rx) = unbounded();
-            router.register(id, tx);
-            inboxes.push((id, rx));
+        let (events_tx, events_rx) = bounded(live.event_capacity);
+        let shared = Arc::new(ReactorShared::default());
+        let workers = live.resolved_workers().min(layout.ring_count()).max(1);
+        let start = Instant::now();
+
+        // Build every worker's node set up front: layout errors surface
+        // before a single thread exists.
+        let mut specs: Vec<(Vec<NodeState>, Receiver<ToWorker>)> = Vec::new();
+        let mut worker_txs = Vec::new();
+        for rings in layout.partition_rings(workers) {
+            let (tx, rx) = bounded(live.mailbox_capacity);
+            let mut states = Vec::new();
+            for ring in rings {
+                let members = layout
+                    .ring(ring)
+                    .map_err(|e| NetError::InvalidLayout {
+                        node: NodeId(u64::from(ring.0)),
+                        reason: e.to_string(),
+                    })?
+                    .nodes
+                    .clone();
+                for id in members {
+                    let state = NodeState::from_layout(&layout, id, cfg.clone())
+                        .map_err(|e| NetError::InvalidLayout { node: id, reason: e.to_string() })?;
+                    router.register(id, tx.clone());
+                    states.push(state);
+                }
+            }
+            if states.is_empty() {
+                continue; // more workers than the layout can use
+            }
+            worker_txs.push(tx);
+            specs.push((states, rx));
         }
-        for (id, rx) in inboxes {
-            let state = NodeState::from_layout(&layout, id, cfg.clone()).expect("valid layout");
-            let router2 = router.clone();
-            let events2 = events_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("rgb-{id}"))
-                .spawn(move || run_node(state, rx, router2, events2, tick))
-                .expect("spawn node thread");
-            handles.insert(id, handle);
+
+        let mut handles = Vec::new();
+        for (i, (states, rx)) in specs.into_iter().enumerate() {
+            let spec = WorkerSpec {
+                gid: layout.gid,
+                tick: live.tick,
+                start,
+                rx,
+                router: router.clone(),
+                events: events_tx.clone(),
+                shared: Arc::clone(&shared),
+                states,
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("rgb-worker-{i}"))
+                .spawn(move || Worker::new(spec).run());
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind the part of the pool that did start.
+                    for tx in &worker_txs {
+                        let _ = tx.send(ToWorker::Stop);
+                    }
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(NetError::Spawn { reason: e.to_string() });
+                }
+            }
         }
-        LiveCluster { layout, router, events_rx, events_tx, handles, tick }
+
+        Ok(Cluster {
+            layout,
+            router,
+            events_rx,
+            events_tx,
+            worker_txs,
+            handles,
+            shared,
+            tick: live.tick,
+        })
     }
 
     /// One protocol tick's real-time duration.
@@ -57,10 +130,15 @@ impl LiveCluster {
         self.tick
     }
 
+    /// Number of reactor workers actually running.
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
     /// Deliver a mobile-host event to an access proxy.
     pub fn mh_event(&self, ap: NodeId, event: MhEvent) {
         if let Some(tx) = self.router.inbox(ap) {
-            let _ = tx.send(ToNode::Mh(event));
+            let _ = tx.send(ToWorker::Mh { ap, event });
         }
     }
 
@@ -68,27 +146,26 @@ impl LiveCluster {
     /// stream.
     pub fn query(&self, node: NodeId, scope: QueryScope) {
         if let Some(tx) = self.router.inbox(node) {
-            let _ = tx.send(ToNode::Query(scope));
+            let _ = tx.send(ToWorker::Query { node, scope });
         }
     }
 
-    /// Snapshot a node's state (blocks up to `timeout`).
+    /// Snapshot a node's state (blocks up to `timeout`; `None` for a
+    /// crashed or unknown node).
     pub fn snapshot(&self, node: NodeId, timeout: Duration) -> Option<NodeSnapshot> {
         let tx = self.router.inbox(node)?;
         let (reply_tx, reply_rx) = bounded(1);
-        tx.send(ToNode::Snapshot(reply_tx)).ok()?;
+        tx.send(ToWorker::Snapshot { node, reply: reply_tx }).ok()?;
         reply_rx.recv_timeout(timeout).ok()
     }
 
-    /// Crash a node: its thread stops and its address routes to nowhere.
-    pub fn crash(&mut self, node: NodeId) {
+    /// Crash a node: its hosting worker drops the state and its address
+    /// routes to nowhere. The worker itself keeps serving its other nodes.
+    pub fn crash(&self, node: NodeId) {
         if let Some(tx) = self.router.inbox(node) {
-            let _ = tx.send(ToNode::Stop);
+            let _ = tx.send(ToWorker::Crash { node });
         }
         self.router.deregister(node);
-        if let Some(handle) = self.handles.remove(&node) {
-            let _ = handle.join();
-        }
     }
 
     /// Drain application events until `pred` returns `Some`, up to
@@ -129,7 +206,23 @@ impl LiveCluster {
         false
     }
 
+    /// Cluster-wide transport and delivery counters.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            frames_sent: self.router.sent(),
+            dropped_frames: self.router.dropped(),
+            backpressure_dropped: self.router.backpressure_dropped(),
+            partition_dropped: self.router.partition_dropped(),
+            app_events: self.shared.app_events.load(std::sync::atomic::Ordering::Relaxed),
+            app_events_dropped: self
+                .shared
+                .app_events_dropped
+                .load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
     /// Messages dropped by the router (to crashed/unknown nodes).
+    #[deprecated(since = "0.6.0", note = "use `Cluster::stats().dropped_frames`")]
     pub fn dropped_messages(&self) -> u64 {
         self.router.dropped()
     }
@@ -142,6 +235,7 @@ impl LiveCluster {
     }
 
     /// Frames swallowed by link partitions so far.
+    #[deprecated(since = "0.6.0", note = "use `Cluster::stats().partition_dropped`")]
     pub fn partition_dropped(&self) -> u64 {
         self.router.partition_dropped()
     }
@@ -151,17 +245,35 @@ impl LiveCluster {
         self.events_tx.clone()
     }
 
-    /// Stop every node and join the threads.
+    /// Stop every worker and join the pool.
     pub fn shutdown(mut self) {
-        let ids: Vec<NodeId> = self.handles.keys().copied().collect();
-        for id in ids {
-            if let Some(tx) = self.router.inbox(id) {
-                let _ = tx.send(ToNode::Stop);
-            }
-            self.router.deregister(id);
+        for tx in &self.worker_txs {
+            let _ = tx.send(ToWorker::Stop);
         }
-        for (_, handle) in self.handles.drain() {
+        for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+/// The pre-reactor name of [`Cluster`].
+#[deprecated(since = "0.6.0", note = "renamed to `Cluster` (reactor runtime)")]
+pub type LiveCluster = Cluster;
+
+impl Cluster {
+    /// Spawn every node of `layout` with configuration `cfg`; one protocol
+    /// tick lasts `tick` of real time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any configuration or spawn failure, as the pre-reactor
+    /// API did.
+    #[deprecated(since = "0.6.0", note = "use `Cluster::try_new` with a `LiveConfig`")]
+    pub fn start(layout: HierarchyLayout, cfg: &ProtocolConfig, tick: Duration) -> Self {
+        let live = LiveConfig::default().with_tick(tick);
+        match Cluster::try_new(layout, cfg, &live) {
+            Ok(cluster) => cluster,
+            Err(e) => panic!("failed to start live cluster: {e}"),
         }
     }
 }

@@ -1,0 +1,69 @@
+//! Typed errors of the live reactor runtime.
+//!
+//! Mirrors the shape of `rgb_sim::ScenarioError`: every failure mode of
+//! building or configuring a [`crate::cluster::Cluster`] is a variant with
+//! enough context to say *what* was rejected, so batch tooling (the
+//! scenario replayer, CI smoke jobs) can report precisely instead of
+//! panicking. [`crate::cluster::Cluster::try_new`] and
+//! [`crate::reactor::LiveConfig::validate`] are the producers.
+
+use rgb_core::prelude::NodeId;
+use std::fmt;
+
+/// Why a live cluster could not be configured or started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A [`crate::reactor::LiveConfig`] field is out of range.
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A node of the layout could not be instantiated as a protocol
+    /// engine (the layout and the node disagree).
+    InvalidLayout {
+        /// The offending node.
+        node: NodeId,
+        /// The underlying description.
+        reason: String,
+    },
+    /// The OS refused to spawn a reactor worker thread.
+    Spawn {
+        /// The underlying description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidConfig { field, reason } => {
+                write!(f, "invalid live config: {field}: {reason}")
+            }
+            NetError::InvalidLayout { node, reason } => {
+                write!(f, "invalid layout at node {node}: {reason}")
+            }
+            NetError::Spawn { reason } => {
+                write!(f, "failed to spawn reactor worker: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_piece() {
+        let e = NetError::InvalidConfig { field: "tick", reason: "must be non-zero".into() };
+        assert!(e.to_string().contains("tick"));
+        let e = NetError::InvalidLayout { node: NodeId(7), reason: "unknown node".into() };
+        assert!(e.to_string().contains('7'));
+        let e = NetError::Spawn { reason: "EAGAIN".into() };
+        assert!(e.to_string().contains("EAGAIN"));
+    }
+}

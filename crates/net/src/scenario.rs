@@ -1,27 +1,38 @@
-//! Replay a [`Scenario`] on the live threaded substrate.
+//! Replay a [`Scenario`] on the live reactor substrate.
 //!
 //! The same declarative scenario value the simulator executes
-//! deterministically ([`Scenario::run_sim`]) is replayed here against real
-//! concurrency: the timeline is walked in wall-clock time (one protocol
-//! tick = `tick` of real time), partition transitions / mobile-host events
-//! / crashes / queries are applied through the [`LiveCluster`] operator
-//! API, and the final membership views are collected into the same
-//! [`ScenarioOutcome`] shape — which is how the differential tests compare
-//! the two worlds view-for-view. [`run_scenario_digest`] additionally
-//! collects a final [`SystemDigest`], so the explorer's invariant oracles
-//! can judge a shrunk reproducer on this substrate with the same code
-//! that judged it on the simulator.
+//! deterministically (`Scenario::run_on(Backend::Sim)`) is replayed here
+//! against real concurrency: the timeline is walked in wall-clock time
+//! (one protocol tick = [`LiveConfig::tick`] of real time), partition
+//! transitions / mobile-host events / crashes / queries are applied
+//! through the [`Cluster`] operator API, and the final membership views
+//! are collected into the same `ScenarioOutcome` shape — which is how the
+//! differential tests compare the worlds view-for-view.
+//!
+//! Two layers are exposed:
+//!
+//! * [`LiveEngine`] — the third implementation of [`rgb_sim::Engine`]
+//!   (after the sequential and the sharded simulator): a deployed cluster
+//!   plus the scenario timeline, advanced with `run_until` and observed
+//!   with `system_digest`/`counters` like any other engine.
+//! * [`LiveRuntime`] for [`LiveConfig`] — what makes
+//!   `sc.run_on(Backend::Live(&live_config))` work: deploy, replay,
+//!   settle, collect, shut down.
 //!
 //! The live transport has real (near-zero) channel latency, so the
 //! scenario's latency bands — and the duplication/reordering fault
 //! dimensions, which are properties of the modelled network — are not
 //! modelled here; loss is always zero. Link partitions *are* applied (the
 //! router severs the pair for the scheduled window). What must agree
-//! across substrates is the *converged membership*, not the timing.
+//! across substrates is the *converged membership*, not the timing — see
+//! `SystemDigest::view_divergence`.
 
-use crate::cluster::LiveCluster;
+use crate::cluster::Cluster;
+use crate::reactor::LiveConfig;
 use rgb_core::prelude::*;
-use rgb_sim::scenario::{operational_guids, Scenario, ScenarioOutcome};
+use rgb_sim::backend::LiveRuntime;
+use rgb_sim::engine::{Engine, EngineCounters};
+use rgb_sim::scenario::{operational_guids, Scenario, ScenarioError, ScenarioOutcome};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -39,141 +50,263 @@ fn at_tick(start: Instant, tick: Duration, t: u64) -> Instant {
     start + tick * u32::try_from(t).unwrap_or(u32::MAX)
 }
 
+/// A [`Scenario`] deployed on the live reactor: the cluster, the pending
+/// timeline, and enough bookkeeping to serve the [`Engine`] observation
+/// surface. Time advances with the wall clock, so `run_until` *sleeps* to
+/// the requested tick while the reactor workers run.
+pub struct LiveEngine {
+    cluster: Cluster,
+    tick: Duration,
+    start: Instant,
+    /// The timeline, earliest first ((tick, insertion index) order);
+    /// applied entries are taken out of their slot.
+    timeline: Vec<(u64, usize, Option<Action>)>,
+    applied: usize,
+    crashed: BTreeSet<NodeId>,
+    expected: BTreeSet<Guid>,
+    root_nodes: Vec<NodeId>,
+    settle: Duration,
+    duration: u64,
+}
+
+impl LiveEngine {
+    /// Deploy `scenario` on a reactor pool shaped by `config`. All
+    /// validation happens up front: a structurally invalid scenario or an
+    /// undeployable config never spawns a thread.
+    pub fn new(scenario: &Scenario, config: &LiveConfig) -> Result<LiveEngine, ScenarioError> {
+        scenario.validate()?;
+        let layout = scenario.layout();
+        let cluster = Cluster::try_new(layout, &scenario.cfg, config).map_err(|e| {
+            ScenarioError::Backend { scenario: scenario.name.clone(), reason: e.to_string() }
+        })?;
+
+        // Merge the schedules into one stable-ordered timeline. The
+        // insertion order (partition transitions, then crashes, then MH
+        // events, then queries) mirrors the canonical priming order of
+        // `Scenario::prime`, so same-tick ties resolve identically on
+        // every backend — a partition starting at the same tick as a crash
+        // severs the link first in both worlds.
+        let mut timeline: Vec<(u64, usize, Option<Action>)> = Vec::new();
+        let push = |timeline: &mut Vec<(u64, usize, Option<Action>)>, t: u64, action: Action| {
+            let idx = timeline.len();
+            timeline.push((t, idx, Some(action)));
+        };
+        for p in &scenario.partitions {
+            push(&mut timeline, p.at, Action::PartitionStart(p.a, p.b));
+            push(&mut timeline, p.heal_at, Action::PartitionHeal(p.a, p.b));
+        }
+        for c in &scenario.crashes {
+            push(&mut timeline, c.at, Action::Crash(c.node));
+        }
+        let mut mh_schedule = scenario.mh_schedule.clone();
+        mh_schedule.sort_by_key(|&(t, ap, _)| (t, ap));
+        for (t, ap, event) in mh_schedule {
+            push(&mut timeline, t, Action::Mh(ap, event));
+        }
+        for q in &scenario.queries {
+            push(&mut timeline, q.at, Action::Query(q.node, q.scope));
+        }
+        timeline.sort_by_key(|&(t, idx, _)| (t, idx));
+
+        let root_nodes = cluster.layout.root_ring().nodes.clone();
+        Ok(LiveEngine {
+            cluster,
+            tick: config.tick,
+            start: Instant::now(),
+            timeline,
+            applied: 0,
+            crashed: BTreeSet::new(),
+            expected: scenario.expected_guids(),
+            root_nodes,
+            settle: config.settle,
+            duration: scenario.duration,
+        })
+    }
+
+    /// The deployed cluster (for snapshots, stats, partitions).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn apply(&mut self, action: Action) {
+        match action {
+            Action::PartitionStart(a, b) => self.cluster.set_partition(a, b, true),
+            Action::PartitionHeal(a, b) => self.cluster.set_partition(a, b, false),
+            Action::Mh(ap, event) => self.cluster.mh_event(ap, event),
+            Action::Crash(node) => {
+                self.cluster.crash(node);
+                self.crashed.insert(node);
+            }
+            Action::Query(node, scope) => self.cluster.query(node, scope),
+        }
+    }
+
+    /// Poll until the alive root-ring nodes converge on the schedule's
+    /// expected membership, up to the configured settle budget. The live
+    /// world has no global clock to quiesce on, so convergence polling is
+    /// the only settle signal; `false` means the budget ran out with the
+    /// cluster still moving (the caller's comparison will then report the
+    /// divergence).
+    pub fn settle(&self) -> bool {
+        let alive: Vec<NodeId> =
+            self.root_nodes.iter().copied().filter(|n| !self.crashed.contains(n)).collect();
+        let deadline = Instant::now() + self.settle;
+        loop {
+            let converged = alive.iter().all(|&n| {
+                self.cluster
+                    .snapshot(n, Duration::from_millis(500))
+                    .map(|s| operational_guids(&s.ring_members) == self.expected)
+                    .unwrap_or(false)
+            });
+            if converged {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Collect every alive node's final view into the substrate-neutral
+    /// outcome shape.
+    pub fn outcome(&self) -> ScenarioOutcome {
+        let mut views: BTreeMap<NodeId, BTreeSet<Guid>> = BTreeMap::new();
+        for &id in self.cluster.layout.nodes.keys() {
+            if self.crashed.contains(&id) {
+                continue;
+            }
+            if let Some(snap) = self.cluster.snapshot(id, Duration::from_secs(1)) {
+                views.insert(id, operational_guids(&snap.ring_members));
+            }
+        }
+        ScenarioOutcome { views, crashed: self.crashed.clone() }
+    }
+
+    /// Stop the reactor pool.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+}
+
+impl Engine for LiveEngine {
+    fn engine_now(&self) -> u64 {
+        let tick_ns = self.tick.as_nanos().max(1);
+        (self.start.elapsed().as_nanos() / tick_ns) as u64
+    }
+
+    /// Advance wall-clock time to tick `deadline`, applying every timeline
+    /// action that falls due on the way (each at its scheduled instant).
+    fn run_until(&mut self, deadline: u64) {
+        while self.applied < self.timeline.len() && self.timeline[self.applied].0 <= deadline {
+            let t = self.timeline[self.applied].0;
+            let due = at_tick(self.start, self.tick, t);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            // Apply *every* action scheduled at tick t before sleeping
+            // again.
+            while self.applied < self.timeline.len() && self.timeline[self.applied].0 == t {
+                let action = self.timeline[self.applied].2.take();
+                self.applied += 1;
+                if let Some(action) = action {
+                    self.apply(action);
+                }
+            }
+        }
+        let end = at_tick(self.start, self.tick, deadline);
+        let now = Instant::now();
+        if end > now {
+            std::thread::sleep(end - now);
+        }
+    }
+
+    fn pending_disruptions(&self) -> usize {
+        self.timeline.len() - self.applied
+    }
+
+    /// Mailbox depths are not observable across worker threads; the live
+    /// engine reports zero (drained-or-in-flight is the only statement a
+    /// wall-clock world can make).
+    fn queue_len(&self) -> usize {
+        0
+    }
+
+    fn system_digest(&self, settled: bool) -> SystemDigest {
+        let mut digests = Vec::new();
+        for &id in self.cluster.layout.nodes.keys() {
+            if self.crashed.contains(&id) {
+                continue;
+            }
+            if let Some(snap) = self.cluster.snapshot(id, Duration::from_secs(1)) {
+                digests.push(snap.digest);
+            }
+        }
+        SystemDigest {
+            now: self.engine_now().min(self.duration),
+            nodes: digests,
+            crashed: self.crashed.clone(),
+            settled,
+        }
+    }
+
+    fn counters(&self) -> EngineCounters {
+        let stats = self.cluster.stats();
+        EngineCounters {
+            sent_total: stats.frames_sent,
+            app_events: stats.app_events,
+            lost: 0, // the live transport never models random loss
+            partition_dropped: stats.partition_dropped,
+        }
+    }
+}
+
+impl LiveRuntime for LiveConfig {
+    /// Deploy, replay the timeline to the scenario's nominal duration,
+    /// settle, collect, shut down. The digest's `settled` flag carries the
+    /// settle loop's verdict, so quiescence-gated oracles never judge a
+    /// cluster that was still moving when the budget ran out.
+    fn run_live(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(ScenarioOutcome, SystemDigest), ScenarioError> {
+        let mut engine = LiveEngine::new(scenario, self)?;
+        engine.run_until(scenario.duration);
+        let settled = engine.settle();
+        let outcome = engine.outcome();
+        let mut digest = engine.system_digest(settled);
+        // Report the nominal scenario time, not the (longer) wall-clock
+        // tick estimate after settling.
+        digest.now = scenario.duration;
+        engine.shutdown();
+        Ok((outcome, digest))
+    }
+}
+
 /// Run `scenario` on the live substrate with one tick lasting `tick` of
-/// real time, then keep polling for up to `settle` of extra wall time until
-/// the alive root-ring nodes converge on the schedule's expected membership
-/// (live thread interleavings need a grace period the discrete-event world
-/// does not).
-///
-/// Returns the final views of every alive node, like [`Scenario::run_sim`].
+/// real time and up to `settle` of convergence polling.
 ///
 /// # Panics
 ///
-/// Panics if the scenario fails [`Scenario::validate`].
+/// Panics if the scenario is invalid or the cluster cannot start.
+#[deprecated(since = "0.6.0", note = "use `Scenario::run_on(Backend::Live(&live_config))`")]
 pub fn run_scenario(scenario: &Scenario, tick: Duration, settle: Duration) -> ScenarioOutcome {
+    #[allow(deprecated)]
     run_scenario_digest(scenario, tick, settle).0
 }
 
-/// [`run_scenario`] that also collects the final [`SystemDigest`] of every
-/// alive node (from the per-node snapshot channel). The digest's `settled`
-/// flag carries the settle loop's verdict: `true` only when the alive
-/// root-ring nodes converged on the expected membership within the settle
-/// budget, so quiescence-gated oracles never judge a cluster that was
-/// still moving when the budget ran out.
+/// [`run_scenario`] that also collects the final `SystemDigest`.
 ///
 /// # Panics
 ///
-/// Panics if the scenario fails [`Scenario::validate`].
+/// Panics if the scenario is invalid or the cluster cannot start.
+#[deprecated(since = "0.6.0", note = "use `Scenario::run_on_digest(Backend::Live(&live_config))`")]
 pub fn run_scenario_digest(
     scenario: &Scenario,
     tick: Duration,
     settle: Duration,
 ) -> (ScenarioOutcome, SystemDigest) {
-    scenario.validate().expect("invalid scenario");
-    let layout = scenario.layout();
-    let mut cluster = LiveCluster::start(layout.clone(), &scenario.cfg, tick);
-
-    // Merge the schedules into one stable-ordered timeline. The insertion
-    // order (partition transitions, then crashes, then MH events, then
-    // queries) mirrors the push order of `Scenario::build_sim`, so
-    // same-tick ties resolve identically on both substrates — a partition
-    // starting at the same tick as a crash severs the link first in both
-    // worlds.
-    let mut timeline: Vec<(u64, usize, Action)> = Vec::new();
-    let push = |timeline: &mut Vec<(u64, usize, Action)>, t: u64, action: Action| {
-        let idx = timeline.len();
-        timeline.push((t, idx, action));
-    };
-    for p in &scenario.partitions {
-        push(&mut timeline, p.at, Action::PartitionStart(p.a, p.b));
-        push(&mut timeline, p.heal_at, Action::PartitionHeal(p.a, p.b));
-    }
-    for c in &scenario.crashes {
-        push(&mut timeline, c.at, Action::Crash(c.node));
-    }
-    let mut mh_schedule = scenario.mh_schedule.clone();
-    mh_schedule.sort_by_key(|&(t, ap, _)| (t, ap));
-    for (t, ap, event) in mh_schedule {
-        push(&mut timeline, t, Action::Mh(ap, event));
-    }
-    for q in &scenario.queries {
-        push(&mut timeline, q.at, Action::Query(q.node, q.scope));
-    }
-    timeline.sort_by_key(|&(t, idx, _)| (t, idx));
-
-    let start = Instant::now();
-    let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
-    for (t, _, action) in timeline {
-        let due = at_tick(start, tick, t);
-        let now = Instant::now();
-        if due > now {
-            std::thread::sleep(due - now);
-        }
-        match action {
-            Action::PartitionStart(a, b) => cluster.set_partition(a, b, true),
-            Action::PartitionHeal(a, b) => cluster.set_partition(a, b, false),
-            Action::Mh(ap, event) => cluster.mh_event(ap, event),
-            Action::Crash(node) => {
-                cluster.crash(node);
-                crashed.insert(node);
-            }
-            Action::Query(node, scope) => cluster.query(node, scope),
-        }
-    }
-
-    // Let the scenario play out to its nominal duration.
-    let end = at_tick(start, tick, scenario.duration);
-    let now = Instant::now();
-    if end > now {
-        std::thread::sleep(end - now);
-    }
-
-    // Settle: the live world has no global clock to quiesce on, so poll
-    // until the alive root-ring nodes hold exactly the expected membership
-    // (or the settle budget runs out — the caller's comparison will then
-    // report the divergence).
-    let expected = scenario.expected_guids();
-    let root_alive: Vec<NodeId> =
-        layout.root_ring().nodes.iter().copied().filter(|n| !crashed.contains(n)).collect();
-    let deadline = Instant::now() + settle;
-    let converged = loop {
-        let converged = root_alive.iter().all(|&n| {
-            cluster
-                .snapshot(n, Duration::from_millis(500))
-                .map(|s| operational_guids(&s.ring_members) == expected)
-                .unwrap_or(false)
-        });
-        if converged {
-            break true;
-        }
-        if Instant::now() >= deadline {
-            break false;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    };
-
-    // Collect every alive node's final view and digest.
-    let mut views: BTreeMap<NodeId, BTreeSet<Guid>> = BTreeMap::new();
-    let mut digests = Vec::new();
-    for &id in layout.nodes.keys() {
-        if crashed.contains(&id) {
-            continue;
-        }
-        if let Some(snap) = cluster.snapshot(id, Duration::from_secs(1)) {
-            views.insert(id, operational_guids(&snap.ring_members));
-            digests.push(snap.digest);
-        }
-    }
-    cluster.shutdown();
-    // `settled` carries the settle loop's verdict: quiescence-gated
-    // oracles only judge the final digest when the cluster actually
-    // converged within the budget — a timed-out settle is reported as
-    // unsettled, not asserted against.
-    let digest = SystemDigest {
-        now: scenario.duration,
-        nodes: digests,
-        crashed: crashed.clone(),
-        settled: converged,
-    };
-    (ScenarioOutcome { views, crashed }, digest)
+    let config = LiveConfig::default().with_tick(tick).with_settle(settle);
+    config.run_live(scenario).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
 }

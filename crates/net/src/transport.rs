@@ -1,42 +1,92 @@
-//! Transport abstraction for the live runtime.
+//! Transport abstraction for the live reactor runtime.
 //!
-//! Messages between node threads travel as length-delimited binary frames
-//! produced by `rgb_core::wire`, so the wire format is exercised end-to-end
-//! exactly as a socket deployment would — the in-process channel stands in
-//! for TCP only at the byte layer.
+//! Messages between reactor workers travel as length-delimited binary
+//! frames produced by `rgb_core::wire`, so the wire format is exercised
+//! end-to-end exactly as a socket deployment would — the in-process channel
+//! stands in for TCP only at the byte layer.
+//!
+//! Every worker mailbox is **bounded**: a sender that finds it full gets
+//! [`SendOutcome::Backpressure`] and the frame is dropped with a counter
+//! bump — never queued without bound. That is the UDP-buffer-full analogy
+//! the protocol is already built to survive (token retransmission, §5.2),
+//! and it is what keeps one slow worker from growing another worker's
+//! memory: the data plane never parks a reactor thread on a peer's mailbox,
+//! so no worker-to-worker send cycle can deadlock.
 
 use bytes::Bytes;
 use crossbeam::channel::{Sender, TrySendError};
 use parking_lot::RwLock;
-use rgb_core::prelude::{Envelope, GroupId, Msg, NodeId};
+use rgb_core::prelude::{Envelope, GroupId, MhEvent, Msg, NodeId, QueryScope};
 use rgb_core::wire;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Input messages a node thread can receive.
+/// Input messages a reactor worker can receive. Node-addressed variants
+/// carry the destination explicitly, because one mailbox multiplexes every
+/// node the worker hosts.
 #[derive(Debug)]
-pub enum ToNode {
+pub enum ToWorker {
     /// An encoded envelope from another node.
     Net {
         /// Sender node.
         from: NodeId,
+        /// Destination node (hosted by the receiving worker).
+        to: NodeId,
         /// Encoded [`Envelope`].
         frame: Bytes,
     },
     /// A mobile-host event from the operator API.
-    Mh(rgb_core::prelude::MhEvent),
-    /// Start a membership query.
-    Query(rgb_core::prelude::QueryScope),
-    /// Request a state snapshot (reply through the provided channel).
-    Snapshot(Sender<crate::runtime::NodeSnapshot>),
-    /// Stop the node thread.
+    Mh {
+        /// The access proxy it lands at.
+        ap: NodeId,
+        /// The event.
+        event: MhEvent,
+    },
+    /// Start a membership query at a node.
+    Query {
+        /// The node the application asks at.
+        node: NodeId,
+        /// What is asked.
+        scope: QueryScope,
+    },
+    /// Request a state snapshot of one node (reply through the provided
+    /// channel; a crashed or unknown node simply never replies).
+    Snapshot {
+        /// The node to snapshot.
+        node: NodeId,
+        /// Where the snapshot goes.
+        reply: Sender<crate::reactor::NodeSnapshot>,
+    },
+    /// Crash one node: the worker drops its state and timers.
+    Crash {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Stop the worker (after draining everything queued before this).
     Stop,
 }
 
-/// Shared routing table: node id → that node's inbox.
+/// What became of one [`Router::send_frame`] call. The reactor substrate
+/// uses this to attribute failed sends to the *sending* node's
+/// [`crate::reactor::NodeSnapshot::dropped_frames`] counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The frame entered the destination worker's mailbox.
+    Delivered,
+    /// An active link partition swallowed the frame.
+    PartitionDropped,
+    /// The destination is unknown or stopped (a crashed host).
+    Unroutable,
+    /// The destination worker's bounded mailbox was full; the frame was
+    /// dropped and counted, exactly like a UDP socket buffer overflowing.
+    Backpressure,
+}
+
+/// Shared routing table: node id → the mailbox of the worker hosting it.
 #[derive(Clone, Default)]
 pub struct Router {
-    inner: Arc<RwLock<HashMap<NodeId, Sender<ToNode>>>>,
+    inner: Arc<RwLock<HashMap<NodeId, Sender<ToWorker>>>>,
     /// Currently severed NE pairs (normalised `(min, max)`) with an
     /// active-window refcount: frames between them are dropped, in both
     /// directions — the live-world counterpart of the simulator's
@@ -44,10 +94,14 @@ pub struct Router {
     /// this from the timeline; overlapping windows on one pair heal only
     /// when the last of them ends.
     severed: Arc<RwLock<HashMap<(NodeId, NodeId), u32>>>,
-    /// Messages dropped because the destination was unknown or stopped.
-    drops: Arc<std::sync::atomic::AtomicU64>,
+    /// Frames delivered into a worker mailbox.
+    sent: Arc<AtomicU64>,
+    /// Frames dropped because the destination was unknown or stopped.
+    drops: Arc<AtomicU64>,
     /// Frames swallowed by an active link partition.
-    partition_drops: Arc<std::sync::atomic::AtomicU64>,
+    partition_drops: Arc<AtomicU64>,
+    /// Frames dropped because the destination worker's mailbox was full.
+    backpressure_drops: Arc<AtomicU64>,
 }
 
 impl Router {
@@ -56,8 +110,8 @@ impl Router {
         Self::default()
     }
 
-    /// Register a node's inbox.
-    pub fn register(&self, node: NodeId, tx: Sender<ToNode>) {
+    /// Register the mailbox hosting `node`.
+    pub fn register(&self, node: NodeId, tx: Sender<ToWorker>) {
         self.inner.write().insert(node, tx);
     }
 
@@ -69,35 +123,46 @@ impl Router {
     /// Encode and deliver `msg` from `from` to `to`. Messages to unknown
     /// nodes are dropped (and counted), exactly like packets to a dead
     /// host.
-    pub fn send(&self, gid: GroupId, from: NodeId, to: NodeId, msg: Msg) {
-        self.send_frame(from, to, wire::encode(&Envelope { gid, msg }));
+    pub fn send(&self, gid: GroupId, from: NodeId, to: NodeId, msg: Msg) -> SendOutcome {
+        self.send_frame(from, to, wire::encode(&Envelope { gid, msg }))
     }
 
     /// Deliver an already-encoded [`Envelope`] frame from `from` to `to` —
     /// the transport half of the substrate layer's
     /// [`rgb_core::substrate::Substrate::send_frame`]. Frames to unknown or
-    /// stopped nodes are dropped and counted.
-    pub fn send_frame(&self, from: NodeId, to: NodeId, frame: Bytes) {
+    /// stopped nodes are dropped and counted; frames to a full mailbox are
+    /// dropped with the backpressure counter (never queued unboundedly).
+    pub fn send_frame(&self, from: NodeId, to: NodeId, frame: Bytes) -> SendOutcome {
         if self.is_partitioned(from, to) {
-            self.partition_drops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return;
+            self.partition_drops.fetch_add(1, Ordering::Relaxed);
+            return SendOutcome::PartitionDropped;
         }
         let guard = self.inner.read();
         let Some(tx) = guard.get(&to) else {
             self.note_drop();
-            return;
+            return SendOutcome::Unroutable;
         };
-        match tx.try_send(ToNode::Net { from, frame }) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => self.note_drop(),
+        match tx.try_send(ToWorker::Net { from, to, frame }) {
+            Ok(()) => {
+                self.sent.fetch_add(1, Ordering::Relaxed);
+                SendOutcome::Delivered
+            }
+            Err(TrySendError::Full(_)) => {
+                self.backpressure_drops.fetch_add(1, Ordering::Relaxed);
+                SendOutcome::Backpressure
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.note_drop();
+                SendOutcome::Unroutable
+            }
         }
     }
 
     fn note_drop(&self) {
         // The first drop of a router's lifetime gets a visible warning;
-        // after that the counter (surfaced in `NodeSnapshot`) is the
+        // after that the counter (surfaced in `ClusterStats`) is the
         // record, so a crashing cluster does not spam the log.
-        if self.drops.fetch_add(1, std::sync::atomic::Ordering::Relaxed) == 0 {
+        if self.drops.fetch_add(1, Ordering::Relaxed) == 0 {
             eprintln!(
                 "rgb-net: warning: router dropped a frame (destination unknown or stopped); \
                  further drops are only counted"
@@ -105,9 +170,19 @@ impl Router {
         }
     }
 
-    /// Messages dropped so far.
+    /// Frames delivered into a worker mailbox so far.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames dropped so far because the destination was unknown/stopped.
     pub fn dropped(&self) -> u64 {
-        self.drops.load(std::sync::atomic::Ordering::Relaxed)
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Frames dropped so far because a destination mailbox was full.
+    pub fn backpressure_dropped(&self) -> u64 {
+        self.backpressure_drops.load(Ordering::Relaxed)
     }
 
     /// Sever or heal the (unordered) link between `a` and `b`. Calls
@@ -135,7 +210,7 @@ impl Router {
 
     /// Frames swallowed by link partitions so far.
     pub fn partition_dropped(&self) -> u64 {
-        self.partition_drops.load(std::sync::atomic::Ordering::Relaxed)
+        self.partition_drops.load(Ordering::Relaxed)
     }
 
     /// Number of registered nodes.
@@ -148,8 +223,8 @@ impl Router {
         self.inner.read().is_empty()
     }
 
-    /// Look up an inbox (for the cluster API).
-    pub fn inbox(&self, node: NodeId) -> Option<Sender<ToNode>> {
+    /// Look up the mailbox hosting `node` (for the cluster operator API).
+    pub fn inbox(&self, node: NodeId) -> Option<Sender<ToWorker>> {
         self.inner.read().get(&node).cloned()
     }
 }
@@ -157,7 +232,7 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use crossbeam::channel::{bounded, unbounded};
     use rgb_core::prelude::RingId;
 
     #[test]
@@ -165,10 +240,18 @@ mod tests {
         let router = Router::new();
         let (tx, rx) = unbounded();
         router.register(NodeId(2), tx);
-        router.send(GroupId(1), NodeId(1), NodeId(2), Msg::TokenAck { ring: RingId(0), seq: 9 });
+        let out = router.send(
+            GroupId(1),
+            NodeId(1),
+            NodeId(2),
+            Msg::TokenAck { ring: RingId(0), seq: 9 },
+        );
+        assert_eq!(out, SendOutcome::Delivered);
+        assert_eq!(router.sent(), 1);
         match rx.recv().unwrap() {
-            ToNode::Net { from, frame } => {
+            ToWorker::Net { from, to, frame } => {
                 assert_eq!(from, NodeId(1));
+                assert_eq!(to, NodeId(2));
                 let env = wire::decode(&frame).unwrap();
                 assert_eq!(env.gid, GroupId(1));
                 assert_eq!(env.msg, Msg::TokenAck { ring: RingId(0), seq: 9 });
@@ -180,8 +263,41 @@ mod tests {
     #[test]
     fn unknown_destination_is_counted_as_drop() {
         let router = Router::new();
-        router.send(GroupId(1), NodeId(1), NodeId(9), Msg::TokenAck { ring: RingId(0), seq: 1 });
+        let out = router.send(
+            GroupId(1),
+            NodeId(1),
+            NodeId(9),
+            Msg::TokenAck { ring: RingId(0), seq: 1 },
+        );
+        assert_eq!(out, SendOutcome::Unroutable);
         assert_eq!(router.dropped(), 1);
+    }
+
+    #[test]
+    fn full_mailbox_is_backpressure_not_growth() {
+        let router = Router::new();
+        let (tx, rx) = bounded(2);
+        router.register(NodeId(5), tx);
+        let mut outcomes = Vec::new();
+        for seq in 0..10 {
+            outcomes.push(router.send(
+                GroupId(1),
+                NodeId(1),
+                NodeId(5),
+                Msg::TokenAck { ring: RingId(0), seq },
+            ));
+        }
+        assert_eq!(outcomes.iter().filter(|&&o| o == SendOutcome::Delivered).count(), 2);
+        assert_eq!(outcomes.iter().filter(|&&o| o == SendOutcome::Backpressure).count(), 8);
+        assert_eq!(router.backpressure_dropped(), 8);
+        assert_eq!(router.sent(), 2);
+        assert_eq!(router.dropped(), 0, "backpressure is not an unroutable drop");
+        // The mailbox held exactly its capacity.
+        let mut queued = 0;
+        while rx.try_recv().is_ok() {
+            queued += 1;
+        }
+        assert_eq!(queued, 2);
     }
 
     #[test]
@@ -193,7 +309,13 @@ mod tests {
         router.register(NodeId(2), tx_b);
         router.set_partition(NodeId(2), NodeId(1), true);
         assert!(router.is_partitioned(NodeId(1), NodeId(2)));
-        router.send(GroupId(1), NodeId(1), NodeId(2), Msg::TokenAck { ring: RingId(0), seq: 1 });
+        let out = router.send(
+            GroupId(1),
+            NodeId(1),
+            NodeId(2),
+            Msg::TokenAck { ring: RingId(0), seq: 1 },
+        );
+        assert_eq!(out, SendOutcome::PartitionDropped);
         router.send(GroupId(1), NodeId(2), NodeId(1), Msg::TokenAck { ring: RingId(0), seq: 2 });
         assert_eq!(router.partition_dropped(), 2);
         assert_eq!(router.dropped(), 0, "partition drops are counted separately");

@@ -1,7 +1,8 @@
-//! Differential test of the two substrates: one declarative [`Scenario`]
+//! Differential test of the substrates: one declarative [`Scenario`]
 //! (2-tier hierarchy, one NE crash, one mobile-host handoff) executed on
-//! the deterministic discrete-event simulator AND on the live threaded
-//! runtime, asserting the final membership views agree node-for-node.
+//! the deterministic discrete-event simulator AND on the live reactor
+//! runtime — through the same `Scenario::run_on` API — asserting the final
+//! membership views agree node-for-node.
 //!
 //! This is the payoff of the substrate layer: both worlds interpret
 //! protocol outputs through the same `apply_outputs` driver and the same
@@ -9,8 +10,8 @@
 //! converged state.
 
 use rgb_core::prelude::*;
-use rgb_net::run_scenario;
-use rgb_sim::{NetConfig, Scenario};
+use rgb_net::LiveConfig;
+use rgb_sim::{Backend, NetConfig, Scenario};
 use std::time::Duration;
 
 /// The live-cluster test configuration: continuous tokens with short
@@ -47,8 +48,10 @@ fn same_scenario_converges_to_the_same_views_on_both_substrates() {
         .mh(500, aps[1], MhEvent::HandoffIn { guid: Guid(1), luid: Luid(2), from: Some(aps[0]) })
         .crash(1_000, root[2]);
 
-    let sim_out = sc.run_sim();
-    let live_out = run_scenario(&sc, Duration::from_millis(1), Duration::from_secs(15));
+    let (sim_out, sim_digest) = sc.run_on_digest(Backend::Sim).expect("valid scenario");
+    let live = LiveConfig::default().with_settle(Duration::from_secs(15));
+    let (live_out, live_digest) =
+        sc.run_on_digest(Backend::Live(&live)).expect("live cluster deploys");
 
     assert_eq!(sim_out.crashed, live_out.crashed);
 
@@ -65,5 +68,12 @@ fn same_scenario_converges_to_the_same_views_on_both_substrates() {
     let all_nodes: Vec<NodeId> = layout.nodes.keys().copied().collect();
     if let Some(diff) = sim_out.diff(&live_out, &all_nodes) {
         panic!("substrate views diverged:\n{diff}");
+    }
+
+    // Digest-level parity: per-node membership views and the crashed set
+    // match (timing-dependent fields like epochs are exempt by design).
+    assert!(live_digest.settled, "live run did not settle within the budget");
+    if let Some(report) = sim_digest.view_divergence(&live_digest) {
+        panic!("digest views diverged:\n{report}");
     }
 }

@@ -1,9 +1,9 @@
-//! End-to-end tests of the live threaded runtime: a real concurrent RGB
-//! deployment (one thread per NE, wire-encoded frames) doing joins,
-//! queries, handoffs and crash recovery.
+//! End-to-end tests of the live reactor runtime: a real concurrent RGB
+//! deployment (a small worker pool multiplexing every NE, wire-encoded
+//! frames) doing joins, queries, handoffs and crash recovery.
 
 use rgb_core::prelude::*;
-use rgb_net::LiveCluster;
+use rgb_net::{Cluster, LiveConfig};
 use std::time::Duration;
 
 fn fast_cfg() -> ProtocolConfig {
@@ -18,10 +18,10 @@ fn fast_cfg() -> ProtocolConfig {
     cfg
 }
 
-fn start(h: usize, r: usize) -> LiveCluster {
+fn start(h: usize, r: usize) -> Cluster {
     let layout = HierarchySpec::new(h, r).build(GroupId(1)).unwrap();
-    // 1 tick = 1 ms of real time.
-    LiveCluster::start(layout, &fast_cfg(), Duration::from_millis(1))
+    // 1 tick = 1 ms of real time (the LiveConfig default).
+    Cluster::try_new(layout, &fast_cfg(), &LiveConfig::default()).expect("cluster starts")
 }
 
 #[test]
@@ -112,7 +112,7 @@ fn live_leave_is_removed_at_the_root() {
 
 #[test]
 fn live_crash_is_repaired_and_protocol_continues() {
-    let mut cluster = start(1, 4); // a single ring of four proxies
+    let cluster = start(1, 4); // a single ring of four proxies
     let nodes = cluster.layout.root_ring().nodes.clone();
     // Let the ring circulate, then kill a non-leader node.
     std::thread::sleep(Duration::from_millis(100));
@@ -138,13 +138,23 @@ fn live_crash_is_repaired_and_protocol_continues() {
         cluster.wait_member_at(nodes[1], Guid(5), Duration::from_secs(10)),
         "post-repair join failed"
     );
-    assert!(cluster.dropped_messages() > 0, "crash produced no drops");
-    // The drop counter is also surfaced through every node snapshot. The
-    // counter is monotonic and shared, and the snapshot read happens
-    // before ours, so bound it rather than demand exact equality.
-    let snap = cluster.snapshot(nodes[0], Duration::from_secs(1)).unwrap();
-    assert!(snap.dropped_frames > 0, "snapshot does not surface drops");
-    assert!(snap.dropped_frames <= cluster.dropped_messages());
+    let stats = cluster.stats();
+    assert!(stats.dropped_frames > 0, "crash produced no drops");
+    assert!(stats.frames_sent > 0);
+    // `NodeSnapshot::dropped_frames` is genuinely per-node: the victim's
+    // ring predecessor kept retransmitting the token into the void, so ITS
+    // counter moved; and no node can have dropped more alone than the
+    // whole cluster did in total.
+    let predecessor = cluster.snapshot(nodes[1], Duration::from_secs(1)).unwrap();
+    assert!(predecessor.dropped_frames > 0, "token predecessor recorded no drops");
+    let total = cluster.stats();
+    for &n in nodes.iter().filter(|&&n| n != victim) {
+        let snap = cluster.snapshot(n, Duration::from_secs(1)).unwrap();
+        assert!(
+            snap.dropped_frames <= total.dropped_frames + total.backpressure_dropped,
+            "per-node drops at {n} exceed the cluster-wide total"
+        );
+    }
     cluster.shutdown();
 }
 
@@ -171,7 +181,46 @@ fn live_handoff_moves_member_between_proxies() {
 }
 
 #[test]
-fn shutdown_joins_all_threads() {
+fn shutdown_joins_all_workers() {
     let cluster = start(2, 2);
     cluster.shutdown(); // must not hang
+}
+
+#[test]
+fn explicit_worker_counts_deploy_and_converge() {
+    // One worker (fully multiplexed) and more workers than rings (clamped)
+    // must both behave identically to the default pool.
+    for workers in [1usize, 64] {
+        let layout = HierarchySpec::new(2, 3).build(GroupId(1)).unwrap();
+        let cluster =
+            Cluster::try_new(layout, &fast_cfg(), &LiveConfig::default().with_workers(workers))
+                .expect("cluster starts");
+        assert!(cluster.worker_count() >= 1);
+        assert!(cluster.worker_count() <= cluster.layout.ring_count());
+        let ap = cluster.layout.aps()[0];
+        cluster.mh_event(ap, MhEvent::Join { guid: Guid(9), luid: Luid(1) });
+        let root = cluster.layout.root_ring().nodes[0];
+        assert!(
+            cluster.wait_member_at(root, Guid(9), Duration::from_secs(10)),
+            "join never converged with {workers} requested workers"
+        );
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn invalid_config_is_a_typed_error_not_a_panic() {
+    let layout = HierarchySpec::new(1, 3).build(GroupId(1)).unwrap();
+    let err = match Cluster::try_new(
+        layout,
+        &fast_cfg(),
+        &LiveConfig::default().with_tick(Duration::ZERO),
+    ) {
+        Err(err) => err,
+        Ok(cluster) => {
+            cluster.shutdown();
+            panic!("zero tick must be rejected");
+        }
+    };
+    assert!(err.to_string().contains("tick"), "error names the field: {err}");
 }

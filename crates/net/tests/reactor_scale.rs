@@ -1,0 +1,95 @@
+//! Scale differential tests: the reactor runtime drives thousands of
+//! multiplexed nodes on a handful of worker threads and still converges to
+//! the exact membership views the discrete-event simulator computes for the
+//! same [`Scenario`].
+//!
+//! These are wall-clock tests (seconds of real time per run), so they are
+//! ignored under debug builds — the release-mode `live-smoke` CI job and
+//! `cargo test --release` run them.
+
+use rgb_core::prelude::*;
+use rgb_net::LiveConfig;
+use rgb_sim::{Backend, NetConfig, Scenario};
+use std::time::Duration;
+
+/// Token/heartbeat cadence tuned for thousands of nodes per worker: wide
+/// enough that one reactor thread keeps up with every ring it hosts, tight
+/// enough that propagation and settling finish in seconds.
+fn scale_cfg() -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::live();
+    cfg.token_interval = 20;
+    cfg.token_retransmit_timeout = 60;
+    cfg.token_lost_timeout = 400;
+    cfg.heartbeat_interval = 50;
+    cfg.parent_timeout = 200;
+    cfg.child_timeout = 200;
+    cfg
+}
+
+/// Build the scale scenario: joins spread across the leaf proxies of an
+/// (h, r) hierarchy, long enough for three levels of propagation.
+fn scale_scenario(name: &'static str, h: usize, r: usize) -> Scenario {
+    // Unit latencies: digest parity is a membership property, and unit
+    // ticks keep the simulated 3,000-tick window comfortably inside every
+    // token/retransmit budget at 13–17-node ring sizes.
+    let sc = Scenario::new(name, h, r)
+        .with_cfg(scale_cfg())
+        .with_net(NetConfig::unit())
+        .with_seed(7)
+        .with_duration(3_000);
+    let aps = sc.layout().aps();
+    let n = aps.len();
+    let mut sc = sc;
+    for (i, &idx) in [0, n / 4, n / 2, 3 * n / 4, n - 1].iter().enumerate() {
+        sc = sc.join(i as u64 * 40, aps[idx], Guid(1_000 + i as u64), Luid(1));
+    }
+    sc
+}
+
+/// Run one scenario on `Backend::Sim` and `Backend::Live`, assert digest
+/// parity, and return the live run's wall-clock time.
+fn assert_parity(sc: &Scenario, live: &LiveConfig) -> Duration {
+    let (_, sim_digest) = sc.run_on_digest(Backend::Sim).expect("valid scenario");
+    let started = std::time::Instant::now();
+    let (_, live_digest) = sc.run_on_digest(Backend::Live(live)).expect("live cluster deploys");
+    let elapsed = started.elapsed();
+    assert!(live_digest.settled, "live run did not settle within the budget");
+    assert_eq!(sim_digest.nodes.len(), live_digest.nodes.len());
+    if let Some(report) = sim_digest.view_divergence(&live_digest) {
+        panic!("digest views diverged at {} nodes:\n{report}", sim_digest.nodes.len());
+    }
+    elapsed
+}
+
+/// 2,379 multiplexed nodes (h=3, r=13) on the default worker pool agree
+/// with the simulator node-for-node. This is the CI `live-smoke` gate, so
+/// it also enforces its own wall-clock budget.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "wall-clock scale test: run with --release")]
+fn reactor_matches_sim_at_2k_nodes() {
+    let sc = scale_scenario("scale: 2.4k nodes, 5 joins", 3, 13);
+    assert_eq!(sc.layout().node_count(), 2_379);
+    let live = LiveConfig::default()
+        .with_tick(Duration::from_millis(2))
+        .with_settle(Duration::from_secs(120));
+    let elapsed = assert_parity(&sc, &live);
+    assert!(
+        elapsed < Duration::from_secs(300),
+        "live-smoke budget blown: {elapsed:?} for 2,379 nodes"
+    );
+}
+
+/// The ISSUE acceptance bar: a 5,219-node scenario (h=3, r=17) completes on
+/// at most 8 reactor workers with `SystemDigest` parity against the
+/// simulator.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "wall-clock scale test: run with --release")]
+fn reactor_matches_sim_at_5k_nodes_on_8_workers() {
+    let sc = scale_scenario("scale: 5.2k nodes, 5 joins, 8 workers", 3, 17);
+    assert_eq!(sc.layout().node_count(), 5_219);
+    let live = LiveConfig::default()
+        .with_workers(8)
+        .with_tick(Duration::from_millis(2))
+        .with_settle(Duration::from_secs(180));
+    assert_parity(&sc, &live);
+}

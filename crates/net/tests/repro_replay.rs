@@ -14,10 +14,10 @@
 //!    violation on the simulator **and** on the live substrate.
 
 use rgb_core::prelude::*;
-use rgb_net::run_scenario_digest;
+use rgb_net::LiveConfig;
 use rgb_sim::explore::oracle::{check_digest, Oracle, Violation};
 use rgb_sim::explore::{artifact, Explorer, ScenarioGen};
-use rgb_sim::Scenario;
+use rgb_sim::{Backend, Scenario};
 use std::time::Duration;
 
 fn committed_artifact(name: &str) -> Scenario {
@@ -29,9 +29,10 @@ fn committed_artifact(name: &str) -> Scenario {
 #[test]
 fn committed_artifact_replays_identically_on_both_substrates() {
     let sc = committed_artifact("leader_crash_during_handoff.scn");
-    let sim_out = sc.run_sim();
+    let sim_out = sc.run_on(Backend::Sim).expect("valid scenario");
+    let live = LiveConfig::default().with_settle(Duration::from_secs(15));
     let (live_out, live_digest) =
-        run_scenario_digest(&sc, Duration::from_millis(1), Duration::from_secs(15));
+        sc.run_on_digest(Backend::Live(&live)).expect("live cluster deploys");
 
     assert_eq!(sim_out.crashed, live_out.crashed);
     let all_nodes: Vec<NodeId> = sc.layout().nodes.keys().copied().collect();
@@ -136,8 +137,8 @@ fn broken_invariant_shrinks_and_replays_on_both_substrates() {
 
     // Replay on the live substrate: the final settled digest trips the
     // same oracle.
-    let (_, digest) =
-        run_scenario_digest(&shrunk, Duration::from_millis(1), Duration::from_secs(10));
+    let live = LiveConfig::default().with_settle(Duration::from_secs(10));
+    let (_, digest) = shrunk.run_on_digest(Backend::Live(&live)).expect("live cluster deploys");
     let mut oracles = broken_battery(&shrunk);
     let live_verdict = check_digest(&mut oracles, &digest);
     assert_eq!(

@@ -14,11 +14,15 @@
 //! the shared `apply_outputs` driver and decoded on arrival, so the binary
 //! codec is exercised end-to-end in the simulated world too. Whole
 //! experiments are described declaratively as [`scenario::Scenario`]
-//! values, which the live runtime (`rgb-net`) can replay unchanged.
+//! values and run through one API —
+//! [`Scenario::run_on`](scenario::Scenario::run_on) with a [`Backend`] —
+//! on the sequential simulator, the sharded-parallel simulator, or the
+//! live reactor runtime (`rgb-net`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod engine;
 pub mod explore;
 pub mod fault;
@@ -33,6 +37,7 @@ pub mod scenario;
 pub mod sim;
 pub mod workload;
 
+pub use backend::{Backend, LiveRuntime};
 pub use engine::{Engine, EngineCounters};
 pub use explore::{Exploration, Explorer, FoundViolation, Oracle, ScenarioGen, Violation};
 pub use fault::{bernoulli_crashes, crash_in_ring, PlannedCrash};

@@ -2,15 +2,17 @@
 //! — topology, protocol/network configuration, fault schedule, mobility
 //! schedule, workload and duration — that **every substrate can run**.
 //!
-//! A [`Scenario`] is pure data. The simulator runs it through
-//! [`Scenario::build_sim`]/[`Scenario::run_sim`]; the live threaded runtime
-//! (`rgb-net`) replays the same value against real concurrency with its
-//! `run_scenario` function. Both produce a [`ScenarioOutcome`], so the two
-//! worlds can be compared view-for-view — the differential tests do exactly
-//! that. The bench binaries build their measurement runs from `Scenario`
-//! values too, which keeps "what the experiment is" separate from "how it
-//! is executed and measured".
+//! A [`Scenario`] is pure data. One API runs it everywhere:
+//! [`Scenario::run_on`] takes a [`Backend`] — the sequential simulator,
+//! the sharded-parallel simulator, or a live runtime (the `rgb-net`
+//! reactor, plugged in through [`crate::backend::LiveRuntime`]). Every
+//! backend produces a [`ScenarioOutcome`], so the worlds can be compared
+//! view-for-view — the differential tests do exactly that. The bench
+//! binaries build their measurement runs from `Scenario` values too, which
+//! keeps "what the experiment is" separate from "how it is executed and
+//! measured".
 
+use crate::backend::Backend;
 use crate::fault::PlannedCrash;
 use crate::mobility::{MobilityModel, TimedEvent};
 use crate::network::NetConfig;
@@ -76,6 +78,15 @@ pub enum ScenarioError {
         /// What is wrong with it.
         reason: String,
     },
+    /// The execution backend could not deploy or run the scenario (e.g.
+    /// the live reactor rejected its `LiveConfig` or failed to spawn its
+    /// worker pool).
+    Backend {
+        /// Offending scenario name.
+        scenario: String,
+        /// The underlying description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -98,6 +109,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidPartition { scenario, reason } => {
                 write!(f, "scenario '{scenario}': invalid partition: {reason}")
+            }
+            ScenarioError::Backend { scenario, reason } => {
+                write!(f, "scenario '{scenario}': backend: {reason}")
             }
         }
     }
@@ -480,34 +494,70 @@ impl Scenario {
         }
     }
 
-    /// Run the scenario on the simulator substrate for its full duration
-    /// and collect the outcome.
-    pub fn run_sim(&self) -> ScenarioOutcome {
-        self.run_with(Parallelism::Seq)
+    /// Run the scenario on `backend` for its full duration and collect
+    /// the outcome — the one run API every execution backend shares. The
+    /// two simulator backends produce identical outcomes (the parallel
+    /// engine is trace-equivalent to the sequential one, see
+    /// [`crate::par`]); a [`Backend::Live`] run agrees on the *converged
+    /// membership* but not on timing, which is the property the
+    /// differential tests compare.
+    pub fn run_on(&self, backend: Backend<'_>) -> Result<ScenarioOutcome, ScenarioError> {
+        self.run_on_digest(backend).map(|(outcome, _)| outcome)
     }
 
-    /// [`Scenario::run_sim`] under an explicit execution mode. Both modes
-    /// produce identical outcomes — the parallel engine is
-    /// trace-equivalent to the sequential one (see [`crate::par`]) — so
-    /// the knob trades nothing but wall-clock time.
+    /// [`Scenario::run_on`] that also collects the final [`SystemDigest`]
+    /// of every alive node, so invariant oracles can judge the run with
+    /// the same code on every backend. The digest's `settled` flag is
+    /// `true` when the run quiesced: for the simulators, when no scheduled
+    /// disruption is still queued at the deadline; for a live runtime,
+    /// when the cluster converged within its settle budget.
+    pub fn run_on_digest(
+        &self,
+        backend: Backend<'_>,
+    ) -> Result<(ScenarioOutcome, SystemDigest), ScenarioError> {
+        match backend {
+            Backend::Sim => {
+                let mut sim = self.try_build_sim()?;
+                sim.run_until(self.duration);
+                let settled = sim.pending_disruptions() == 0;
+                Ok((ScenarioOutcome::from_sim(&sim), sim.system_digest(settled)))
+            }
+            Backend::Par(shards) => {
+                let mut sim = self.try_build_par(shards)?;
+                sim.run_until(self.duration);
+                let settled = sim.pending_disruptions() == 0;
+                Ok((ScenarioOutcome::from_par(&sim), sim.system_digest(settled)))
+            }
+            Backend::Live(runtime) => runtime.run_live(self),
+        }
+    }
+
+    /// Run the scenario on the simulator substrate for its full duration
+    /// and collect the outcome.
     ///
     /// # Panics
     ///
     /// Panics if [`Scenario::validate`] fails.
+    #[deprecated(since = "0.6.0", note = "use `Scenario::run_on(Backend::Sim)`")]
+    pub fn run_sim(&self) -> ScenarioOutcome {
+        self.run_on(Backend::Sim).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// [`Scenario::run_sim`] under an explicit execution mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] fails.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Scenario::run_on(Backend::Sim)` / `run_on(Backend::Par(shards))`"
+    )]
     pub fn run_with(&self, parallelism: Parallelism) -> ScenarioOutcome {
-        match parallelism {
-            Parallelism::Seq => {
-                let mut sim = self.build_sim();
-                sim.run_until(self.duration);
-                ScenarioOutcome::from_sim(&sim)
-            }
-            Parallelism::Shards(shards) => {
-                let mut sim =
-                    self.try_build_par(shards).unwrap_or_else(|e| panic!("invalid scenario: {e}"));
-                sim.run_until(self.duration);
-                ScenarioOutcome::from_par(&sim)
-            }
-        }
+        let backend = match parallelism {
+            Parallelism::Seq => Backend::Sim,
+            Parallelism::Shards(shards) => Backend::Par(shards),
+        };
+        self.run_on(backend).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
     }
 
     /// Build a booted [`ParSimulation`] with the entire schedule primed —
@@ -695,7 +745,7 @@ mod tests {
             Guid(3),
             Luid(1),
         );
-        let outcome = sc.run_sim();
+        let outcome = sc.run_on(Backend::Sim).expect("valid scenario");
         let expected = sc.expected_guids();
         assert_eq!(expected.len(), 3);
         let root_nodes = layout.root_ring().nodes.clone();
@@ -715,7 +765,8 @@ mod tests {
                 duration: 4_000,
             })
         };
-        assert_eq!(build().run_sim(), build().run_sim());
+        let run = |sc: Scenario| sc.run_on(Backend::Sim).expect("valid scenario");
+        assert_eq!(run(build()), run(build()));
     }
 
     #[test]
@@ -835,10 +886,30 @@ mod tests {
         let sc = Scenario::new("crash", 1, 4).with_duration(2_000);
         let aps = sc.layout().aps();
         let sc = sc.join(0, aps[0], Guid(1), Luid(1)).crash(1_000, aps[3]);
-        let outcome = sc.run_sim();
+        let outcome = sc.run_on(Backend::Sim).expect("valid scenario");
         assert!(outcome.crashed.contains(&aps[3]));
         assert!(!outcome.views.contains_key(&aps[3]), "crashed node reports no view");
         assert_eq!(outcome.views.len(), 3);
+    }
+
+    #[test]
+    fn run_on_unifies_backends_and_surfaces_errors() {
+        let sc = Scenario::new("unified", 2, 3).with_duration(2_000);
+        let aps = sc.layout().aps();
+        let sc = sc.join(0, aps[0], Guid(1), Luid(1)).join(5, aps[4], Guid(2), Luid(1));
+        let (seq, seq_digest) = sc.run_on_digest(Backend::Sim).expect("valid scenario");
+        let (par, par_digest) = sc.run_on_digest(Backend::Par(3)).expect("valid scenario");
+        assert_eq!(seq, par, "Sim and Par backends are trace-equivalent");
+        assert_eq!(seq_digest, par_digest);
+        assert!(seq_digest.settled, "no disruption left queued at the deadline");
+        let err = Scenario::new("no time", 2, 3)
+            .with_duration(0)
+            .run_on(Backend::Sim)
+            .expect_err("zero duration is rejected");
+        assert!(matches!(err, ScenarioError::ZeroDuration { .. }));
+        let backend_err =
+            ScenarioError::Backend { scenario: "x".into(), reason: "no workers".into() };
+        assert!(backend_err.to_string().contains("backend: no workers"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use rgb_core::prelude::*;
 use rgb_sim::workload::ChurnParams;
-use rgb_sim::{NetConfig, Parallelism, Scenario, ScenarioOutcome};
+use rgb_sim::{Backend, NetConfig, Scenario, ScenarioOutcome};
 
 /// The fault-plan matrix (mirrors the engine-determinism scenarios, plus
 /// a partition so every scheduled-event kind crosses the driver).
@@ -179,7 +179,7 @@ fn par_outcomes_and_counter_totals_match_sequential() {
 }
 
 #[test]
-fn run_with_knob_produces_identical_outcomes() {
+fn run_on_backends_produce_identical_outcomes() {
     let sc =
         Scenario::new("knob", 2, 3).with_duration(4_000).with_seed(9).with_churn(ChurnParams {
             initial_members: 8,
@@ -188,10 +188,9 @@ fn run_with_knob_produces_identical_outcomes() {
             failure_fraction: 0.25,
             duration: 4_000,
         });
-    let seq = sc.run_with(Parallelism::Seq);
-    assert_eq!(seq, sc.run_with(Parallelism::Shards(1)));
-    assert_eq!(seq, sc.run_with(Parallelism::Shards(4)));
-    assert_eq!(seq, sc.run_sim());
+    let seq = sc.run_on(Backend::Sim).expect("valid scenario");
+    assert_eq!(seq, sc.run_on(Backend::Par(1)).expect("valid scenario"));
+    assert_eq!(seq, sc.run_on(Backend::Par(4)).expect("valid scenario"));
 }
 
 #[test]

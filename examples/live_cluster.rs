@@ -1,7 +1,8 @@
-//! Live deployment: the hierarchy as real concurrency — one OS thread per
-//! network entity, binary wire frames between them (the §4.3 "parallel and
-//! distributed way"). Joins stream in from several operator threads, a
-//! node is crashed mid-run, and the cluster keeps agreeing.
+//! Live deployment: the hierarchy as real concurrency — a small reactor
+//! worker pool multiplexing every network entity, binary wire frames
+//! between them (the §4.3 "parallel and distributed way"). Joins stream in
+//! from several operator threads, a node is crashed mid-run, and the
+//! cluster keeps agreeing.
 //!
 //! ```text
 //! cargo run --release --example live_cluster
@@ -20,11 +21,12 @@ fn main() {
     cfg.child_timeout = 100;
 
     let layout = HierarchySpec::new(2, 4).build(GroupId(7)).expect("valid spec");
-    let mut cluster = LiveCluster::start(layout, &cfg, Duration::from_millis(1));
+    let cluster = Cluster::try_new(layout, &cfg, &LiveConfig::default()).expect("cluster starts");
     println!(
-        "live cluster: {} node threads across {} rings",
+        "live cluster: {} nodes across {} rings on {} reactor workers",
         cluster.layout.node_count(),
-        cluster.layout.ring_count()
+        cluster.layout.ring_count(),
+        cluster.worker_count()
     );
 
     // Concurrent joins from three operator threads.
@@ -89,7 +91,7 @@ fn main() {
         cluster.wait_member_at(root, Guid(777), Duration::from_secs(30)),
         "post-crash join failed"
     );
-    println!("post-crash join agreed; {} router drops", cluster.dropped_messages());
+    println!("post-crash join agreed; {} router drops", cluster.stats().dropped_frames);
     cluster.shutdown();
     println!("clean shutdown");
 }

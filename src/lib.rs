@@ -9,8 +9,9 @@
 //!   implements;
 //! * [`sim`] — the deterministic discrete-event mobile-Internet simulator
 //!   and the declarative [`Scenario`](rgb_sim::Scenario) experiment engine;
-//! * [`net`] — the live threaded runtime (one thread per network entity
-//!   over a binary wire format), which replays the same scenarios;
+//! * [`net`] — the live reactor runtime (a small worker pool multiplexing
+//!   thousands of network entities over a binary wire format), which
+//!   replays the same scenarios via `Backend::Live`;
 //! * [`analysis`] — the paper's formulas (1)–(8), Table I/II generators and
 //!   Monte-Carlo validators;
 //! * [`baselines`] — the CONGRESS-style tree hierarchy, the §5.2
@@ -30,6 +31,6 @@ pub use rgb_sim as sim;
 /// Everything a typical user needs.
 pub mod prelude {
     pub use rgb_core::prelude::*;
-    pub use rgb_net::{run_scenario, LiveCluster};
-    pub use rgb_sim::{NetConfig, Scenario, ScenarioOutcome, Simulation};
+    pub use rgb_net::{Cluster, LiveConfig, NetError};
+    pub use rgb_sim::{Backend, NetConfig, Scenario, ScenarioOutcome, Simulation};
 }

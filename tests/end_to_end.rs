@@ -94,7 +94,7 @@ fn wire_format_smoke_through_live_cluster() {
     cfg.heartbeat_interval = 20;
     cfg.token_lost_timeout = 200;
     let layout = HierarchySpec::new(2, 3).build(GroupId(5)).unwrap();
-    let cluster = LiveCluster::start(layout, &cfg, std::time::Duration::from_millis(1));
+    let cluster = Cluster::try_new(layout, &cfg, &LiveConfig::default()).expect("cluster starts");
     let ap = cluster.layout.aps()[5];
     cluster.mh_event(ap, MhEvent::Join { guid: Guid(31), luid: Luid(1) });
     let root = cluster.layout.root_ring().nodes[0];

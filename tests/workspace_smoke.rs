@@ -15,8 +15,10 @@ fn facade_reexports_resolve() {
     let _net_cfg = rgb::sim::NetConfig::default();
     let _hops = rgb::analysis::hopcount::hcn_ring(2, 3);
     let _tree = rgb::baselines::tree::TreeHierarchy::new(2, 3);
-    // `rgb::net` runs live threads; touching a type is enough here.
-    let _cluster: Option<rgb::net::LiveCluster> = None;
+    // `rgb::net` runs a live reactor pool; touching types is enough here.
+    let _cluster: Option<rgb::net::Cluster> = None;
+    assert!(LiveConfig::default().resolved_workers() >= 1);
+    let _backend: Backend<'static> = Backend::Sim;
 }
 
 /// A 2-level hierarchy boots, accepts a join, and answers a global

@@ -1,46 +1,79 @@
-//! Scale benchmark: a ~100k-node churn scenario driven through the
-//! sequential engine and a shard-count sweep of the conservative-parallel
-//! engine (`rgb_sim::par`), reporting **events/sec**, speedup vs
-//! sequential, lookahead and bytes/node, written as `BENCH_scale.json`.
+//! Scale benchmark: churn scenarios from ~20k to ~10⁶ nodes driven
+//! through the sequential engine and a shard-count sweep of the
+//! conservative-parallel engine (`rgb_sim::par`), reporting **events/sec**
+//! (median of N runs), speedup vs sequential, per-pair lookahead range,
+//! window/batching counters and bytes/node, written as `BENCH_scale.json`
+//! (schema `rgb-bench/scale-v2`).
 //!
 //! ```text
 //! cargo run --release -p rgb-bench --bin bench_scale -- \
-//!     [--smoke] [--check-digests] [--out BENCH_scale.json] [--budget-secs T]
+//!     [--smoke | --million] [--runs N] [--check-digests] \
+//!     [--min-speedup X [--gate-shards S] [--warn-speedup Y]] \
+//!     [--out BENCH_scale.json] [--budget-secs T]
 //! ```
 //!
-//! - Default (full) mode runs the 100k-node scenario (h=3, r=46 ⇒ 99,498
+//! - Default (full) tier runs the 100k-node scenario (h=3, r=46 ⇒ 99,498
 //!   NEs); `--smoke` runs the CI-sized 20k-node variant (r=27 ⇒ 20,439
-//!   NEs) and **implies `--check-digests`**.
+//!   NEs); `--million` runs the gated scale tier (r=100 ⇒ 1,010,100 NEs,
+//!   ~1.3 GiB resident). `--smoke` and `--million` both **imply
+//!   `--check-digests`**.
+//! - `--runs N` (default 3) repeats every mode N times and reports the
+//!   **median** wall time — single-shot numbers on shared CI runners are
+//!   noise.
 //! - `--check-digests` replays the scenario sequentially and on 4 shards,
 //!   comparing [`SystemDigest`]s at every checkpoint — the engines are
 //!   trace-equivalent by construction and this gate keeps CI honest about
 //!   it. A mismatch exits non-zero.
+//! - `--min-speedup X` fails the run (exit 1) when the median speedup at
+//!   `--gate-shards` (default 4) is below X; `--warn-speedup Y` (default
+//!   2.0) additionally emits a GitHub `::warning::` when the speedup
+//!   clears the gate but misses Y. The gate **refuses to run on a
+//!   single-core host**: a 1-core "speedup" measures scheduler overhead,
+//!   not the engine.
 //! - `--budget-secs` fails the run if the whole sweep (digest check
 //!   included) exceeds the budget — the CI job's time box.
 //!
-//! Speedup is hardware-honest: the report embeds `threads` (what the OS
-//! grants this process), and on a single-core runner the sweep records
-//! ≈1× — the determinism claim is machine-independent, the speedup claim
-//! is not.
+//! Speedup is hardware-honest: the report embeds `cores` (what the OS
+//! grants this process), and when `cores == 1` every `speedup_vs_seq` is
+//! written as `null` with a note saying why — the determinism claim is
+//! machine-independent, the speedup claim is not.
 
 use rgb_core::prelude::*;
 use rgb_sim::fault::bernoulli_crashes;
-use rgb_sim::{ChurnParams, Scenario, Simulation};
+use rgb_sim::{ChurnParams, LatencyBand, NetConfig, ParStats, Scenario, Simulation};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One measured engine configuration.
+/// One measured engine configuration: every wall time plus the medians.
 struct Measurement {
     mode: String,
     events: u64,
-    wall_ms: f64,
+    wall_ms: Vec<f64>,
+    median_ms: f64,
     events_per_sec: f64,
     bytes_per_node: usize,
-    lookahead: Option<u64>,
+    /// `(global floor, max pair floor)` from the lookahead matrix.
+    lookahead: Option<(u64, u64)>,
+    par_stats: Option<ParStats>,
+}
+
+/// Median of an unsorted sample (mean of the middle two when even).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
 }
 
 /// The scale scenario: a three-level hierarchy under continuous tokens,
-/// heartbeats, Poisson churn and a sprinkle of crashes.
+/// heartbeats, Poisson churn and a sprinkle of crashes, over a **banded**
+/// network whose wide-area floor is well above the inter-tier floor — so
+/// the per-pair lookahead matrix has real slack to exploit (sponsor pairs
+/// sync on the tight floor, everyone else on the wide one).
 fn scale_scenario(ring: usize, duration: u64) -> Scenario {
     let mut cfg = ProtocolConfig::live();
     cfg.token_interval = 25;
@@ -49,8 +82,10 @@ fn scale_scenario(ring: usize, duration: u64) -> Scenario {
     cfg.heartbeat_interval = 150;
     cfg.parent_timeout = 750;
     cfg.child_timeout = 750;
+    let banded = NetConfig { wide_area: LatencyBand { min: 25, max: 80 }, ..NetConfig::default() };
     let scenario = Scenario::new(format!("scale churn r{ring}"), 3, ring)
         .with_cfg(cfg)
+        .with_net(banded)
         .with_seed(0x5CA1E)
         .with_duration(duration)
         .with_delivered_cap(64)
@@ -66,41 +101,75 @@ fn scale_scenario(ring: usize, duration: u64) -> Scenario {
     scenario.with_crashes(crashes)
 }
 
-/// Drive the sequential engine and count processed events.
-fn run_seq(scenario: &Scenario) -> Measurement {
-    let mut sim = scenario.build_sim();
-    let start = Instant::now();
+/// Drive the sequential engine `runs` times; wall times are per-run, the
+/// event count is checked identical across runs (the engine is
+/// deterministic — a drift here is a bug, not noise).
+fn run_seq(scenario: &Scenario, runs: usize) -> Measurement {
+    let mut wall_ms = Vec::with_capacity(runs);
     let mut events = 0u64;
-    while sim.peek_at().is_some_and(|t| t <= scenario.duration) {
-        sim.step();
-        events += 1;
+    let mut bytes_per_node = 0usize;
+    for run in 0..runs {
+        let mut sim = scenario.build_sim();
+        let start = Instant::now();
+        let mut n = 0u64;
+        while sim.peek_at().is_some_and(|t| t <= scenario.duration) {
+            sim.step();
+            n += 1;
+        }
+        wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        if run == 0 {
+            events = n;
+            bytes_per_node = sim.memory_stats().bytes_per_node();
+        } else {
+            assert_eq!(n, events, "sequential engine must be deterministic across runs");
+        }
     }
-    let wall = start.elapsed();
+    let median_ms = median(&wall_ms);
     Measurement {
         mode: "seq".into(),
         events,
-        wall_ms: wall.as_secs_f64() * 1e3,
-        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
-        bytes_per_node: sim.memory_stats().bytes_per_node(),
+        events_per_sec: events as f64 / (median_ms / 1e3).max(1e-9),
+        median_ms,
+        wall_ms,
+        bytes_per_node,
         lookahead: None,
+        par_stats: None,
     }
 }
 
-/// Drive the parallel engine at `shards` and count processed events.
-fn run_par(scenario: &Scenario, shards: usize) -> Measurement {
-    let mut sim = scenario.try_build_par(shards).expect("scenario validates");
-    let booted = sim.processed_events();
-    let start = Instant::now();
-    sim.run_until(scenario.duration);
-    let wall = start.elapsed();
-    let events = sim.processed_events() - booted;
+/// Drive the parallel engine at `shards`, `runs` times.
+fn run_par(scenario: &Scenario, shards: usize, runs: usize) -> Measurement {
+    let mut wall_ms = Vec::with_capacity(runs);
+    let mut events = 0u64;
+    let mut bytes_per_node = 0usize;
+    let mut lookahead = (0u64, 0u64);
+    let mut par_stats = ParStats::default();
+    for run in 0..runs {
+        let mut sim = scenario.try_build_par(shards).expect("scenario validates");
+        let booted = sim.processed_events();
+        let start = Instant::now();
+        sim.run_until(scenario.duration);
+        wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let n = sim.processed_events() - booted;
+        if run == 0 {
+            events = n;
+            bytes_per_node = sim.memory_stats().bytes_per_node();
+            lookahead = sim.lookahead_range();
+            par_stats = sim.par_stats();
+        } else {
+            assert_eq!(n, events, "parallel engine must be deterministic across runs");
+        }
+    }
+    let median_ms = median(&wall_ms);
     Measurement {
         mode: format!("shards{shards}"),
         events,
-        wall_ms: wall.as_secs_f64() * 1e3,
-        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
-        bytes_per_node: sim.memory_stats().bytes_per_node(),
-        lookahead: Some(sim.lookahead()),
+        events_per_sec: events as f64 / (median_ms / 1e3).max(1e-9),
+        median_ms,
+        wall_ms,
+        bytes_per_node,
+        lookahead: Some(lookahead),
+        par_stats: Some(par_stats),
     }
 }
 
@@ -125,10 +194,18 @@ fn check_digests(scenario: &Scenario, shards: usize, stride: u64) -> Result<usiz
     Ok(checked)
 }
 
+/// `speedup_vs_seq` for one mode: `None` (rendered `null`) on a 1-core
+/// host, where the number would be scheduler noise dressed up as data.
+fn speedup(m: &Measurement, seq_eps: f64, cores: usize) -> Option<f64> {
+    (cores > 1).then(|| m.events_per_sec / seq_eps.max(1e-9))
+}
+
 fn render_json(
-    smoke: bool,
+    tier: &str,
     nodes: usize,
-    threads: usize,
+    duration: u64,
+    cores: usize,
+    runs_per_mode: usize,
     digest_checkpoints: Option<usize>,
     runs: &[Measurement],
 ) -> String {
@@ -136,10 +213,19 @@ fn render_json(
         runs.iter().find(|m| m.mode == "seq").map(|m| m.events_per_sec).unwrap_or(f64::INFINITY);
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"rgb-bench/scale-v1\",");
-    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"schema\": \"rgb-bench/scale-v2\",");
+    let _ = writeln!(out, "  \"tier\": \"{tier}\",");
     let _ = writeln!(out, "  \"nodes\": {nodes},");
-    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"duration\": {duration},");
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(out, "  \"runs_per_mode\": {runs_per_mode},");
+    if cores == 1 {
+        let _ = writeln!(
+            out,
+            "  \"note\": \"single-core host: speedup_vs_seq withheld (null); wall times remain \
+             valid, relative speedup does not\","
+        );
+    }
     match digest_checkpoints {
         Some(n) => {
             let _ = writeln!(out, "  \"digest_checkpoints_equal\": {n},");
@@ -150,23 +236,41 @@ fn render_json(
     }
     out.push_str("  \"runs\": [\n");
     for (i, m) in runs.iter().enumerate() {
+        let walls = m.wall_ms.iter().map(|w| format!("{w:.1}")).collect::<Vec<_>>().join(", ");
         let _ = write!(
             out,
-            "    {{ \"mode\": \"{}\", \"events\": {}, \"wall_ms\": {:.1}, \
-             \"events_per_sec\": {:.0}, \"speedup_vs_seq\": {:.2}, \"bytes_per_node\": {}",
-            m.mode,
-            m.events,
-            m.wall_ms,
-            m.events_per_sec,
-            m.events_per_sec / seq_eps.max(1e-9),
-            m.bytes_per_node
+            "    {{ \"mode\": \"{}\", \"events\": {}, \"wall_ms\": [{walls}], \
+             \"median_ms\": {:.1}, \"events_per_sec\": {:.0}",
+            m.mode, m.events, m.median_ms, m.events_per_sec,
         );
+        match speedup(m, seq_eps, cores) {
+            Some(s) => {
+                let _ = write!(out, ", \"speedup_vs_seq\": {s:.2}");
+            }
+            None => {
+                let _ = write!(out, ", \"speedup_vs_seq\": null");
+            }
+        }
+        let _ = write!(out, ", \"bytes_per_node\": {}", m.bytes_per_node);
         match m.lookahead {
-            Some(l) => {
-                let _ = write!(out, ", \"lookahead\": {l}");
+            Some((lo, hi)) => {
+                let _ = write!(out, ", \"lookahead\": [{lo}, {hi}]");
             }
             None => {
                 let _ = write!(out, ", \"lookahead\": null");
+            }
+        }
+        match &m.par_stats {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    ", \"par_stats\": {{ \"windows\": {}, \"idle_skips\": {}, \
+                     \"frames_batched\": {}, \"batches\": {}, \"max_batch\": {} }}",
+                    s.windows, s.idle_skips, s.frames_batched, s.batches, s.max_batch
+                );
+            }
+            None => {
+                let _ = write!(out, ", \"par_stats\": null");
             }
         }
         out.push_str(" }");
@@ -179,37 +283,76 @@ fn render_json(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let check = smoke || args.iter().any(|a| a == "--check-digests");
+    let million = args.iter().any(|a| a == "--million");
+    if smoke && million {
+        eprintln!("--smoke and --million are mutually exclusive");
+        std::process::exit(2);
+    }
+    let check = smoke || million || args.iter().any(|a| a == "--check-digests");
     let flag_value =
         |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_scale.json".to_owned());
     let budget_secs: Option<u64> = flag_value("--budget-secs").map(|v| v.parse().expect("secs"));
+    let runs_per_mode: usize = flag_value("--runs").map_or(3, |v| v.parse().expect("--runs N"));
+    let min_speedup: Option<f64> =
+        flag_value("--min-speedup").map(|v| v.parse().expect("--min-speedup X"));
+    let gate_shards: usize =
+        flag_value("--gate-shards").map_or(4, |v| v.parse().expect("--gate-shards S"));
+    let warn_speedup: f64 =
+        flag_value("--warn-speedup").map_or(2.0, |v| v.parse().expect("--warn-speedup Y"));
 
-    // 100k-node full run (h=3, r=46 ⇒ 99,498 NEs); 20k smoke (r=27 ⇒
-    // 20,439 NEs).
-    let (ring, duration) = if smoke { (27, 3_000) } else { (46, 5_000) };
+    // Tiers: 20k smoke (r=27 ⇒ 20,439 NEs), 100k full (r=46 ⇒ 99,498),
+    // 10⁶ gated (r=100 ⇒ 1,010,100). The million tier runs a shorter
+    // duration: the point is memory footprint and window-protocol
+    // overhead at width, not a long trace.
+    let (tier, ring, duration) = if million {
+        ("million", 100, 1_500)
+    } else if smoke {
+        ("smoke", 27, 3_000)
+    } else {
+        ("full", 46, 5_000)
+    };
+    let shard_sweep: &[usize] = if million { &[4, 8] } else { &[2, 4, 8] };
     let scenario = scale_scenario(ring, duration);
     let nodes = scenario.layout().node_count();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     eprintln!(
-        "bench_scale: {} mode, {nodes} nodes, duration {duration}, {threads} thread(s)",
-        if smoke { "smoke" } else { "full" }
+        "bench_scale: {tier} tier, {nodes} nodes, duration {duration}, {cores} core(s), median \
+         of {runs_per_mode} run(s)"
     );
+    if min_speedup.is_some() && cores == 1 {
+        eprintln!(
+            "SPEEDUP GATE REFUSED: single-core host — a 1-core speedup measures scheduler \
+             overhead, not the engine. Run the gate on a multi-core runner."
+        );
+        std::process::exit(1);
+    }
 
     let t0 = Instant::now();
-    let mut runs = vec![run_seq(&scenario)];
-    for shards in [2usize, 4, 8] {
-        runs.push(run_par(&scenario, shards));
+    let mut runs = vec![run_seq(&scenario, runs_per_mode)];
+    for &shards in shard_sweep {
+        runs.push(run_par(&scenario, shards, runs_per_mode));
     }
+    let seq_eps = runs[0].events_per_sec;
     for m in &runs {
+        let stats = m
+            .par_stats
+            .map(|s| {
+                format!(
+                    "  {} windows, {} idle skipped, {} frames/{} batches",
+                    s.windows, s.idle_skips, s.frames_batched, s.batches
+                )
+            })
+            .unwrap_or_default();
         eprintln!(
-            "  {:<8} {:>10} events  {:>9.1} ms  {:>10.0} events/s  {:>6} B/node{}",
+            "  {:<8} {:>10} events  {:>9.1} ms median  {:>10.0} events/s  {:>6} B/node{}{}",
             m.mode,
             m.events,
-            m.wall_ms,
+            m.median_ms,
             m.events_per_sec,
             m.bytes_per_node,
-            m.lookahead.map(|l| format!("  lookahead {l}")).unwrap_or_default()
+            m.lookahead.map(|(lo, hi)| format!("  lookahead {lo}..{hi}")).unwrap_or_default(),
+            stats,
         );
     }
 
@@ -229,9 +372,29 @@ fn main() {
         None
     };
 
-    let json = render_json(smoke, nodes, threads, digest_checkpoints, &runs);
+    let json = render_json(tier, nodes, duration, cores, runs_per_mode, digest_checkpoints, &runs);
     std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
     eprintln!("wrote {out_path}");
+
+    if let Some(gate) = min_speedup {
+        let mode = format!("shards{gate_shards}");
+        let m = runs.iter().find(|m| m.mode == mode).unwrap_or_else(|| {
+            eprintln!("SPEEDUP GATE: --gate-shards {gate_shards} not in the sweep");
+            std::process::exit(1);
+        });
+        let s = m.events_per_sec / seq_eps.max(1e-9);
+        if s < gate {
+            eprintln!("SPEEDUP GATE FAILED: {s:.2}x at {gate_shards} shards < required {gate:.2}x");
+            std::process::exit(1);
+        }
+        if s < warn_speedup {
+            println!(
+                "::warning::scale speedup {s:.2}x at {gate_shards} shards clears the {gate:.2}x \
+                 gate but is below the {warn_speedup:.2}x target"
+            );
+        }
+        eprintln!("speedup gate: {s:.2}x at {gate_shards} shards (required {gate:.2}x)");
+    }
 
     if let Some(budget) = budget_secs {
         let spent = t0.elapsed().as_secs();

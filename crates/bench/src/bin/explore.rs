@@ -6,8 +6,9 @@
 //!
 //! ```text
 //! explore [--seeds N] [--start-seed S] [--master-seed M] [--smoke]
-//!         [--large] [--shards N] [--k TICKS] [--shrink-budget N]
-//!         [--time-budget-secs T] [--repro-dir DIR] [--replay FILE]
+//!         [--large] [--shards N] [--par-stats] [--k TICKS]
+//!         [--shrink-budget N] [--time-budget-secs T] [--repro-dir DIR]
+//!         [--replay FILE]
 //! ```
 //!
 //! - Default mode explores the full generation envelope; `--smoke` uses
@@ -28,6 +29,10 @@
 //! - On violation: the scenario is delta-debugged to a minimal reproducer,
 //!   written under `--repro-dir` (default `tests/repros/`), and the
 //!   process exits non-zero — which is what fails the nightly job.
+//! - `--par-stats` (implied by `--large`) prints the parallel engine's
+//!   window/batching counters for the slowest sharded seed at the end of
+//!   the run, so a lookahead regression (windows ballooning, idle skips
+//!   vanishing) shows up in fuzz logs, not only in benches.
 //! - `--replay FILE` parses a previously written artifact and runs it
 //!   under the standard oracles instead of exploring.
 //! - `--time-budget-secs` stops cleanly (exit 0) once the budget is
@@ -45,6 +50,7 @@ struct Args {
     smoke: bool,
     large: bool,
     shards: Option<usize>,
+    par_stats: bool,
     k: u64,
     shrink_budget: usize,
     time_budget: Option<Duration>,
@@ -60,6 +66,7 @@ fn parse_args() -> Args {
         smoke: false,
         large: false,
         shards: None,
+        par_stats: false,
         k: 200,
         shrink_budget: 400,
         time_budget: None,
@@ -85,6 +92,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--large" => args.large = true,
             "--shards" => args.shards = Some(value("--shards").parse().expect("--shards N")),
+            "--par-stats" => args.par_stats = true,
             "--k" => args.k = value("--k").parse().expect("--k TICKS"),
             "--shrink-budget" => {
                 args.shrink_budget = value("--shrink-budget").parse().expect("--shrink-budget N");
@@ -141,6 +149,10 @@ fn main() {
     let t0 = Instant::now();
     let mut runs = 0u64;
     let mut events = 0usize;
+    // Slowest sharded seed and its window counters (--par-stats; --large
+    // implies it, so lookahead regressions surface in nightly fuzz logs).
+    let want_par_stats = args.par_stats || args.large;
+    let mut slowest: Option<(u64, Duration, rgb_sim::ParStats)> = None;
     for seed in args.start_seed..args.start_seed + args.seeds {
         if let Some(budget) = args.time_budget {
             if t0.elapsed() > budget {
@@ -148,6 +160,7 @@ fn main() {
                     "time budget spent after {runs}/{} seeds ({} scheduled events): clean",
                     args.seeds, events
                 );
+                print_par_stats(&slowest);
                 return;
             }
         }
@@ -157,11 +170,20 @@ fn main() {
         // the same pair reproduces and shrinks it).
         if let Some(shards) = args.shards {
             let scenario = gen.scenario(seed);
+            let run_t0 = Instant::now();
             let report = explorer
                 .run_scenario_par(&scenario, shards)
                 .expect("generated scenarios always validate");
+            let wall = run_t0.elapsed();
             runs += 1;
             events += report.scheduled_events;
+            if want_par_stats {
+                if let Some(stats) = report.par_stats {
+                    if slowest.as_ref().is_none_or(|(_, w, _)| wall > *w) {
+                        slowest = Some((seed, wall, stats));
+                    }
+                }
+            }
             if let Some(v) = report.violation {
                 // The envelope flag is part of the scenario's identity:
                 // the same (master seed, index) means a different
@@ -227,6 +249,23 @@ fn main() {
         "{runs} seeds clean ({events} scheduled events, {:.1}s): no invariant violations",
         t0.elapsed().as_secs_f64()
     );
+    print_par_stats(&slowest);
+}
+
+/// Window/batching counters of the slowest sharded seed (`--par-stats`).
+fn print_par_stats(slowest: &Option<(u64, Duration, rgb_sim::ParStats)>) {
+    if let Some((seed, wall, stats)) = slowest {
+        println!(
+            "par-stats (slowest seed {seed}, {:.2}s): {} windows, {} idle skipped, {} frames in \
+             {} batches (max batch {})",
+            wall.as_secs_f64(),
+            stats.windows,
+            stats.idle_skips,
+            stats.frames_batched,
+            stats.batches,
+            stats.max_batch
+        );
+    }
 }
 
 fn replay(explorer: &Explorer, path: &std::path::Path) {

@@ -97,6 +97,11 @@ pub struct RunReport {
     pub violation: Option<Violation>,
     /// Observation trace.
     pub trace: RunTrace,
+    /// Window/batching counters when the run used the parallel engine
+    /// ([`Explorer::run_scenario_par`]); `None` on the sequential engine.
+    /// This is how lookahead regressions surface in fuzz runs, not only
+    /// benches.
+    pub par_stats: Option<crate::metrics::ParStats>,
 }
 
 /// A violation found by [`Explorer::explore`], with its shrunk reproducer.
@@ -211,7 +216,9 @@ impl Explorer {
     ) -> Result<RunReport, ScenarioError> {
         let mut oracles = standard_oracles(scenario);
         let mut sim = scenario.try_build_par(shards)?;
-        Ok(self.drive(&mut sim, scenario, &mut oracles))
+        let mut report = self.drive(&mut sim, scenario, &mut oracles);
+        report.par_stats = Some(sim.par_stats());
+        Ok(report)
     }
 
     /// The engine-generic observation loop behind
@@ -265,6 +272,7 @@ impl Explorer {
             scheduled_events: scenario.scheduled_events(),
             violation,
             trace,
+            par_stats: None,
         }
     }
 

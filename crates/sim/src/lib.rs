@@ -41,7 +41,7 @@ pub use backend::{Backend, LiveRuntime};
 pub use engine::{Engine, EngineCounters};
 pub use explore::{Exploration, Explorer, FoundViolation, Oracle, ScenarioGen, Violation};
 pub use fault::{bernoulli_crashes, crash_in_ring, PlannedCrash};
-pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot, ParStats};
 pub use mobility::{MobilityModel, TimedEvent};
 pub use network::{LatencyBand, LinkClass, LinkClassMatrix, NetConfig, NetworkModel};
 pub use oracle::{check_repair_complete, check_ring_consistency, function_well_report};

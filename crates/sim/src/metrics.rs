@@ -75,6 +75,41 @@ impl Histogram {
     }
 }
 
+/// Window accounting of the parallel engine
+/// ([`crate::par::ParSimulation`]): why a sharded run was fast or slow.
+///
+/// Sequential runs leave every counter at zero. Shards accrue their own
+/// counters and the driver folds them with [`ParStats::merge`]; all fields
+/// are sums across shards except [`ParStats::max_batch`], which is the
+/// maximum over every mailbox flush of the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Conservative windows processed (one count per shard per window).
+    pub windows: u64,
+    /// Idle-window skips: windows where a shard's clock jumped ahead to
+    /// the next global event instead of grinding through empty windows.
+    pub idle_skips: u64,
+    /// Cross-shard events flushed through batched mailboxes.
+    pub frames_batched: u64,
+    /// Mailbox batches sent (one channel op per destination per window
+    /// with traffic — the O(shards²) bound the batching exists for).
+    pub batches: u64,
+    /// Largest single mailbox batch of the run.
+    pub max_batch: u64,
+}
+
+impl ParStats {
+    /// Fold `other` into `self` (sums, except `max_batch` which takes the
+    /// maximum).
+    pub fn merge(&mut self, other: &ParStats) {
+        self.windows += other.windows;
+        self.idle_skips += other.idle_skips;
+        self.frames_batched += other.frames_batched;
+        self.batches += other.batches;
+        self.max_batch = self.max_batch.max(other.max_batch);
+    }
+}
+
 /// Counters collected during a simulation.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -111,6 +146,8 @@ pub struct Metrics {
     pub change_latency: Histogram,
     /// Per-query latency (request → result).
     pub query_latency: Histogram,
+    /// Parallel-engine window accounting (zero for sequential runs).
+    pub par: ParStats,
 }
 
 impl Metrics {
@@ -204,6 +241,7 @@ impl Metrics {
         self.stale_timer_skips += other.stale_timer_skips;
         self.change_latency.merge(&other.change_latency);
         self.query_latency.merge(&other.query_latency);
+        self.par.merge(&other.par);
     }
 
     /// Take a snapshot of the counter totals (for differencing).
@@ -319,6 +357,11 @@ mod tests {
             m.change_latency.record(base + 29);
             m.query_latency.record(base + 31);
             m.query_latency.record(base + 37);
+            m.par.windows = base + 41;
+            m.par.idle_skips = base + 43;
+            m.par.frames_batched = base + 47;
+            m.par.batches = base + 53;
+            m.par.max_batch = base + 59;
             m
         };
         let a = fill(100);
@@ -348,6 +391,13 @@ mod tests {
         assert_eq!(merged.app_events, a.app_events + b.app_events);
         assert_eq!(merged.app_events_dropped, a.app_events_dropped + b.app_events_dropped);
         assert_eq!(merged.stale_timer_skips, a.stale_timer_skips + b.stale_timer_skips);
+        assert_eq!(merged.par.windows, a.par.windows + b.par.windows);
+        assert_eq!(merged.par.idle_skips, a.par.idle_skips + b.par.idle_skips);
+        assert_eq!(merged.par.frames_batched, a.par.frames_batched + b.par.frames_batched);
+        assert_eq!(merged.par.batches, a.par.batches + b.par.batches);
+        // max_batch is the one non-additive slot: a merge reports the
+        // largest batch any shard ever flushed, not a sum of maxima.
+        assert_eq!(merged.par.max_batch, a.par.max_batch.max(b.par.max_batch));
         assert_eq!(
             merged.change_latency.count(),
             a.change_latency.count() + b.change_latency.count()

@@ -11,16 +11,29 @@
 //! 2. **Each shard** owns a dense local arena — node states, crash flags,
 //!    timer wheel, per-node random streams, metrics — and is a full
 //!    [`rgb_core::substrate::Substrate`] (`shard::Shard`).
-//! 3. **Synchronisation is conservative**: the engine advances in bounded
-//!    time windows whose length is the *lookahead* — the minimum
+//! 3. **Synchronisation is conservative, per shard pair**: the *lookahead
+//!    matrix* (`partition::LookaheadMatrix`) records the minimum
 //!    [`LatencyBand`](crate::network::LatencyBand) floor over link classes
-//!    that cross shards (`partition::lookahead`). A frame sent inside a
-//!    window can only arrive in a later window, so shards process a window
-//!    wholly independently, exchange cross-shard frames through
-//!    `crossbeam` channel mailboxes at the barrier, and every mailbox
-//!    entry is merged into the destination's queue *before* the window
-//!    that contains its arrival tick.
-//! 4. **Zero lookahead** (instant networks) admits no conservative
+//!    that cross each ordered shard pair. Every window, each shard `j`
+//!    advances to its own horizon `min_i(clock_i + floor(i, j)) - 1` —
+//!    the last tick no *incoming* edge can contradict — so a tight
+//!    inter-tier sponsor pair no longer throttles shards it never talks
+//!    to, and a shard with no incoming edges runs free to the deadline.
+//!    Every thread replicates the full clock vector with the same pure
+//!    arithmetic over the same barrier-published data, so one barrier per
+//!    window suffices; clocks drift apart only as far as the pair floors
+//!    allow. Cross-shard frames travel as **one batched `Vec` per
+//!    destination per window** through `crossbeam` channel mailboxes
+//!    (buffers recycled at the barrier), and every mailbox entry is
+//!    merged into the destination's queue *before* the window that
+//!    contains its arrival tick.
+//! 4. **Idle windows are skipped**: each shard publishes a lower bound on
+//!    its next event at the barrier; when the global minimum lies beyond
+//!    every clock, all clocks jump to it (quantised down to the
+//!    global-floor grid so window boundaries — and therefore event order
+//!    — are unchanged). Sparse scenarios pay for events, not for empty
+//!    simulated time.
+//! 5. **Zero lookahead** (instant networks) admits no conservative
 //!    window; the engine then degrades to a merged single-threaded drive
 //!    that pops the global `(at, key)` minimum across shard queues —
 //!    exactly the sequential semantics, still shard-partitioned state.
@@ -41,16 +54,17 @@
 pub(crate) mod partition;
 pub(crate) mod shard;
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, ParStats};
 use crate::network::{LinkClassMatrix, NetConfig, NetworkModel};
 use crate::queue::{Event, EventKey, EventKind};
 use crate::sim::{MemoryStats, WirelessHop};
-use partition::ShardMap;
+use partition::{LookaheadMatrix, ShardMap};
 use rgb_core::node::NodeState;
 use rgb_core::prelude::*;
 use rgb_core::topology::{HierarchyLayout, NodeIndexer};
 use shard::Shard;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// A window barrier with **panic poisoning**: when any window thread
@@ -159,10 +173,14 @@ pub struct ParSimulation {
     shards: Vec<Shard>,
     /// Driver clock: the deadline of the last [`ParSimulation::run_until`].
     now: u64,
-    /// Conservative window length; `u64::MAX` when at most one shard is
-    /// populated, 0 when an instant network admits no window (merged
-    /// fallback).
-    lookahead: u64,
+    /// Per-ordered-pair conservative floors (see
+    /// [`partition::LookaheadMatrix`]); its global minimum is `u64::MAX`
+    /// when at most one shard is populated, 0 when an instant network
+    /// admits no window (merged fallback).
+    la: LookaheadMatrix,
+    /// Reusable scratch for the single-threaded outbox flush (boot and
+    /// merged mode).
+    staged: Vec<(usize, Event)>,
     /// Schedule counter (mirrors the sequential engine's, so scheduled
     /// events carry identical keys).
     sched_seq: u64,
@@ -196,7 +214,7 @@ impl ParSimulation {
         let indexer = Arc::new(layout.indexer());
         let classes = Arc::new(LinkClassMatrix::new(&layout, &indexer));
         let map = Arc::new(ShardMap::new(&layout, &indexer, shards));
-        let lookahead = partition::lookahead(&layout, &indexer, &map, &net);
+        let la = LookaheadMatrix::new(&layout, &indexer, &map, &net);
         let model = NetworkModel::new(net);
         let shards = (0..shards)
             .map(|id| {
@@ -218,7 +236,8 @@ impl ParSimulation {
             map,
             shards,
             now: 0,
-            lookahead,
+            la,
+            staged: Vec::new(),
             sched_seq: 0,
             wireless: WirelessHop::new(seed),
             net: model,
@@ -232,9 +251,28 @@ impl ParSimulation {
         self.shards.len()
     }
 
-    /// The conservative window length in force (see module docs).
+    /// The global conservative floor in force — the minimum over every
+    /// shard pair's lookahead (see module docs). Individual pairs may
+    /// admit much longer windows; see
+    /// [`ParSimulation::lookahead_range`].
     pub fn lookahead(&self) -> u64 {
-        self.lookahead
+        self.la.global()
+    }
+
+    /// `(min, max)` finite pair floors of the lookahead matrix: how much
+    /// per-pair slack the topology offers over the single global floor.
+    pub fn lookahead_range(&self) -> (u64, u64) {
+        (self.la.global(), self.la.max_pair())
+    }
+
+    /// Aggregated window/batching counters across every shard (all zero
+    /// until a windowed run executes; merged-mode runs have no windows).
+    pub fn par_stats(&self) -> ParStats {
+        let mut total = ParStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.metrics.par);
+        }
+        total
     }
 
     /// Current driver time.
@@ -337,17 +375,20 @@ impl ParSimulation {
         }
     }
 
-    /// Single-threaded outbox routing (boot and merged mode).
+    /// Single-threaded outbox routing (boot and merged mode). The staging
+    /// buffer is an owned scratch field — merged mode flushes after every
+    /// cross-shard burst, so this path must not allocate per call.
     fn flush_outboxes(&mut self) {
-        let mut staged: Vec<(usize, Event)> = Vec::new();
+        let mut staged = std::mem::take(&mut self.staged);
         for shard in &mut self.shards {
             for (dest, events) in shard.outbox.iter_mut().enumerate() {
                 staged.extend(events.drain(..).map(|e| (dest, e)));
             }
         }
-        for (dest, event) in staged {
+        for (dest, event) in staged.drain(..) {
             self.shards[dest].enqueue(event);
         }
+        self.staged = staged;
     }
 
     /// Run until simulated time reaches `deadline` (events beyond it stay
@@ -357,7 +398,7 @@ impl ParSimulation {
         if deadline <= self.now {
             return;
         }
-        if self.lookahead == 0 {
+        if self.la.global() == 0 {
             self.run_merged(deadline);
         } else {
             self.run_windowed(deadline);
@@ -365,15 +406,40 @@ impl ParSimulation {
         self.now = deadline;
     }
 
-    /// Windowed execution: one thread per populated shard, two phases per
-    /// window (process + flush, then drain), one barrier between them per
-    /// window. A frame sent at tick `t` of window `[T, T+L)` arrives at
-    /// `t + latency ≥ T + L` — strictly after the window — so draining
-    /// mailboxes at the barrier enqueues every frame before the window
-    /// containing its arrival is processed.
+    /// Windowed execution: one thread per populated shard, one barrier
+    /// per window, per-shard horizons from the lookahead matrix.
+    ///
+    /// Every thread tracks the **full clock vector** — `clocks[i]` is a
+    /// lower bound on shard `i`'s next unprocessed tick — and advances it
+    /// with identical pure arithmetic over identical barrier-published
+    /// data, so the replicas never disagree and no extra synchronisation
+    /// round is needed. One window is:
+    ///
+    /// 1. compute `horizons[j] = min(deadline, min_i(clocks[i] +
+    ///    floor(i, j)) - 1)` for every active shard — the last tick `j`
+    ///    may process, because any future frame from `i` is sent at
+    ///    `clocks[i]` or later and spends at least `floor(i, j)` ticks in
+    ///    flight (so arrives strictly after `horizons[j]`);
+    /// 2. process own window through `horizons[me]`, flush outboxes as
+    ///    one batch per destination, and publish a progress bound: the
+    ///    minimum of the local queue's next `at` and every `at` just
+    ///    flushed (the destination has not seen those yet);
+    /// 3. barrier — the barrier's mutex is the release/acquire edge for
+    ///    the relaxed publishes;
+    /// 4. drain mailbox batches (a frame sent in some window arrives
+    ///    strictly after the sender's clock plus the pair floor, which
+    ///    step 1 keeps beyond every receiver horizon — so every event is
+    ///    enqueued before the window containing its arrival tick);
+    /// 5. advance every clock past its horizon, then **idle-skip**: if
+    ///    the minimum published bound lies beyond a clock, jump it
+    ///    forward (quantised down to the global-floor grid anchored at
+    ///    the run start, so window boundaries — and event order — are
+    ///    exactly what a non-skipping run would produce).
+    ///
+    /// Publishes are double-buffered by window parity: a shard racing one
+    /// window ahead writes the other slot, never one a peer still reads.
     fn run_windowed(&mut self, deadline: u64) {
         let start = self.now;
-        let lookahead = self.lookahead;
         let nshards = self.shards.len();
         let active: Vec<bool> =
             self.shards.iter().map(|s| s.len() > 0 || s.queue_len() > 0).collect();
@@ -383,15 +449,24 @@ impl ParSimulation {
             // (if any) straight to the deadline.
             for (shard, _) in self.shards.iter_mut().zip(&active).filter(|(_, &a)| a) {
                 shard.run_window(deadline);
+                shard.metrics.par.windows += 1;
             }
             return;
         }
+        // Idle-skip grid: the spacing windows would have without skipping.
+        let grid = self.la.global().max(1);
         let barrier = WindowBarrier::new(threads);
-        let channels: Vec<_> = (0..nshards).map(|_| crossbeam::channel::unbounded()).collect();
+        let channels: Vec<_> =
+            (0..nshards).map(|_| crossbeam::channel::unbounded::<Vec<Event>>()).collect();
         let txs: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
         let mut rxs: Vec<_> = channels.into_iter().map(|(_, rx)| Some(rx)).collect();
+        let published: Vec<[AtomicU64; 2]> =
+            (0..nshards).map(|_| [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)]).collect();
         let barrier = &barrier;
         let txs = &txs;
+        let published = &published;
+        let active = &active;
+        let la = &self.la;
         std::thread::scope(|scope| {
             for (shard, rx) in self.shards.iter_mut().zip(rxs.iter_mut()) {
                 if !active[shard.id] {
@@ -404,29 +479,66 @@ impl ParSimulation {
                     // of waiting forever; the scope join then propagates
                     // the panic.
                     let _guard = PoisonOnPanic(barrier);
-                    let mut t = start;
+                    let me = shard.id;
+                    let mut clocks = vec![u64::MAX; nshards];
+                    for (clock, &live) in clocks.iter_mut().zip(active) {
+                        if live {
+                            *clock = start;
+                        }
+                    }
+                    let mut horizons = vec![0u64; nshards];
+                    let mut parity = 0usize;
                     loop {
-                        // Window [t, horizon], truncated at the deadline —
-                        // shorter-than-lookahead windows are always safe.
-                        let horizon = t.saturating_add(lookahead - 1).min(deadline);
-                        shard.run_window(horizon);
-                        for (dest, events) in shard.outbox.iter_mut().enumerate() {
-                            for event in events.drain(..) {
-                                // A closed mailbox means its owner already
-                                // unwound; stop at the barrier below.
-                                let _ = txs[dest].send(event);
+                        for j in 0..nshards {
+                            if active[j] {
+                                horizons[j] = la.horizon_of(&clocks, j, deadline);
                             }
                         }
+                        shard.run_window(horizons[me]);
+                        shard.metrics.par.windows += 1;
+                        let sent_min = shard.flush_batches(txs);
+                        let bound = shard.next_event_at().min(sent_min);
+                        published[me][parity].store(bound, Ordering::Relaxed);
                         if barrier.wait().is_err() {
                             return;
                         }
-                        while let Ok(event) = rx.try_recv() {
-                            shard.enqueue(event);
+                        shard.drain_batches(&rx);
+                        for j in 0..nshards {
+                            if active[j] {
+                                clocks[j] = clocks[j].max(horizons[j].saturating_add(1));
+                            }
                         }
-                        if horizon >= deadline {
+                        let mut t_next = u64::MAX;
+                        for (slots, &live) in published.iter().zip(active) {
+                            if live {
+                                t_next = t_next.min(slots[parity].load(Ordering::Relaxed));
+                            }
+                        }
+                        // t_next == MAX means no shard has any event left
+                        // (flushed frames count as their sender's pending
+                        // work, so in-flight batches can't be missed):
+                        // jump straight to the deadline.
+                        let jump = if t_next == u64::MAX {
+                            deadline
+                        } else {
+                            // Quantise down to the grid so the jump lands
+                            // on a boundary a non-skipping run would have
+                            // used anyway.
+                            start + ((t_next.saturating_sub(start)) / grid) * grid
+                        }
+                        .min(deadline);
+                        for j in 0..nshards {
+                            if active[j] && clocks[j] < jump {
+                                clocks[j] = jump;
+                                if j == me {
+                                    shard.metrics.par.idle_skips += 1;
+                                }
+                            }
+                        }
+                        if clocks.iter().zip(active).all(|(&c, &live)| !live || c > deadline) {
                             break;
                         }
-                        t = horizon + 1;
+                        parity ^= 1;
                     }
                 });
             }

@@ -66,8 +66,13 @@ pub(crate) struct Shard {
     /// Events this shard processed (throughput accounting).
     pub processed: u64,
     /// Staged cross-shard events, by destination shard; flushed into the
-    /// mailboxes at each window barrier.
+    /// mailboxes at each window barrier — one batch per destination per
+    /// window, not one channel op per frame.
     pub outbox: Vec<Vec<Event>>,
+    /// Recycled batch buffers: emptied by [`Shard::drain_batches`], handed
+    /// back to [`Shard::flush_batches`] so the steady-state window loop
+    /// allocates nothing.
+    spare: Vec<Vec<Event>>,
     // Shared, immutable world state.
     indexer: Arc<NodeIndexer>,
     classes: Arc<LinkClassMatrix>,
@@ -123,6 +128,7 @@ impl Shard {
             out_buf: OutputSink::new(),
             processed: 0,
             outbox: vec![Vec::new(); map.shards],
+            spare: Vec::new(),
             indexer,
             classes,
             map,
@@ -176,12 +182,62 @@ impl Shard {
     }
 
     /// Process every local event with `at <= horizon`, in `(at, key)`
-    /// order. Cross-shard sends land in [`Shard::outbox`].
+    /// order. Cross-shard sends land in [`Shard::outbox`]. The clock only
+    /// moves forward: a horizon behind `now` (a peer-lagged window under
+    /// per-pair lookahead) processes nothing and leaves the clock alone.
     pub fn run_window(&mut self, horizon: u64) {
         while self.events.peek_at(self.now).is_some_and(|at| at <= horizon) {
             self.step();
         }
-        self.now = horizon;
+        self.now = self.now.max(horizon);
+    }
+
+    /// `at` of the next local event, `u64::MAX` when the queue is empty —
+    /// the windowed driver's published progress bound (idle-window
+    /// skipping jumps every clock to the minimum of these).
+    pub fn next_event_at(&mut self) -> u64 {
+        self.events.peek_at(self.now).unwrap_or(u64::MAX)
+    }
+
+    /// Flush every non-empty outbox as **one batch per destination** into
+    /// the cross-shard mailboxes. Returns the minimum `at` over every
+    /// flushed event (`u64::MAX` when nothing was staged) — part of this
+    /// shard's published progress bound, since a flushed event is pending
+    /// work the destination has not yet seen.
+    pub fn flush_batches(&mut self, txs: &[crossbeam::channel::Sender<Vec<Event>>]) -> u64 {
+        let mut sent_min = u64::MAX;
+        for (outbox, tx) in self.outbox.iter_mut().zip(txs) {
+            if outbox.is_empty() {
+                continue;
+            }
+            for event in outbox.iter() {
+                sent_min = sent_min.min(event.at);
+            }
+            let batch = std::mem::replace(outbox, self.spare.pop().unwrap_or_default());
+            self.metrics.par.frames_batched += batch.len() as u64;
+            self.metrics.par.batches += 1;
+            self.metrics.par.max_batch = self.metrics.par.max_batch.max(batch.len() as u64);
+            // A closed mailbox means its owner already unwound; the
+            // barrier wait after this flush surfaces the poisoning.
+            let _ = tx.send(batch);
+        }
+        sent_min
+    }
+
+    /// Drain every batch currently in this shard's mailbox into the local
+    /// queue, keeping the emptied buffers for later flushes.
+    pub fn drain_batches(&mut self, rx: &crossbeam::channel::Receiver<Vec<Event>>) {
+        // Bound the recycle pool so a bursty window can't pin its peak
+        // buffer count forever.
+        const SPARE_CAP: usize = 32;
+        while let Ok(mut batch) = rx.try_recv() {
+            for event in batch.drain(..) {
+                self.enqueue(event);
+            }
+            if self.spare.len() < SPARE_CAP {
+                self.spare.push(batch);
+            }
+        }
     }
 
     /// Pop and dispatch exactly one event (the merged driver's step).

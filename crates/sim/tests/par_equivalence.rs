@@ -9,17 +9,22 @@
 //! bands so window boundaries and checkpoint boundaries interleave in
 //! every relative phase.
 //!
-//! The matrix covers the three scheduling regimes:
+//! The matrix covers the four scheduling regimes:
 //! - **instant** — zero latency ⇒ zero lookahead ⇒ the merged fallback
 //!   (same-tick cascades, the hardest ordering case);
 //! - **lossy tokens** — continuous tokens + loss + dup/reorder ⇒ windowed
 //!   execution with heavy per-node RNG traffic;
 //! - **churn + crash + partition** — the full fault surface, scheduled
-//!   disruptions crossing shard boundaries.
+//!   disruptions crossing shard boundaries;
+//! - **sparse bursts** — a heterogeneous-floor network (wide-area floor
+//!   several times the inter-tier floor) and long quiet stretches between
+//!   disruptions, so per-pair lookahead lets shard clocks drift apart and
+//!   idle-window skipping jumps the gaps. The digest comparison proves
+//!   neither shortcut changes a single observable byte.
 
 use rgb_core::prelude::*;
 use rgb_sim::workload::ChurnParams;
-use rgb_sim::{Backend, NetConfig, Scenario, ScenarioOutcome};
+use rgb_sim::{Backend, LatencyBand, NetConfig, Scenario, ScenarioOutcome};
 
 /// The fault-plan matrix (mirrors the engine-determinism scenarios, plus
 /// a partition so every scheduled-event kind crosses the driver).
@@ -79,6 +84,26 @@ fn scenarios(seed: u64) -> Vec<Scenario> {
         QueryScope::Global,
     );
     out.push(sc);
+
+    // Sparse bursts over a heterogeneous-floor net: sponsor pairs run on
+    // a tight inter-tier floor while everyone else gets five times the
+    // window; activity arrives in bursts thousands of ticks apart so most
+    // windows are empty (idle-skip territory). Default (on-demand) config
+    // keeps the world quiet between bursts apart from heartbeats.
+    let banded = NetConfig {
+        intra_ring: LatencyBand { min: 5, max: 15 },
+        inter_tier: LatencyBand { min: 8, max: 30 },
+        wide_area: LatencyBand { min: 40, max: 90 },
+        ..NetConfig::default()
+    };
+    let sc = Scenario::new("sparse bursts", 2, 3).with_net(banded).with_seed(seed);
+    let aps = sc.layout().aps();
+    let roots = sc.layout().root_ring().nodes.clone();
+    let mut sc = sc.with_duration(30_000);
+    for (i, &ap) in aps.iter().take(6).enumerate() {
+        sc = sc.join(i as u64 * 4_500, ap, Guid(100 + i as u64), Luid(1));
+    }
+    out.push(sc.crash(12_000, aps[6]).query(24_000, roots[0], QueryScope::Global));
 
     out
 }
@@ -191,6 +216,29 @@ fn run_on_backends_produce_identical_outcomes() {
     let seq = sc.run_on(Backend::Sim).expect("valid scenario");
     assert_eq!(seq, sc.run_on(Backend::Par(1)).expect("valid scenario"));
     assert_eq!(seq, sc.run_on(Backend::Par(4)).expect("valid scenario"));
+}
+
+#[test]
+fn windowed_runs_report_par_stats_and_lookahead_slack() {
+    let all = scenarios(7);
+    let sparse = all.last().expect("sparse bursts scenario");
+    let mut par = sparse.try_build_par(4).expect("scenario validates");
+    par.run_until(sparse.duration);
+    let (lo, hi) = par.lookahead_range();
+    assert!(lo >= 8 && hi >= 40, "banded floors surface in the matrix ({lo}, {hi})");
+    assert!(lo < hi, "per-pair matrix must offer slack over the global floor");
+    let stats = par.par_stats();
+    assert!(stats.windows > 0, "windowed run counts windows");
+    assert!(stats.idle_skips > 0, "sparse scenario must skip idle windows");
+    assert!(stats.batches > 0, "cross-shard traffic flows as batches");
+    assert!(stats.frames_batched >= stats.batches, "every batch carries at least one frame");
+    assert!(stats.max_batch >= 1);
+
+    // The merged (zero-lookahead) fallback runs no windows at all.
+    let instant = &all[0];
+    let mut merged = instant.try_build_par(4).expect("scenario validates");
+    merged.run_until(instant.duration);
+    assert_eq!(merged.par_stats().windows, 0, "merged fallback is windowless");
 }
 
 #[test]

@@ -1,0 +1,62 @@
+//! Exit-code contract of `explore --replay` — the stale-repro detector.
+//!
+//! A reproducer artifact records the oracle it is expected to fire
+//! (`meta.oracle`). Replay must distinguish three outcomes: the
+//! documented bug is still live (exit 1), the scenario is clean and was
+//! expected to be (exit 0), and the artifact is **stale** — it promises a
+//! violation that no longer happens, or a different oracle fires — which
+//! is exit 3. Before this contract a fixed bug and a rotted repro both
+//! replayed "clean, exit 0" and nightly jobs could not tell them apart.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn explore() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_explore"))
+}
+
+/// A tiny, fast, clean scenario artifact written to a scratch path.
+fn clean_artifact(tag: &str, extra: &str) -> PathBuf {
+    let sc = rgb_sim::Scenario::leader_crash_during_handoff(1);
+    let text = rgb_sim::explore::artifact::render(&sc);
+    let path = std::env::temp_dir().join(format!("rgb_replay_{tag}_{}.scn", std::process::id()));
+    std::fs::write(&path, format!("{text}{extra}")).expect("write scratch artifact");
+    path
+}
+
+#[test]
+fn plain_clean_artifact_exits_zero() {
+    let path = clean_artifact("plain", "");
+    let status = explore().arg("--replay").arg(&path).status().expect("run explore");
+    assert_eq!(status.code(), Some(0), "clean artifact without meta.oracle replays clean");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn stale_repro_exits_three() {
+    // The artifact claims epoch_agreement fires; the scenario is clean.
+    let path = clean_artifact("stale", "meta.oracle: epoch_agreement\n");
+    let out = explore().arg("--replay").arg(&path).output().expect("run explore");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "a repro whose oracle no longer fires must exit 3, not pass silently:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("STALE REPRO"),
+        "stderr must say the repro is stale"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn expect_clean_overrides_the_oracle_claim() {
+    // --expect-clean is the "I retired this bug on purpose" escape hatch:
+    // the meta.oracle claim is ignored and clean is success.
+    let path = clean_artifact("expectclean", "meta.oracle: epoch_agreement\n");
+    let status =
+        explore().arg("--replay").arg(&path).arg("--expect-clean").status().expect("run explore");
+    assert_eq!(status.code(), Some(0));
+    let _ = std::fs::remove_file(path);
+}

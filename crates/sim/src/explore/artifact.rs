@@ -9,6 +9,17 @@
 //!
 //! Floats are printed with Rust's shortest round-trip representation
 //! (`{:?}`), which `str::parse::<f64>` recovers exactly.
+//!
+//! ## Lineage metadata
+//!
+//! Corpus entries carry optional `meta.*` lines ([`ArtifactMeta`]):
+//! mutation generation, parent entry, the operator that produced the
+//! mutant, the coverage fingerprint it was admitted under, and — for
+//! reproducer artifacts — the oracle the replay is expected to fire.
+//! Metadata is strictly additive: an artifact without `meta.*` lines is a
+//! plain v1 file, [`render_with_meta`] with a default meta emits the exact
+//! bytes [`render`] does, and [`parse`] accepts both (discarding the
+//! meta); [`parse_with_meta`] returns it.
 
 use crate::network::LatencyBand;
 use crate::scenario::Scenario;
@@ -17,6 +28,60 @@ use std::fmt::Write as _;
 
 /// Format tag expected on the first line.
 const HEADER: &str = "rgb-scenario v1";
+
+/// Optional corpus/lineage metadata carried by `meta.*` lines.
+///
+/// `Default` is the empty meta: no lines rendered, so plain artifacts stay
+/// byte-identical to the pre-metadata format.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArtifactMeta {
+    /// Mutation generation: 0 for generator-sampled or hand-written
+    /// scenarios, parent's generation + 1 for mutants.
+    pub generation: u32,
+    /// Corpus name of the parent this scenario was mutated from.
+    pub parent: Option<String>,
+    /// Short tag of the mutation operator that produced it (see
+    /// [`super::gen::MutationOp::short`]).
+    pub operator: Option<String>,
+    /// Coverage fingerprint the entry was admitted to the corpus under
+    /// (see [`super::coverage::CoverageKey::fingerprint`]).
+    pub coverage: Option<u64>,
+    /// For reproducer artifacts: the oracle the replay is expected to
+    /// fire. A replay that stays clean (or fires a different oracle) is a
+    /// *stale* repro, not a pass.
+    pub oracle: Option<String>,
+}
+
+impl ArtifactMeta {
+    /// Whether any field differs from the default (i.e. whether
+    /// [`render_with_meta`] emits any `meta.*` line).
+    pub fn is_empty(&self) -> bool {
+        *self == ArtifactMeta::default()
+    }
+}
+
+/// Render a scenario plus its lineage metadata. With a default `meta`
+/// this is byte-identical to [`render`].
+pub fn render_with_meta(sc: &Scenario, meta: &ArtifactMeta) -> String {
+    let mut out = render(sc);
+    let w = &mut out;
+    if meta.generation != 0 {
+        let _ = writeln!(w, "meta.generation: {}", meta.generation);
+    }
+    if let Some(parent) = &meta.parent {
+        let _ = writeln!(w, "meta.parent: {parent}");
+    }
+    if let Some(op) = &meta.operator {
+        let _ = writeln!(w, "meta.operator: {op}");
+    }
+    if let Some(fp) = meta.coverage {
+        let _ = writeln!(w, "meta.coverage: {fp:016x}");
+    }
+    if let Some(oracle) = &meta.oracle {
+        let _ = writeln!(w, "meta.oracle: {oracle}");
+    }
+    out
+}
 
 /// Render a scenario as a replayable text artifact.
 pub fn render(sc: &Scenario) -> String {
@@ -118,17 +183,25 @@ fn band(s: &str) -> Result<LatencyBand, String> {
     Ok(LatencyBand { min: num(min, "band min")?, max: num(max, "band max")? })
 }
 
-/// Parse a rendered artifact back into a [`Scenario`].
+/// Parse a rendered artifact back into a [`Scenario`], discarding any
+/// lineage metadata (see [`parse_with_meta`]).
 ///
 /// The result is *syntactically* reconstructed; run
 /// [`Scenario::validate`] (or any `build`/`run` entry point, which do)
 /// before executing it, exactly as for a hand-written scenario.
 pub fn parse(text: &str) -> Result<Scenario, String> {
+    parse_with_meta(text).map(|(sc, _)| sc)
+}
+
+/// Parse a rendered artifact back into a [`Scenario`] plus its
+/// [`ArtifactMeta`] (default for plain v1 files).
+pub fn parse_with_meta(text: &str) -> Result<(Scenario, ArtifactMeta), String> {
     let mut lines = text.lines();
     match lines.next() {
         Some(l) if l.trim() == HEADER => {}
         other => return Err(format!("expected '{HEADER}' header, got {other:?}")),
     }
+    let mut meta = ArtifactMeta::default();
     let mut sc = Scenario::new("unnamed", 1, 3);
     // Scenario::new seeds defaults; the artifact overrides every field it
     // carries. Collections start empty.
@@ -199,6 +272,16 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
             "net.dup" => sc.net.dup = num(value, "dup")?,
             "net.reorder" => sc.net.reorder = num(value, "reorder")?,
             "net.reorder_extra" => sc.net.reorder_extra = num(value, "reorder_extra")?,
+            "meta.generation" => meta.generation = num(value, "generation")?,
+            "meta.parent" => meta.parent = Some(value.to_string()),
+            "meta.operator" => meta.operator = Some(value.to_string()),
+            "meta.coverage" => {
+                meta.coverage = Some(
+                    u64::from_str_radix(value.trim_start_matches("0x"), 16)
+                        .map_err(|_| format!("bad coverage fingerprint: '{value}'"))?,
+                );
+            }
+            "meta.oracle" => meta.oracle = Some(value.to_string()),
             "crash" | "partition" | "mh" | "query" => {
                 let pairs: Vec<(&str, &str)> =
                     value.split_whitespace().filter_map(|tok| tok.split_once('=')).collect();
@@ -272,7 +355,7 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
             other => return Err(format!("unknown key '{other}'")),
         }
     }
-    Ok(sc)
+    Ok((sc, meta))
 }
 
 #[cfg(test)]
@@ -325,5 +408,33 @@ mod tests {
         let mut text = render(&sc);
         text.push_str("\n# a trailing comment\n\n");
         assert_eq!(parse(&text).unwrap(), sc);
+    }
+
+    #[test]
+    fn default_meta_renders_byte_identically_to_the_plain_format() {
+        let sc = Scenario::new("plain", 2, 3).with_seed(5).with_duration(1_000);
+        assert_eq!(render_with_meta(&sc, &ArtifactMeta::default()), render(&sc));
+    }
+
+    #[test]
+    fn meta_round_trips_and_plain_parse_discards_it() {
+        let sc = Scenario::new("mutant", 1, 4).with_seed(8).with_duration(900);
+        let meta = ArtifactMeta {
+            generation: 3,
+            parent: Some("gen-000007+loss@2a".into()),
+            operator: Some("dupre".into()),
+            coverage: Some(0xDEAD_BEEF_0BAD_F00D),
+            oracle: Some("token_uniqueness".into()),
+        };
+        let text = render_with_meta(&sc, &meta);
+        let (back, back_meta) = parse_with_meta(&text).expect("parses");
+        assert_eq!(back, sc);
+        assert_eq!(back_meta, meta);
+        // Plain parse still accepts the annotated artifact (forward
+        // compatibility of replay paths that don't care about lineage).
+        assert_eq!(parse(&text).unwrap(), sc);
+        // And a plain v1 file parses to the default meta.
+        let (_, empty) = parse_with_meta(&render(&sc)).unwrap();
+        assert!(empty.is_empty());
     }
 }

@@ -1,0 +1,348 @@
+//! The coverage signal behind coverage-guided exploration: a
+//! substrate-independent behaviour fingerprint of one finished run.
+//!
+//! Blind sampling re-discovers the same behaviours over and over — most
+//! random scenarios settle the same way, lose a similar number of frames
+//! and exercise the same recovery paths. [`CoverageKey`] condenses what a
+//! run *did* (its observed [`SystemDigest`](rgb_core::introspect::SystemDigest)
+//! trace and oracle outcome, as recorded in a [`RunReport`]) into a small
+//! bucketed feature vector. Two runs with the same key exercised the
+//! system the same way; a run with a novel key *surprised* us and earns
+//! its scenario a place in the corpus ([`super::corpus`]),
+//! moirai-fuzz-style.
+//!
+//! Two deliberate choices make the signal useful:
+//!
+//! - Everything is **bucketed** (coarse size classes, rate decades,
+//!   settle quartiles): raw
+//!   digests differ on every seed (GUID spaces alone make them unique),
+//!   which would declare everything novel and guide nothing. Buckets make
+//!   novelty mean "new behaviour", not "new identifier".
+//! - The key is **behaviour-only**: it derives from the observed digest
+//!   stream and oracle outcome, never from the scenario's configuration.
+//!   Echoing config dimensions (topology shape, loss rates, schedule
+//!   sizes) would hand blind sampling a free novelty signal — every
+//!   random parameter combination reads as "new coverage" and guidance
+//!   degenerates to counting samples. Keyed on behaviour, blind sampling
+//!   *saturates* once the envelope's reachable behaviours are seen, and
+//!   only scenarios that make the system **do** something new (often by
+//!   mutating outside the generation envelope) earn corpus slots.
+//!
+//! The features derive solely from the digest stream, so the two
+//! simulator engines — which are trace-equivalent — produce the identical
+//! key for the same scenario and observation cadence.
+
+use super::oracle::Violation;
+use super::{Observation, RunReport};
+use crate::scenario::Scenario;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The terminal outcome class of a run — the coarse coverage *bucket*.
+///
+/// The delta-debugging shrinker must keep a violation inside its bucket:
+/// a shrunk reproducer that landed in a different bucket would re-enter
+/// the mutation loop as "new coverage" and the corpus would fill with
+/// re-discoveries of one bug.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RunOutcome {
+    /// No oracle fired. `settled` records whether the quiescence gate
+    /// opened within the settle budget (a run that never settles is a
+    /// different behaviour class from one that converges).
+    Clean {
+        /// Whether the run settled within the budget.
+        settled: bool,
+    },
+    /// An oracle fired; the bucket is the oracle's stable name.
+    Violation {
+        /// Name of the oracle that fired.
+        oracle: &'static str,
+    },
+}
+
+impl RunOutcome {
+    fn of(report: &RunReport) -> Self {
+        match &report.violation {
+            Some(Violation { oracle, .. }) => RunOutcome::Violation { oracle },
+            None => RunOutcome::Clean { settled: report.trace.settled_at().is_some() },
+        }
+    }
+}
+
+/// The coverage fingerprint of one run: outcome bucket plus a bucketed
+/// behaviour/structure feature hash.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CoverageKey {
+    /// Terminal outcome class (the coarse bucket).
+    pub outcome: RunOutcome,
+    /// Hash of the bucketed feature vector (see the module docs).
+    pub features: u64,
+}
+
+/// log₂-style bucket: 0 → 0, 1 → 1, 2..3 → 2, 4..7 → 3, …
+fn log2_bucket(v: u64) -> u64 {
+    u64::from(64 - v.leading_zeros())
+}
+
+/// Decade bucket of the ratio `n/d`: 0 when nothing happened, then one
+/// bucket per order of magnitude — ≥10 % → 4, ≥1 % → 3, ≥0.1 % → 2,
+/// anything rarer → 1. Rates, not raw counts: a run that drops 5 % of a
+/// million frames behaves like one that drops 5 % of a thousand, while
+/// raw log₂ counters would split every traffic volume into its own
+/// "behaviour".
+fn rate_bucket(n: u64, d: u64) -> u64 {
+    if n == 0 || d == 0 {
+        return 0;
+    }
+    let permille = n.saturating_mul(1_000) / d;
+    match permille {
+        0 => 1,
+        1..=9 => 2,
+        10..=99 => 3,
+        _ => 4,
+    }
+}
+
+impl CoverageKey {
+    /// Compute the coverage key of `report`, produced by running
+    /// `scenario`. Pure: the same (scenario, digest trace, outcome)
+    /// always produces the same key, on either simulator engine.
+    pub fn of(scenario: &Scenario, report: &RunReport) -> CoverageKey {
+        let outcome = RunOutcome::of(report);
+        // FNV-1a over the canonical feature walk (matches the stable
+        // hashing used by `SystemDigest::views_fingerprint`).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+
+        // Behaviour only — no scenario configuration reaches the hash
+        // (config echo would make every random parameter combination
+        // count as novel; see the module docs). `scenario` contributes
+        // solely the duration as the normaliser for relative settle time.
+        let obs = &report.trace.observations;
+        let last = obs.last().copied().unwrap_or(Observation {
+            at: 0,
+            fingerprint: 0,
+            sent_total: 0,
+            app_events: 0,
+            lost: 0,
+            partition_dropped: 0,
+            settled: false,
+        });
+        // Coarse traffic size class (three log₂ decades per class): how
+        // big the run was, without splitting every volume into its own
+        // behaviour.
+        eat(log2_bucket(last.sent_total) / 3);
+        // Rate features: what *fraction* of the traffic was lost, was
+        // dropped on a partition boundary, or surfaced as an application
+        // event — the shape of the run, independent of its size.
+        eat(rate_bucket(last.lost, last.sent_total));
+        eat(rate_bucket(last.partition_dropped, last.sent_total));
+        eat(rate_bucket(last.app_events, last.sent_total));
+        // View mobility: how much the membership views moved, as the
+        // quartile of distinct fingerprints per observation window.
+        let distinct: BTreeSet<u64> = obs.iter().map(|o| o.fingerprint).collect();
+        eat((distinct.len() * 4 / obs.len().max(1)) as u64);
+        // When (relative to the scheduled phase) the system settled:
+        // quartiles of the scheduled duration, 5+ for the settle phase,
+        // u64::MAX-bucket 15 for "never".
+        let settle_bucket = match report.trace.settled_at() {
+            Some(at) if at <= scenario.duration => (at * 4 / scenario.duration.max(1)).min(4),
+            Some(_) => 5,
+            None => 15,
+        };
+        eat(settle_bucket);
+
+        CoverageKey { outcome, features: h }
+    }
+
+    /// The coarse bucket identifier: clean-settled, clean-unsettled, or
+    /// the firing oracle. Stable across feature evolution — this is what
+    /// the shrinker must preserve.
+    pub fn bucket(&self) -> String {
+        match &self.outcome {
+            RunOutcome::Clean { settled: true } => "clean".to_string(),
+            RunOutcome::Clean { settled: false } => "clean-unsettled".to_string(),
+            RunOutcome::Violation { oracle } => format!("violation:{oracle}"),
+        }
+    }
+
+    /// The full fingerprint: outcome bucket folded into the feature hash.
+    /// Two runs share a fingerprint iff they share the whole key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.features;
+        for b in self.bucket().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The explorer's coverage map: every fingerprint observed so far, with
+/// per-bucket counts for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    seen: BTreeSet<u64>,
+    by_bucket: BTreeMap<String, usize>,
+}
+
+impl CoverageMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `key`; returns `true` when its fingerprint was novel.
+    pub fn insert(&mut self, key: &CoverageKey) -> bool {
+        let novel = self.seen.insert(key.fingerprint());
+        if novel {
+            *self.by_bucket.entry(key.bucket()).or_insert(0) += 1;
+        }
+        novel
+    }
+
+    /// Record a bare fingerprint (e.g. loaded from corpus metadata, where
+    /// the structured key was not persisted); returns `true` when novel.
+    pub fn insert_fingerprint(&mut self, fp: u64) -> bool {
+        self.seen.insert(fp)
+    }
+
+    /// Distinct fingerprints observed.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Distinct fingerprints per coarse bucket, in bucket order.
+    pub fn by_bucket(&self) -> &BTreeMap<String, usize> {
+        &self.by_bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use rgb_core::prelude::*;
+
+    fn run(sc: &Scenario) -> RunReport {
+        Explorer::default().run_scenario(sc).expect("valid scenario")
+    }
+
+    fn quiet_scenario(name: &str) -> Scenario {
+        let sc = Scenario::new(name, 1, 3).with_duration(1_500);
+        let aps = sc.layout().aps();
+        sc.join(0, aps[0], Guid(1), Luid(1)).join(5, aps[1], Guid(2), Luid(1))
+    }
+
+    #[test]
+    fn key_is_deterministic_and_name_independent() {
+        let a = quiet_scenario("a");
+        let b = quiet_scenario("a totally different name");
+        let (ra, rb) = (run(&a), run(&b));
+        let (ka, kb) = (CoverageKey::of(&a, &ra), CoverageKey::of(&b, &rb));
+        assert_eq!(ka, kb, "the scenario name must not reach the coverage key");
+        assert_eq!(ka.fingerprint(), kb.fingerprint());
+        assert_eq!(ka.bucket(), "clean");
+    }
+
+    #[test]
+    fn seed_changes_alone_do_not_create_new_coverage() {
+        // The whole point of bucketing: re-rolling the RNG seed on an
+        // otherwise identical scenario lands in the same bucket almost
+        // always (identical here, where nothing is randomized but
+        // latency jitter).
+        let a = quiet_scenario("s").with_seed(1);
+        let b = quiet_scenario("s").with_seed(2);
+        let (ra, rb) = (run(&a), run(&b));
+        assert_eq!(
+            CoverageKey::of(&a, &ra).fingerprint(),
+            CoverageKey::of(&b, &rb).fingerprint(),
+            "seed jitter alone must not look like new behaviour"
+        );
+    }
+
+    #[test]
+    fn behaviour_shifts_the_key_config_alone_does_not() {
+        let base = quiet_scenario("base");
+        let report = run(&base);
+        let key = CoverageKey::of(&base, &report);
+
+        // The key is behaviour-only: a config knob that doesn't change
+        // what the run *did* (here, a loss rate too small to drop a
+        // single frame of this tiny quiet run) must NOT read as new
+        // coverage — that's exactly the config echo the module docs rule
+        // out.
+        let mut lossy = quiet_scenario("irrelevant-loss");
+        lossy.net.loss = 1e-9;
+        let lr = run(&lossy);
+        assert_eq!(
+            report.trace.observations.last().unwrap().lost,
+            0,
+            "premise: the loss rate is too small to matter"
+        );
+        assert_eq!(
+            key.fingerprint(),
+            CoverageKey::of(&lossy, &lr).fingerprint(),
+            "config that doesn't change behaviour must not change the key"
+        );
+
+        // Heavy loss changes the lost-frame counters: new key.
+        let mut heavy = quiet_scenario("heavy-loss");
+        heavy.net.loss = 0.25;
+        let hr = run(&heavy);
+        assert!(hr.trace.observations.last().unwrap().lost > 0);
+        assert_ne!(key.fingerprint(), CoverageKey::of(&heavy, &hr).fingerprint());
+
+        // A crash mid-run changes the traffic and view movement: new key.
+        let nodes = base.layout().root_ring().nodes.clone();
+        let crashy = quiet_scenario("crashy").crash(700, nodes[1]);
+        let cr = run(&crashy);
+        assert_ne!(key.fingerprint(), CoverageKey::of(&crashy, &cr).fingerprint());
+
+        // A taller topology multiplies the traffic volume: new key.
+        let tall = Scenario::new("tall", 2, 3).with_duration(1_500);
+        let aps = tall.layout().aps();
+        let tall = tall.join(0, aps[0], Guid(1), Luid(1)).join(5, aps[1], Guid(2), Luid(1));
+        let tr = run(&tall);
+        assert_ne!(key.fingerprint(), CoverageKey::of(&tall, &tr).fingerprint());
+    }
+
+    #[test]
+    fn violation_outcome_owns_its_bucket() {
+        let sc = quiet_scenario("v");
+        let mut report = run(&sc);
+        report.violation =
+            Some(Violation { oracle: "epoch_agreement", at: 100, detail: "forged".to_string() });
+        let key = CoverageKey::of(&sc, &report);
+        assert_eq!(key.bucket(), "violation:epoch_agreement");
+        let clean = CoverageKey::of(&sc, &run(&sc));
+        assert_ne!(key.fingerprint(), clean.fingerprint());
+    }
+
+    #[test]
+    fn map_dedups_and_counts_buckets() {
+        let sc = quiet_scenario("m");
+        let report = run(&sc);
+        let key = CoverageKey::of(&sc, &report);
+        let mut map = CoverageMap::new();
+        assert!(map.insert(&key));
+        assert!(!map.insert(&key), "second sighting is not novel");
+        assert_eq!(map.distinct(), 1);
+        assert_eq!(map.by_bucket().get("clean"), Some(&1));
+        assert!(map.insert_fingerprint(12345));
+        assert!(!map.insert_fingerprint(12345));
+        assert_eq!(map.distinct(), 2);
+    }
+
+    #[test]
+    fn buckets_are_log_shaped() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+    }
+}

@@ -23,11 +23,15 @@
 //! (`cargo run -p rgb-bench --bin explore -- --seeds 200 --smoke`).
 
 pub mod artifact;
+pub mod corpus;
+pub mod coverage;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
 
-pub use gen::{GenLimits, ScenarioGen};
+pub use corpus::{Corpus, CorpusEntry, GuidedConfig, GuidedExploration, GuidedStats};
+pub use coverage::{CoverageKey, CoverageMap, RunOutcome};
+pub use gen::{GenLimits, Mutated, MutationOp, ScenarioGen};
 pub use oracle::{standard_oracles, Oracle, Violation};
 pub use shrink::{shrink, Shrunk};
 
@@ -326,7 +330,15 @@ impl Explorer {
                 Err(_) => false,
             }
         });
-        let artifact = artifact::render(&shrunk.scenario);
+        // The artifact records which oracle it is expected to fire, so a
+        // replay can tell "bug fixed" from "repro rotted" (stale).
+        let artifact = artifact::render_with_meta(
+            &shrunk.scenario,
+            &artifact::ArtifactMeta {
+                oracle: Some(target.to_string()),
+                ..artifact::ArtifactMeta::default()
+            },
+        );
         FoundViolation {
             seed,
             violation: violation.clone(),

@@ -31,6 +31,7 @@ pub mod mobility;
 pub mod network;
 pub mod oracle;
 pub mod par;
+pub mod presets;
 mod queue;
 pub mod rng;
 pub mod scenario;

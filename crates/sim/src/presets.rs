@@ -1,0 +1,241 @@
+//! Named production-shaped workload presets — the hand-grown half of the
+//! scenario corpus.
+//!
+//! Where [`crate::explore`] *discovers* scenarios by novelty search, this
+//! module *declares* the workload shapes production systems are actually
+//! measured against, one constructor per shape, each a pure function of a
+//! seed (same seed, same scenario — a corpus artifact is a complete bug
+//! report):
+//!
+//! - [`flash_crowd_join_storm`] — a cold start: a ~10⁵-node three-level
+//!   hierarchy hit by a burst of member joins in the first ticks, the
+//!   paper's scalability claim exercised as one event storm;
+//! - [`diurnal_load_curve`] — a small deployment over one simulated day:
+//!   a morning join ramp, midday roaming and queries, an evening drain,
+//!   night-time failures;
+//! - [`rolling_upgrade_churn`] — an operator walking every ring and
+//!   restarting one node per ring in staggered waves, over light
+//!   background churn (the "upgrade Tuesday" shape);
+//! - [`multi_day_soak`] — a 3·10⁵-tick endurance run with slow continuous
+//!   churn, periodic global queries and a bounded delivery log, the
+//!   scenario [`MemoryStats`](crate::sim::MemoryStats) bounds are asserted
+//!   against.
+//!
+//! The committed `tests/corpus/*.scn` artifacts are these presets at seed
+//! 1 (pinned by `corpus_phase1`); `tests/corpus/README.md` documents the
+//! staging. Every preset validates and runs on `Backend::{Sim, Par}` with
+//! byte-identical digest streams.
+
+use crate::rng::SplitMix64;
+use crate::scenario::Scenario;
+use crate::workload::ChurnParams;
+use rgb_core::prelude::*;
+
+/// The preset names, in corpus order.
+pub const NAMES: [&str; 4] =
+    ["flash_crowd_join_storm", "diurnal_load_curve", "rolling_upgrade_churn", "multi_day_soak"];
+
+/// Look up a preset constructor by name.
+pub fn by_name(name: &str, seed: u64) -> Option<Scenario> {
+    match name {
+        "flash_crowd_join_storm" => Some(flash_crowd_join_storm(seed)),
+        "diurnal_load_curve" => Some(diurnal_load_curve(seed)),
+        "rolling_upgrade_churn" => Some(rolling_upgrade_churn(seed)),
+        "multi_day_soak" => Some(multi_day_soak(seed)),
+        _ => None,
+    }
+}
+
+/// Every preset at `seed`, in [`NAMES`] order.
+pub fn all(seed: u64) -> Vec<Scenario> {
+    NAMES.iter().map(|n| by_name(n, seed).expect("registered preset")).collect()
+}
+
+/// A ~10⁵-node cold start: three levels of ring size 46
+/// (46·(1+46+46²) = 99 498 NEs) absorb a storm of 1 000 member joins in
+/// the first 200 ticks, followed by one global query. Short duration —
+/// the point is the join cascade, not steady state. Release-tier: run it
+/// through `Backend::Par`.
+pub fn flash_crowd_join_storm(seed: u64) -> Scenario {
+    let sc = Scenario::new("flash_crowd_join_storm", 3, 46).with_seed(seed).with_duration(600);
+    let layout = sc.layout();
+    let aps = layout.aps();
+    let root = layout.root_ring().nodes[0];
+    let mut rng = SplitMix64::new(seed ^ 0x0066_6C61_7368);
+    let mut sc = sc;
+    for j in 0..1_000u64 {
+        let at = rng.range(0, 200);
+        let ap = *rng.pick(&aps);
+        sc = sc.join(at, ap, Guid(1 + j), Luid(1));
+    }
+    sc.query(450, root, QueryScope::Global)
+}
+
+/// One simulated day on a 30-NE deployment (two levels, ring size 5):
+/// a morning ramp of 40 joins, midday cell-to-cell roaming plus hourly
+/// global queries, an evening drain of half the members, and a handful of
+/// night-time failure detections.
+pub fn diurnal_load_curve(seed: u64) -> Scenario {
+    const DAY: u64 = 20_000;
+    let sc = Scenario::new("diurnal_load_curve", 2, 5).with_seed(seed).with_duration(DAY);
+    let layout = sc.layout();
+    let aps = layout.aps();
+    let root = layout.root_ring().nodes[0];
+    let mut rng = SplitMix64::new(seed ^ 0x0064_6975_726E);
+    let mut sc = sc;
+
+    // Morning ramp: 40 members join across [0, 5000).
+    let members = 40u64;
+    let mut home = Vec::new();
+    for m in 0..members {
+        let at = m * 125;
+        let ap = *rng.pick(&aps);
+        home.push(ap);
+        sc = sc.join(at, ap, Guid(100 + m), Luid(1));
+    }
+
+    // Midday: a third of the members roam to a different cell; a global
+    // query fires every simulated "hour".
+    for m in (0..members).step_by(3) {
+        let at = 5_000 + rng.range(0, 7_000);
+        let from = home[m as usize];
+        let to = aps[(aps.iter().position(|&a| a == from).unwrap() + 1) % aps.len()];
+        sc = sc.mh(
+            at,
+            to,
+            MhEvent::HandoffIn { guid: Guid(100 + m), luid: Luid(2), from: Some(from) },
+        );
+    }
+    for hour in 1..=6u64 {
+        sc = sc.query(5_000 + hour * 1_200, root, QueryScope::Global);
+    }
+
+    // Evening drain: the other members leave across [13000, 16000).
+    for m in (1..members).step_by(3).chain((2..members).step_by(3)) {
+        let at = 13_000 + rng.range(0, 3_000);
+        let ap = home[m as usize];
+        sc = sc.mh(at, ap, MhEvent::Leave { guid: Guid(100 + m) });
+    }
+
+    // Night: a few of the roamers drop off the network unannounced.
+    for m in (0..members).step_by(9) {
+        let at = 16_500 + rng.range(0, 2_500);
+        let from = home[m as usize];
+        let ap = aps[(aps.iter().position(|&a| a == from).unwrap() + 1) % aps.len()];
+        sc = sc.mh(at, ap, MhEvent::FailureDetected { guid: Guid(100 + m) });
+    }
+    sc.query(DAY - 500, root, QueryScope::Global)
+}
+
+/// An operator restarting the fleet: a 258-NE three-level hierarchy
+/// (ring size 6) where one node per ring crashes in staggered waves —
+/// bottom tier first, sponsors last, mimicking a rolling upgrade order —
+/// over light background member churn, with a global query after the
+/// last wave.
+pub fn rolling_upgrade_churn(seed: u64) -> Scenario {
+    const DUR: u64 = 8_000;
+    let sc = Scenario::new("rolling_upgrade_churn", 3, 6).with_seed(seed).with_duration(DUR);
+    let layout = sc.layout();
+    let root = layout.root_ring().nodes[0];
+    let mut rng = SplitMix64::new(seed ^ 0x7570_6772_6164);
+    let mut sc = sc.with_churn(ChurnParams {
+        initial_members: 24,
+        mean_join_interval: 400.0,
+        mean_lifetime: 3_000.0,
+        failure_fraction: 0.2,
+        duration: DUR,
+    });
+
+    // Bottom-up over the rings: deepest level first (leaf restarts are
+    // routine; sponsor restarts — which orphan a subtree until repair —
+    // come last, exactly as an operator would order them).
+    let mut rings: Vec<_> = layout.rings.iter().collect();
+    rings.sort_by_key(|r| std::cmp::Reverse(r.level));
+    let step = 5_000 / rings.len() as u64;
+    for (i, ring) in rings.iter().enumerate() {
+        let victim = ring.nodes[rng.range(0, ring.nodes.len() as u64) as usize];
+        let at = 500 + i as u64 * step + rng.range(0, step.max(2) / 2);
+        sc = sc.crash(at, victim);
+    }
+    sc.query(6_500, root, QueryScope::Global).query(7_600, root, QueryScope::Global)
+}
+
+/// A 3·10⁵-tick endurance run on a 20-NE deployment: slow continuous
+/// churn (members live ~20 000 ticks), a global query every 50 000 ticks,
+/// and a delivery log capped at 256 events per node — the preset the
+/// [`MemoryStats`](crate::sim::MemoryStats) bound tests run against, so
+/// long-lived simulations prove their footprint stays proportional to
+/// live state, not elapsed time.
+pub fn multi_day_soak(seed: u64) -> Scenario {
+    const DUR: u64 = 300_000;
+    let sc = Scenario::new("multi_day_soak", 2, 4)
+        .with_seed(seed)
+        .with_duration(DUR)
+        .with_delivered_cap(256)
+        .with_churn(ChurnParams {
+            initial_members: 8,
+            mean_join_interval: 2_000.0,
+            mean_lifetime: 20_000.0,
+            failure_fraction: 0.15,
+            duration: DUR,
+        });
+    let root = sc.layout().root_ring().nodes[0];
+    let mut sc = sc;
+    for q in 1..=5u64 {
+        sc = sc.query(q * 50_000, root, QueryScope::Global);
+    }
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_deterministic_and_validate() {
+        for name in NAMES {
+            let a = by_name(name, 1).unwrap();
+            let b = by_name(name, 1).unwrap();
+            assert_eq!(a, b, "{name} must be a pure function of its seed");
+            assert_eq!(a.name, name);
+            a.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_ne!(by_name(name, 2).unwrap(), a, "{name} must vary with the seed");
+        }
+        assert_eq!(all(1).len(), NAMES.len());
+        assert!(by_name("unknown", 1).is_none());
+    }
+
+    #[test]
+    fn preset_shapes_match_their_claims() {
+        let flash = flash_crowd_join_storm(1);
+        assert_eq!(flash.layout().node_count(), 99_498, "≈10⁵-node cold start");
+        assert_eq!(flash.mh_schedule.len(), 1_000);
+
+        let day = diurnal_load_curve(1);
+        assert_eq!(day.layout().node_count(), 30);
+        assert!(day.mh_schedule.iter().any(|(_, _, e)| matches!(e, MhEvent::HandoffIn { .. })));
+        assert!(day.mh_schedule.iter().any(|(_, _, e)| matches!(e, MhEvent::Leave { .. })));
+        assert!(day
+            .mh_schedule
+            .iter()
+            .any(|(_, _, e)| matches!(e, MhEvent::FailureDetected { .. })));
+        assert!(day.queries.len() >= 7);
+
+        let upgrade = rolling_upgrade_churn(1);
+        let rings = upgrade.layout().ring_count();
+        assert_eq!(upgrade.crashes.len(), rings, "one restart per ring");
+        // Bottom-up: the first wave hits the deepest level, the last hits
+        // the root ring.
+        let layout = upgrade.layout();
+        let mut crashes = upgrade.crashes.clone();
+        crashes.sort_by_key(|c| c.at);
+        let first_level = layout.placement(crashes.first().unwrap().node).unwrap().level;
+        let last_level = layout.placement(crashes.last().unwrap().node).unwrap().level;
+        assert!(first_level > last_level, "upgrade order must be bottom-up");
+
+        let soak = multi_day_soak(1);
+        assert_eq!(soak.duration, 300_000);
+        assert_eq!(soak.delivered_cap, Some(256));
+        assert!(!soak.mh_schedule.is_empty(), "soak carries continuous churn");
+    }
+}

@@ -1,0 +1,120 @@
+//! Corpus phase 1 — the light tier of the named production-shaped
+//! scenario corpus (`tests/corpus/`, constructors in [`rgb_sim::presets`]).
+//!
+//! Runs in debug on every `cargo test`: pins the committed artifacts to
+//! their constructors (a corpus file that drifts from `presets::<name>(1)`
+//! is a silently different experiment), and drives the two cheap presets
+//! end-to-end on both engines with the standard oracle battery and their
+//! per-scenario envelope assertions. The heavier presets are phase 2/3
+//! (`corpus_phase2.rs`, `corpus_phase3.rs`), release-tier.
+
+use rgb_sim::explore::{artifact, Explorer};
+use rgb_sim::presets;
+
+fn corpus_path(name: &str) -> String {
+    format!("{}/../../tests/corpus/{name}.scn", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn committed_corpus_artifacts_pin_their_presets() {
+    for name in presets::NAMES {
+        let text = std::fs::read_to_string(corpus_path(name))
+            .unwrap_or_else(|e| panic!("committed corpus artifact {name}.scn: {e}"));
+        let parsed =
+            artifact::parse(&text).unwrap_or_else(|e| panic!("{name}.scn must parse: {e}"));
+        let preset = presets::by_name(name, 1).expect("registered preset");
+        assert_eq!(
+            parsed, preset,
+            "{name}.scn drifted from presets::{name}(1) — regenerate with \
+             `explore --write-presets tests/corpus` or fix the preset"
+        );
+        // Canonical rendering: the committed bytes are exactly what the
+        // renderer produces today, so format changes can't hide in diffs.
+        assert_eq!(artifact::render(&preset), text, "{name}.scn is not canonically rendered");
+    }
+}
+
+#[test]
+fn diurnal_load_curve_meets_its_envelope() {
+    let sc = presets::diurnal_load_curve(1);
+    let report = Explorer::default().run_scenario(&sc).expect("preset validates");
+    assert!(report.violation.is_none(), "oracle fired: {:?}", report.violation);
+    // Envelope: one simulated day settles, the roamers' handoffs and the
+    // evening drain all surface as application events, and the final
+    // digest holds the members who neither left nor failed.
+    let settled = report.trace.settled_at().expect("a day of load must settle");
+    assert!(settled <= sc.duration, "settled during the scheduled day, not the settle grace");
+    let last = report.trace.observations.last().unwrap();
+    assert!(last.app_events > 0, "joins/leaves/handoffs must reach the application");
+}
+
+#[test]
+fn rolling_upgrade_churn_meets_its_envelope() {
+    let sc = presets::rolling_upgrade_churn(1);
+    let report = Explorer::default().run_scenario(&sc).expect("preset validates");
+    assert!(report.violation.is_none(), "oracle fired: {:?}", report.violation);
+    // Envelope: every ring lost exactly one node, so the crashed set at
+    // the end is one victim per ring — and the system still settles.
+    assert!(report.trace.settled_at().is_some(), "fleet must recover from the rolling upgrade");
+    assert_eq!(sc.crashes.len(), sc.layout().ring_count(), "one restart per ring");
+}
+
+/// Cheap presets replay to byte-identical digest streams on the
+/// sequential and the sharded engine — the corpus is runnable on
+/// `Backend::{Sim, Par}` interchangeably. (Phases 2–3 cover the heavy
+/// presets; the release-tier `explore --corpus-replay tests/corpus` gate
+/// covers all four from the committed artifacts.)
+#[test]
+fn cheap_presets_are_engine_equivalent() {
+    for sc in [presets::diurnal_load_curve(1), presets::rolling_upgrade_churn(1)] {
+        let stride = (sc.duration / 16).max(1);
+        let mut seq = sc.try_build_sim().expect("preset validates");
+        let mut par = sc.try_build_par(4).expect("preset validates");
+        let mut t = 0;
+        while t < sc.duration {
+            t = (t + stride).min(sc.duration);
+            seq.run_until(t);
+            par.run_until(t);
+            assert_eq!(
+                seq.system_digest(false),
+                par.system_digest(false),
+                "'{}' diverged at t={t}",
+                sc.name
+            );
+        }
+    }
+}
+
+#[test]
+fn presets_are_seed_parameterized() {
+    // The committed artifacts are seed 1, but the constructors are pure
+    // functions of any seed — a different seed is a different workload
+    // with the same shape.
+    for name in presets::NAMES {
+        let one = presets::by_name(name, 1).unwrap();
+        let two = presets::by_name(name, 2).unwrap();
+        assert_ne!(one, two, "{name} must vary with the seed");
+        assert_eq!(one.height, two.height, "{name}: shape (height) is seed-independent");
+        assert_eq!(one.ring_size, two.ring_size, "{name}: shape (ring size) is seed-independent");
+        two.validate().unwrap_or_else(|e| panic!("{name} at seed 2: {e}"));
+    }
+    // Spot-check determinism of one full run per cheap preset family.
+    let a = Explorer::default().run_scenario(&presets::diurnal_load_curve(3)).unwrap();
+    let b = Explorer::default().run_scenario(&presets::diurnal_load_curve(3)).unwrap();
+    let fp = |r: &rgb_sim::explore::RunReport| {
+        r.trace.observations.iter().map(|o| o.fingerprint).collect::<Vec<_>>()
+    };
+    assert_eq!(fp(&a), fp(&b), "same seed, same digest trace");
+}
+
+#[test]
+fn corpus_readme_documents_every_preset() {
+    let readme = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/corpus/README.md"
+    ))
+    .expect("tests/corpus/README.md exists");
+    for name in presets::NAMES {
+        assert!(readme.contains(name), "README.md must document {name}");
+    }
+}

@@ -4,7 +4,8 @@
 //! cannot rot as the format or the generator evolve.
 
 use proptest::prelude::*;
-use rgb_sim::explore::{artifact, ScenarioGen};
+use rgb_sim::explore::artifact::{self, ArtifactMeta};
+use rgb_sim::explore::ScenarioGen;
 
 proptest! {
     fn generated_scenarios_round_trip(master in 0u64..1_000_000, index in 0u64..512) {
@@ -24,9 +25,56 @@ proptest! {
     }
 }
 
+proptest! {
+    fn lineage_metadata_round_trips_losslessly(
+        master in 0u64..1_000_000,
+        index in 0u64..256,
+        generation in 0u32..10_000,
+        coverage in proptest::option::of(any::<u64>()),
+        with_parent in any::<bool>(),
+        with_operator in any::<bool>(),
+        with_oracle in any::<bool>(),
+    ) {
+        let sc = ScenarioGen::smoke(master).scenario(index);
+        let meta = ArtifactMeta {
+            generation,
+            parent: with_parent.then(|| format!("gen-{index:06}+loss@{master:x}")),
+            operator: with_operator.then(|| "loss".to_string()),
+            coverage,
+            oracle: with_oracle.then(|| "epoch_agreement".to_string()),
+        };
+        let text = artifact::render_with_meta(&sc, &meta);
+
+        // The extended format is lossless through parse_with_meta...
+        let (back, back_meta) = artifact::parse_with_meta(&text)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(&back, &sc);
+        prop_assert_eq!(&back_meta, &meta);
+
+        // ...and invisible to the plain scenario parse: lineage can never
+        // change what a replay executes.
+        let plain = artifact::parse(&text)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(&plain, &sc);
+
+        // A v1 file (no meta lines) still parses, with default metadata —
+        // old committed artifacts never rot.
+        let v1_text = artifact::render(&sc);
+        let (v1, v1_meta) = artifact::parse_with_meta(&v1_text)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(&v1, &sc);
+        prop_assert_eq!(&v1_meta, &ArtifactMeta::default());
+    }
+}
+
 #[test]
 fn round_trip_property() {
     generated_scenarios_round_trip();
+}
+
+#[test]
+fn lineage_meta_round_trip_property() {
+    lineage_metadata_round_trips_losslessly();
 }
 
 #[test]

@@ -1,0 +1,85 @@
+//! The shrinker preserves the coverage bucket of the violation it
+//! minimises.
+//!
+//! ddmin accepts a cut only when the **same oracle** fires again, and the
+//! coverage bucket of a violating run is `violation:<oracle>` — so a
+//! shrunk reproducer must land in the original's bucket. If it didn't,
+//! replaying shrunk artifacts through the guided loop would count every
+//! minimised bug as "new coverage" and the corpus would fill with
+//! re-discoveries of one violation. This test pins that contract through
+//! the public API, with a synthetic always-firing oracle (no real
+//! protocol bug required).
+
+use rgb_core::prelude::*;
+use rgb_sim::explore::coverage::CoverageKey;
+use rgb_sim::explore::{Explorer, Oracle, ScenarioGen, Violation};
+use rgb_sim::Scenario;
+
+/// Fires as soon as any node has crashed — a deterministic stand-in for a
+/// crash-triggered protocol bug, so ddmin must keep at least one crash.
+#[derive(Debug, Default)]
+struct CrashWitness;
+
+impl Oracle for CrashWitness {
+    fn name(&self) -> &'static str {
+        "crash_witness"
+    }
+
+    fn check(&mut self, digest: &SystemDigest) -> Result<(), Violation> {
+        match digest.crashed.iter().next() {
+            Some(node) => Err(Violation {
+                oracle: self.name(),
+                at: digest.now,
+                detail: format!("{node} crashed (synthetic witness)"),
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+fn witness_battery(_: &Scenario) -> Vec<Box<dyn Oracle>> {
+    vec![Box::new(CrashWitness)]
+}
+
+#[test]
+fn shrinking_preserves_the_coverage_bucket() {
+    let explorer = Explorer::default();
+    // Sample smoke seeds until one carries a crash plan (most do), so the
+    // witness has something to fire on and ddmin has plenty to cut.
+    let gen = ScenarioGen::smoke(11);
+    let scenario = (0..64)
+        .map(|i| gen.scenario(i))
+        .find(|sc| !sc.crashes.is_empty())
+        .expect("the smoke envelope schedules crashes");
+
+    let mut oracles = witness_battery(&scenario);
+    let report = explorer.run_scenario_with(&scenario, &mut oracles).unwrap();
+    let violation = report.violation.clone().expect("witness fires once a crash lands");
+    let original_key = CoverageKey::of(&scenario, &report);
+    assert_eq!(original_key.bucket(), "violation:crash_witness");
+
+    let found = explorer.shrink_violation_with(0, &scenario, &violation, witness_battery);
+    assert!(
+        found.shrunk.scheduled_events() <= found.scenario.scheduled_events(),
+        "shrinking never grows the scenario"
+    );
+
+    // Re-run the minimised scenario: same oracle, same bucket.
+    let mut oracles = witness_battery(&found.shrunk);
+    let shrunk_report = explorer.run_scenario_with(&found.shrunk, &mut oracles).unwrap();
+    let shrunk_key = CoverageKey::of(&found.shrunk, &shrunk_report);
+    assert_eq!(
+        shrunk_key.bucket(),
+        original_key.bucket(),
+        "ddmin moved the violation out of its coverage bucket"
+    );
+    assert!(!found.shrunk.crashes.is_empty(), "the triggering crash survived the cuts");
+
+    // And the artifact it writes says which oracle it documents, so a
+    // replay can detect staleness (`explore --replay` exit code 3).
+    assert!(
+        found.artifact.contains("meta.oracle: crash_witness"),
+        "artifact must record its expected oracle:\n{}",
+        found.artifact
+    );
+}

@@ -9,7 +9,7 @@
 //! cargo run --release -p rgb-bench --bin bench_scale -- \
 //!     [--smoke | --million] [--runs N] [--check-digests] \
 //!     [--min-speedup X [--gate-shards S] [--warn-speedup Y]] \
-//!     [--out BENCH_scale.json] [--budget-secs T]
+//!     [--out BENCH_scale.json] [--obs-out OBS.json] [--budget-secs T]
 //! ```
 //!
 //! - Default (full) tier runs the 100k-node scenario (h=3, r=46 ⇒ 99,498
@@ -30,6 +30,12 @@
 //!   clears the gate but misses Y. The gate **refuses to run on a
 //!   single-core host**: a 1-core "speedup" measures scheduler overhead,
 //!   not the engine.
+//! - `--obs-out OBS.json` runs one extra obs-instrumented pass on the
+//!   4-shard engine — flight recorder per shard, periodic timeline
+//!   samples, per-ring-level latency histograms — and writes the
+//!   `rgb-obs v1` JSON document there plus a Prometheus text sibling at
+//!   `OBS.json.prom`. The sweep's own timings are never polluted: the
+//!   obs pass is a separate run.
 //! - `--budget-secs` fails the run if the whole sweep (digest check
 //!   included) exceeds the budget — the CI job's time box.
 //!
@@ -38,9 +44,13 @@
 //! written as `null` with a note saying why — the determinism claim is
 //! machine-independent, the speedup claim is not.
 
+use rgb_core::obs::{FlightRecorder, TraceSink};
 use rgb_core::prelude::*;
 use rgb_sim::fault::bernoulli_crashes;
-use rgb_sim::{ChurnParams, LatencyBand, NetConfig, ParStats, Scenario, Simulation};
+use rgb_sim::{
+    obs_json, prometheus_text, ChurnParams, LatencyBand, NetConfig, ObsReport, ParStats, Scenario,
+    Simulation, Timeline,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -173,6 +183,51 @@ fn run_par(scenario: &Scenario, shards: usize, runs: usize) -> Measurement {
     }
 }
 
+/// One extra obs-instrumented pass on the parallel engine: a flight
+/// recorder per shard, timeline samples every `duration/20` ticks, and
+/// the per-ring-level latency surfaces — written as the `rgb-obs v1`
+/// JSON document at `path` plus a Prometheus text sibling at
+/// `path.prom`. Run separately so the sweep's timings stay clean.
+fn run_obs(scenario: &Scenario, shards: usize, path: &str) {
+    const TRACE_CAP: usize = 4096;
+    const SLICES: u64 = 20;
+    let mut sim = scenario.try_build_par(shards).expect("scenario validates");
+    sim.enable_obs(|_| Box::new(FlightRecorder::new(TRACE_CAP)) as Box<dyn TraceSink>);
+    let start = Instant::now();
+    let mut timeline = Timeline::new();
+    let stride = (scenario.duration / SLICES).max(1);
+    let mut t = 0;
+    while t < scenario.duration {
+        t = (t + stride).min(scenario.duration);
+        sim.run_until(t);
+        timeline.sample(t, start.elapsed().as_nanos(), &sim.metrics());
+    }
+    let wall_nanos = start.elapsed().as_nanos();
+    let metrics = sim.metrics();
+    let trace = sim.trace_snapshot();
+    let report = ObsReport {
+        scenario: &scenario.name,
+        backend: "par",
+        ticks: scenario.duration,
+        wall_nanos,
+        metrics: &metrics,
+        timeline: &timeline,
+        trace: &trace,
+        trace_dropped: sim.trace_dropped(),
+    };
+    std::fs::write(path, obs_json(&report)).expect("write obs json");
+    let prom_path = format!("{path}.prom");
+    std::fs::write(&prom_path, prometheus_text(&metrics)).expect("write obs prometheus text");
+    eprintln!(
+        "  obs: wrote {path} and {prom_path} ({} trace records, {} evicted; repair p50 {:?} / \
+         p99 {:?} ticks)",
+        trace.len(),
+        report.trace_dropped,
+        metrics.levels.repair_quantile(0.5),
+        metrics.levels.repair_quantile(0.99),
+    );
+}
+
 /// Digest-compare the two engines at checkpoints; returns the number of
 /// compared checkpoints, or an error message naming the first divergence.
 fn check_digests(scenario: &Scenario, shards: usize, stride: u64) -> Result<usize, String> {
@@ -265,8 +320,18 @@ fn render_json(
                 let _ = write!(
                     out,
                     ", \"par_stats\": {{ \"windows\": {}, \"idle_skips\": {}, \
-                     \"frames_batched\": {}, \"batches\": {}, \"max_batch\": {} }}",
-                    s.windows, s.idle_skips, s.frames_batched, s.batches, s.max_batch
+                     \"frames_batched\": {}, \"batches\": {}, \"max_batch\": {}, \
+                     \"phase_nanos\": {{ \"execute\": {}, \"flush\": {}, \"barrier\": {}, \
+                     \"drain\": {} }} }}",
+                    s.windows,
+                    s.idle_skips,
+                    s.frames_batched,
+                    s.batches,
+                    s.max_batch,
+                    s.execute_nanos,
+                    s.flush_nanos,
+                    s.barrier_nanos,
+                    s.drain_nanos
                 );
             }
             None => {
@@ -292,6 +357,7 @@ fn main() {
     let flag_value =
         |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_scale.json".to_owned());
+    let obs_out = flag_value("--obs-out");
     let budget_secs: Option<u64> = flag_value("--budget-secs").map(|v| v.parse().expect("secs"));
     let runs_per_mode: usize = flag_value("--runs").map_or(3, |v| v.parse().expect("--runs N"));
     let min_speedup: Option<f64> =
@@ -375,6 +441,10 @@ fn main() {
     let json = render_json(tier, nodes, duration, cores, runs_per_mode, digest_checkpoints, &runs);
     std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
     eprintln!("wrote {out_path}");
+
+    if let Some(path) = &obs_out {
+        run_obs(&scenario, 4, path);
+    }
 
     if let Some(gate) = min_speedup {
         let mode = format!("shards{gate_shards}");

@@ -12,6 +12,7 @@
 //!         [--replay FILE] [--expect-clean]
 //!         [--corpus DIR] [--mutate] [--coverage-stats] [--stats-out FILE]
 //!         [--corpus-replay DIR] [--write-presets DIR]
+//!         [--obs-run NAME [--obs-out FILE]]
 //! ```
 //!
 //! - Default mode explores the full generation envelope; `--smoke` uses
@@ -55,6 +56,12 @@
 //!   oracles stay silent — the PR-pipeline gate for the committed corpus.
 //! - `--write-presets DIR` regenerates the named production-shaped corpus
 //!   (`rgb_sim::presets`, seed 1) under DIR.
+//! - `--obs-run NAME` runs the named preset (seed 1) with the
+//!   observability layer enabled on the sequential *and* the sharded
+//!   engine, verifies the digest streams stay byte-identical with obs on,
+//!   and writes the parallel run's `rgb-obs v1` JSON document to
+//!   `--obs-out FILE` (stdout when omitted) plus a Prometheus-style
+//!   `FILE.prom` sibling — the CI `obs-smoke` job's entry point.
 //! - `--time-budget-secs` stops cleanly (exit 0) once the budget is
 //!   spent, reporting how many seeds were covered; the nightly job uses
 //!   it to stay time-boxed.
@@ -92,6 +99,8 @@ struct Args {
     stats_out: Option<PathBuf>,
     corpus_replay: Option<PathBuf>,
     write_presets: Option<PathBuf>,
+    obs_run: Option<String>,
+    obs_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -115,6 +124,8 @@ fn parse_args() -> Args {
         stats_out: None,
         corpus_replay: None,
         write_presets: None,
+        obs_run: None,
+        obs_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -153,6 +164,8 @@ fn parse_args() -> Args {
             "--stats-out" => args.stats_out = Some(PathBuf::from(value("--stats-out"))),
             "--corpus-replay" => args.corpus_replay = Some(PathBuf::from(value("--corpus-replay"))),
             "--write-presets" => args.write_presets = Some(PathBuf::from(value("--write-presets"))),
+            "--obs-run" => args.obs_run = Some(value("--obs-run")),
+            "--obs-out" => args.obs_out = Some(PathBuf::from(value("--obs-out"))),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -177,6 +190,10 @@ fn main() {
     }
     if let Some(dir) = &args.corpus_replay {
         corpus_replay(&explorer, dir, args.shards.unwrap_or(4));
+        return;
+    }
+    if let Some(name) = &args.obs_run {
+        obs_run(name, args.obs_out.as_deref(), args.shards.unwrap_or(4));
         return;
     }
 
@@ -593,6 +610,89 @@ fn write_presets(dir: &Path) {
         let path = dir.join(format!("{}.scn", sc.name));
         std::fs::write(&path, artifact::render(&sc)).expect("write preset artifact");
         println!("wrote {}", path.display());
+    }
+}
+
+/// `--obs-run NAME`: run the named preset with the observability layer on
+/// (flight recorders on every shard, per-ring-level latency histograms),
+/// prove the sequential and sharded digest streams stay byte-identical
+/// with obs enabled, and export the parallel run as an `rgb-obs v1` JSON
+/// document plus a Prometheus-style text sibling.
+fn obs_run(name: &str, out: Option<&Path>, shards: usize) {
+    use rgb_core::obs::{FlightRecorder, TraceSink};
+    use rgb_sim::{obs_json, prometheus_text, ObsReport, Timeline};
+
+    /// Per-engine flight-recorder capacity (the par engine gets one per
+    /// shard; the snapshot is the sorted concatenation).
+    const TRACE_CAP: usize = 4096;
+
+    let scenario = presets::by_name(name, 1).unwrap_or_else(|| {
+        eprintln!("unknown preset '{name}'; available: {}", presets::NAMES.join(", "));
+        std::process::exit(2);
+    });
+    println!(
+        "obs run: preset '{}' ({} nodes, {} ticks), Seq vs Par({shards}), obs enabled on both",
+        scenario.name,
+        scenario.layout().nodes.len(),
+        scenario.duration
+    );
+    let t0 = Instant::now();
+    let mut seq = scenario.try_build_sim().expect("preset validates");
+    seq.enable_obs(Box::new(FlightRecorder::new(TRACE_CAP)));
+    let mut par = scenario.try_build_par(shards).expect("preset validates");
+    par.enable_obs(|_| Box::new(FlightRecorder::new(TRACE_CAP)) as Box<dyn TraceSink>);
+
+    // Same checkpoint stride as --corpus-replay, with a timeline sample at
+    // every checkpoint — the digest equality check *is* the smoke test
+    // that obs instrumentation never perturbs the protocol.
+    let stride = (scenario.duration / 16).max(1);
+    let mut timeline = Timeline::new();
+    let mut t = 0u64;
+    let mut checkpoints = 0usize;
+    while t < scenario.duration {
+        t = (t + stride).min(scenario.duration);
+        seq.run_until(t);
+        par.run_until(t);
+        timeline.sample(t, t0.elapsed().as_nanos(), &par.metrics());
+        checkpoints += 1;
+        if seq.system_digest(false) != par.system_digest(false) {
+            eprintln!("DIGEST DIVERGENCE with obs enabled at t={t} (checkpoint {checkpoints})");
+            std::process::exit(1);
+        }
+    }
+    let wall_nanos = t0.elapsed().as_nanos();
+    println!(
+        "  {checkpoints} obs-enabled checkpoints byte-identical ({:.1}s)",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let metrics = par.metrics();
+    let trace = par.trace_snapshot();
+    let report = ObsReport {
+        scenario: &scenario.name,
+        backend: "par",
+        ticks: scenario.duration,
+        wall_nanos,
+        metrics: &metrics,
+        timeline: &timeline,
+        trace: &trace,
+        trace_dropped: par.trace_dropped(),
+    };
+    println!(
+        "  {} trace records ({} evicted); repair p50 {:?} / p99 {:?} ticks",
+        trace.len(),
+        report.trace_dropped,
+        metrics.levels.repair_quantile(0.5),
+        metrics.levels.repair_quantile(0.99)
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(path, obs_json(&report)).expect("write obs json");
+            let prom = path.with_extension("prom");
+            std::fs::write(&prom, prometheus_text(&metrics)).expect("write obs prometheus text");
+            println!("obs documents written to {} and {}", path.display(), prom.display());
+        }
+        None => print!("{}", obs_json(&report)),
     }
 }
 

@@ -8,8 +8,14 @@
 //! still agree on a common membership view after local repair.
 //!
 //! ```text
-//! cargo run --release -p rgb-bench --bin reliability_sim [trials]
+//! cargo run --release -p rgb-bench --bin reliability_sim [trials] [--obs-out OBS.json]
 //! ```
+//!
+//! With `--obs-out`, one representative E9c fault run is re-executed with
+//! the observability layer enabled and exported as an `rgb-obs v1` JSON
+//! document (plus a Prometheus-style `OBS.json.prom` sibling) — repair
+//! latency per ring level under Bernoulli faults is the surface E16
+//! reads.
 
 use rgb_analysis::tables::{pct3, render};
 use rgb_baselines::{
@@ -21,10 +27,10 @@ use rgb_core::prelude::*;
 use rgb_sim::fault::bernoulli_crashes;
 use rgb_sim::{Backend, Scenario};
 
-/// One E9c trial: a populated (h=2, r=5) hierarchy running continuous
-/// tokens, Bernoulli NE faults at probability `f` injected mid-run.
-/// Returns whether the surviving root-ring nodes ended in view agreement.
-fn protocol_fault_trial(f: f64, seed: u64) -> bool {
+/// The E9c scenario: a populated (h=2, r=5) hierarchy running continuous
+/// tokens, Bernoulli NE faults at probability `f` injected mid-run (at
+/// least two root nodes kept alive so view agreement is never vacuous).
+fn fault_scenario(f: f64, seed: u64) -> Scenario {
     let mut cfg = ProtocolConfig::live();
     cfg.token_interval = 20;
     cfg.token_retransmit_timeout = 60;
@@ -61,15 +67,75 @@ fn protocol_fault_trial(f: f64, seed: u64) -> bool {
             true
         })
         .collect();
-    let scenario = scenario.with_crashes(crashes);
+    scenario.with_crashes(crashes)
+}
+
+/// One E9c trial: returns whether the surviving root-ring nodes ended in
+/// view agreement.
+fn protocol_fault_trial(f: f64, seed: u64) -> bool {
+    let scenario = fault_scenario(f, seed);
+    let root = scenario.layout().root_ring().nodes.clone();
     let outcome = scenario.run_on(Backend::Sim).expect("valid scenario");
     let alive_root: Vec<NodeId> =
         root.iter().copied().filter(|n| !outcome.crashed.contains(n)).collect();
     outcome.agreed_view(&alive_root).is_some()
 }
 
+/// `--obs-out`: re-run one representative fault trial (f = 5%, seed 1000)
+/// with a flight recorder attached and export the run's metrics, timeline,
+/// per-ring-level latency histograms, and protocol trace.
+fn write_obs(path: &str) {
+    use rgb_core::obs::FlightRecorder;
+    use rgb_sim::{obs_json, prometheus_text, ObsReport, Timeline};
+
+    let scenario = fault_scenario(0.05, 1_000);
+    let mut sim = scenario.try_build_sim().expect("valid scenario");
+    sim.enable_obs(Box::new(FlightRecorder::new(4096)));
+    let start = std::time::Instant::now();
+    let mut timeline = Timeline::new();
+    let stride = (scenario.duration / 16).max(1);
+    let mut t = 0u64;
+    while t < scenario.duration {
+        t = (t + stride).min(scenario.duration);
+        sim.run_until(t);
+        timeline.sample(t, start.elapsed().as_nanos(), &sim.metrics);
+    }
+    let trace = sim.trace_snapshot();
+    let report = ObsReport {
+        scenario: &scenario.name,
+        backend: "sim",
+        ticks: scenario.duration,
+        wall_nanos: start.elapsed().as_nanos(),
+        metrics: &sim.metrics,
+        timeline: &timeline,
+        trace: &trace,
+        trace_dropped: sim.trace_dropped(),
+    };
+    std::fs::write(path, obs_json(&report)).expect("write obs json");
+    let prom = format!("{path}.prom");
+    std::fs::write(&prom, prometheus_text(&sim.metrics)).expect("write obs prometheus text");
+    println!(
+        "\nobs: wrote {path} and {prom} ({} trace records; repair p50 {:?} / p99 {:?} ticks)",
+        trace.len(),
+        sim.metrics.levels.repair_quantile(0.5),
+        sim.metrics.levels.repair_quantile(0.99)
+    );
+}
+
 fn main() {
-    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let mut trials: u64 = 50_000;
+    let mut obs_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--obs-out" {
+            obs_out = Some(it.next().unwrap_or_else(|| {
+                eprintln!("missing value for --obs-out");
+                std::process::exit(2);
+            }));
+        } else if let Ok(n) = arg.parse() {
+            trials = n;
+        }
+    }
 
     println!("E9a — exact single-fault damage (expected partitions | 1 fault)\n");
     let mut rows = Vec::new();
@@ -144,4 +210,8 @@ fn main() {
     println!("(The trees field fewer/more physical machines than the ring at equal");
     println!("leaf count, so the f-based rows also reflect exposure differences;");
     println!("the single-fault table isolates pure per-fault damage.)");
+
+    if let Some(path) = &obs_out {
+        write_obs(path);
+    }
 }

@@ -73,6 +73,7 @@ pub mod message;
 pub mod mq;
 pub mod nejoin;
 pub mod node;
+pub mod obs;
 pub mod partition;
 pub mod protocol;
 pub mod query;
@@ -100,6 +101,10 @@ pub mod prelude {
     };
     pub use crate::mq::MessageQueue;
     pub use crate::node::{ChildLink, NodeState, NodeStats};
+    pub use crate::obs::{
+        FlightRecorder, Histogram, LevelHistograms, LevelLatency, NullSink, ObsKind, ObsRecord,
+        TraceSink,
+    };
     pub use crate::ring::RingRoster;
     pub use crate::substrate::{apply_outputs, OutputSink, Substrate};
     pub use crate::testing::Loopback;

@@ -218,7 +218,16 @@ impl Cluster {
                 .shared
                 .app_events_dropped
                 .load(std::sync::atomic::Ordering::Relaxed),
+            codec_rejected: self.shared.codec_rejected.load(std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// Per-ring-level latency surfaces observed so far (repair duration
+    /// and query RTT in wall ticks; join anchoring is simulator-only).
+    /// The same [`rgb_core::obs::LevelHistograms`] shape the simulators
+    /// merge, so live and simulated runs export through one path.
+    pub fn level_latency(&self) -> rgb_core::obs::LevelHistograms {
+        self.shared.latency.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Messages dropped by the router (to crashed/unknown nodes).

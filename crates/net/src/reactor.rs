@@ -26,15 +26,16 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 use rgb_core::events::{AppEvent, Input, TimerKind};
 use rgb_core::introspect::StateDigest;
 use rgb_core::member::MemberList;
-use rgb_core::message::MsgLabel;
+use rgb_core::message::{Msg, MsgLabel};
 use rgb_core::node::NodeState;
+use rgb_core::obs::LevelHistograms;
 use rgb_core::prelude::{GroupId, NodeId};
 use rgb_core::substrate::{apply_outputs, OutputSink, Substrate};
 use rgb_core::wire;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How a live reactor deployment is shaped: worker count, tick length,
@@ -182,6 +183,10 @@ pub struct ClusterStats {
     pub app_events: u64,
     /// Application events dropped because the stream was full.
     pub app_events_dropped: u64,
+    /// Received frames dropped at decode: corrupt bytes or a foreign
+    /// group id — the same rejection the simulators count, so a live run
+    /// and a simulated replay of one scenario expose comparable counters.
+    pub codec_rejected: u64,
 }
 
 /// Counters shared between every worker and the cluster handle.
@@ -189,6 +194,12 @@ pub struct ClusterStats {
 pub(crate) struct ReactorShared {
     pub app_events: AtomicU64,
     pub app_events_dropped: AtomicU64,
+    pub codec_rejected: AtomicU64,
+    /// Per-ring-level latency surfaces (repair and query; join anchoring
+    /// needs deterministic wire sightings and stays simulator-only).
+    /// Workers take this lock only on the rare completion events, never
+    /// per frame.
+    pub latency: Mutex<LevelHistograms>,
 }
 
 /// log2 of the wheel size: the wheel covers `[cursor, cursor + 1024)`
@@ -203,6 +214,8 @@ const MAX_PARK: Duration = Duration::from_millis(50);
 /// Messages drained per mailbox batch before re-checking timers, so a
 /// flooded mailbox cannot starve timer fairness.
 const DRAIN_BATCH: usize = 256;
+/// Sentinel for "no latency interval open" in [`MuxNode`]'s anchors.
+const NO_ANCHOR: u64 = u64::MAX;
 
 /// One armed timer: wall-tick deadline, hosting worker's local node index,
 /// kind and the generation stamp that detects superseded entries.
@@ -330,6 +343,17 @@ struct MuxNode {
     timers: BTreeMap<TimerKind, u64>,
     next_gen: u64,
     dropped_frames: u64,
+    /// Tick a ring-repair suspicion (`TokenLost` / `TokenRetransmit`)
+    /// fired, until `RingRepaired` closes the interval into
+    /// [`ReactorShared::latency`] or ring progress (a token or ack
+    /// arriving) clears it; [`NO_ANCHOR`] when none is open.
+    ring_repair_started: u64,
+    /// Tick a `ParentTimeout` fired, until the matching `Reattached`
+    /// closes the interval; [`NO_ANCHOR`] when none is open.
+    reattach_started: u64,
+    /// Tick the last `StartQuery` was injected; [`NO_ANCHOR`] when no
+    /// query is in flight.
+    query_started: u64,
 }
 
 /// The reactor-worker implementation of the substrate layer: wall-tick
@@ -343,6 +367,11 @@ struct ReactorSubstrate<'a> {
     timers: &'a mut BTreeMap<TimerKind, u64>,
     next_gen: &'a mut u64,
     dropped_frames: &'a mut u64,
+    ring_repair_started: &'a mut u64,
+    reattach_started: &'a mut u64,
+    query_started: &'a mut u64,
+    /// The hosted node's ring level (latency surface index).
+    level: u8,
     local: u32,
     now: u64,
 }
@@ -371,6 +400,33 @@ impl Substrate for ReactorSubstrate<'_> {
     }
 
     fn deliver_app(&mut self, node: NodeId, event: AppEvent) {
+        match &event {
+            AppEvent::RingRepaired { .. } => {
+                let t0 = std::mem::replace(self.ring_repair_started, NO_ANCHOR);
+                if t0 != NO_ANCHOR {
+                    let dt = self.now.saturating_sub(t0);
+                    let mut latency = self.shared.latency.lock().unwrap_or_else(|e| e.into_inner());
+                    latency.level_mut(self.level).repair.record(dt);
+                }
+            }
+            AppEvent::Reattached { .. } => {
+                let t0 = std::mem::replace(self.reattach_started, NO_ANCHOR);
+                if t0 != NO_ANCHOR {
+                    let dt = self.now.saturating_sub(t0);
+                    let mut latency = self.shared.latency.lock().unwrap_or_else(|e| e.into_inner());
+                    latency.level_mut(self.level).repair.record(dt);
+                }
+            }
+            AppEvent::QueryResult { .. } => {
+                let t0 = std::mem::replace(self.query_started, NO_ANCHOR);
+                if t0 != NO_ANCHOR {
+                    let dt = self.now.saturating_sub(t0);
+                    let mut latency = self.shared.latency.lock().unwrap_or_else(|e| e.into_inner());
+                    latency.level_mut(self.level).query.record(dt);
+                }
+            }
+            _ => {}
+        }
         match self.events.try_send((node, event)) {
             Ok(()) => {
                 self.shared.app_events.fetch_add(1, Ordering::Relaxed);
@@ -420,7 +476,15 @@ impl Worker {
             .states
             .into_iter()
             .map(|state| {
-                Some(MuxNode { state, timers: BTreeMap::new(), next_gen: 0, dropped_frames: 0 })
+                Some(MuxNode {
+                    state,
+                    timers: BTreeMap::new(),
+                    next_gen: 0,
+                    dropped_frames: 0,
+                    ring_repair_started: NO_ANCHOR,
+                    reattach_started: NO_ANCHOR,
+                    query_started: NO_ANCHOR,
+                })
             })
             .collect();
         Worker {
@@ -461,6 +525,7 @@ impl Worker {
         let tick_ns = tick.as_nanos().max(1);
         let now = (start.elapsed().as_nanos() / tick_ns) as u64;
         node.state.handle_into(input, outs);
+        let level = node.state.level as u8;
         let mut sub = ReactorSubstrate {
             router,
             events,
@@ -469,6 +534,10 @@ impl Worker {
             timers: &mut node.timers,
             next_gen: &mut node.next_gen,
             dropped_frames: &mut node.dropped_frames,
+            ring_repair_started: &mut node.ring_repair_started,
+            reattach_started: &mut node.reattach_started,
+            query_started: &mut node.query_started,
+            level,
             local: i as u32,
             now,
         };
@@ -496,9 +565,20 @@ impl Worker {
                 if let Some(&i) = self.index.get(&to) {
                     match wire::decode(&frame) {
                         Ok(env) if env.gid == self.gid => {
+                            // The ring reached this node: any open
+                            // retransmit/loss suspicion resolved without
+                            // a repair.
+                            if matches!(env.msg, Msg::Token(_) | Msg::TokenAck { .. }) {
+                                if let Some(n) = self.nodes[i].as_mut() {
+                                    n.ring_repair_started = NO_ANCHOR;
+                                }
+                            }
                             self.drive(i, Input::Msg { from, msg: env.msg });
                         }
-                        _ => {} // foreign group or corrupt frame: drop
+                        _ => {
+                            // Foreign group or corrupt frame: drop, counted.
+                            self.shared.codec_rejected.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }
@@ -509,6 +589,10 @@ impl Worker {
             }
             ToWorker::Query { node, scope } => {
                 if let Some(&i) = self.index.get(&node) {
+                    let now = self.now_tick();
+                    if let Some(n) = self.nodes[i].as_mut() {
+                        n.query_started = now;
+                    }
                     self.drive(i, Input::StartQuery { scope });
                 }
             }
@@ -543,6 +627,22 @@ impl Worker {
                 if live {
                     if let Some(n) = self.nodes[i].as_mut() {
                         n.timers.remove(&entry.kind);
+                        // A repair suspicion opens the latency interval
+                        // the eventual RingRepaired / Reattached closes;
+                        // the first trigger wins, and token progress
+                        // clears a ring suspicion that resolved without
+                        // repair.
+                        match entry.kind {
+                            TimerKind::TokenLost | TimerKind::TokenRetransmit { .. }
+                                if n.ring_repair_started == NO_ANCHOR =>
+                            {
+                                n.ring_repair_started = now;
+                            }
+                            TimerKind::ParentTimeout if n.reattach_started == NO_ANCHOR => {
+                                n.reattach_started = now;
+                            }
+                            _ => {}
+                        }
                     }
                     self.drive(i, Input::Timer(entry.kind));
                 }

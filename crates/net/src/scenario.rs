@@ -226,6 +226,15 @@ impl Engine for LiveEngine {
         self.timeline.len() - self.applied
     }
 
+    /// The live runtime tracks its repair/query latency surfaces
+    /// unconditionally (the lock is touched only on rare completion
+    /// events), so there is nothing to switch on.
+    fn enable_obs_tracking(&mut self) {}
+
+    fn obs_levels(&self) -> rgb_core::obs::LevelHistograms {
+        self.cluster.level_latency()
+    }
+
     /// Mailbox depths are not observable across worker threads; the live
     /// engine reports zero (drained-or-in-flight is the only statement a
     /// wall-clock world can make).

@@ -59,6 +59,17 @@ pub trait Engine {
     /// Counter totals for run traces.
     fn counters(&self) -> EngineCounters;
 
+    /// Enable observability latency tracking (no trace retention) — the
+    /// per-ring-level histograms behind [`Engine::obs_levels`]. Tracking
+    /// never touches node inputs, RNG streams or event keys, so digest
+    /// streams are unchanged.
+    fn enable_obs_tracking(&mut self);
+
+    /// Merged per-ring-level latency surfaces observed so far (empty
+    /// unless tracking was enabled). Identical across engines for the
+    /// same run.
+    fn obs_levels(&self) -> rgb_core::obs::LevelHistograms;
+
     /// Run until `deadline`, handing the engine to `observe` every `every`
     /// ticks of simulated time (and once at the deadline). The observer
     /// returns `false` to stop early; the function then returns the stop
@@ -115,6 +126,14 @@ impl Engine for Simulation {
     fn counters(&self) -> EngineCounters {
         EngineCounters::of(&self.metrics)
     }
+
+    fn enable_obs_tracking(&mut self) {
+        Simulation::enable_obs_tracking(self);
+    }
+
+    fn obs_levels(&self) -> rgb_core::obs::LevelHistograms {
+        self.metrics.levels.clone()
+    }
 }
 
 impl Engine for ParSimulation {
@@ -140,8 +159,16 @@ impl Engine for ParSimulation {
 
     fn counters(&self) -> EngineCounters {
         // Summed directly per shard — the full metrics() merge clones
-        // histogram sample vectors, far too heavy for the per-observation
-        // oracle loop.
+        // every histogram, far too heavy for the per-observation oracle
+        // loop.
         self.counter_totals()
+    }
+
+    fn enable_obs_tracking(&mut self) {
+        ParSimulation::enable_obs_tracking(self);
+    }
+
+    fn obs_levels(&self) -> rgb_core::obs::LevelHistograms {
+        self.level_latency()
     }
 }

@@ -102,6 +102,26 @@ fn rate_bucket(n: u64, d: u64) -> u64 {
     }
 }
 
+/// Decade bucket of a latency quantile: 0 when absent (the run repaired
+/// nothing — the dominant case, keeping keys of repair-free runs exactly
+/// what they were before this feature existed), else the order of
+/// magnitude in ticks (1 for <10, 2 for <100, …). Decades, not raw
+/// values: a repair that takes 480 ticks under one jitter roll and 520
+/// under another is the same recovery behaviour.
+fn decade_bucket(v: Option<u64>) -> u64 {
+    match v {
+        None => 0,
+        Some(mut t) => {
+            let mut d = 1;
+            while t >= 10 {
+                t /= 10;
+                d += 1;
+            }
+            d
+        }
+    }
+}
+
 impl CoverageKey {
     /// Compute the coverage key of `report`, produced by running
     /// `scenario`. Pure: the same (scenario, digest trace, outcome)
@@ -155,6 +175,14 @@ impl CoverageKey {
             None => 15,
         };
         eat(settle_bucket);
+        // Repair-latency shape: how long recovery took (median and tail),
+        // in decades of ticks, pooled across ring levels. Two runs that
+        // both lost a token but repaired in different latency decades
+        // exercised different recovery paths (e.g. a fast intra-ring
+        // regeneration vs a partition-stalled one); counters alone cannot
+        // tell them apart.
+        eat(decade_bucket(report.repair_p50));
+        eat(decade_bucket(report.repair_p99));
 
         CoverageKey { outcome, features: h }
     }

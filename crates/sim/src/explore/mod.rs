@@ -106,6 +106,12 @@ pub struct RunReport {
     /// This is how lookahead regressions surface in fuzz runs, not only
     /// benches.
     pub par_stats: Option<crate::metrics::ParStats>,
+    /// Median repair latency in ticks, pooled across ring levels
+    /// (`None` when the run repaired nothing). Tracked through the obs
+    /// layer; identical on either engine.
+    pub repair_p50: Option<u64>,
+    /// Tail (p99) repair latency in ticks, pooled across ring levels.
+    pub repair_p99: Option<u64>,
 }
 
 /// A violation found by [`Explorer::explore`], with its shrunk reproducer.
@@ -236,6 +242,11 @@ impl Explorer {
         for o in oracles.iter_mut() {
             o.reset();
         }
+        // Latency tracking only (no trace retention): the repair-latency
+        // surfaces feed the coverage fingerprint. Tracking never touches
+        // node inputs or RNG streams, so the digest stream the oracles
+        // see is unchanged.
+        sim.enable_obs_tracking();
         let mut trace = RunTrace::default();
         let mut violation: Option<Violation> = None;
 
@@ -270,6 +281,7 @@ impl Explorer {
             });
         }
 
+        let levels = sim.obs_levels();
         RunReport {
             seed: u64::MAX,
             scenario: scenario.name.clone(),
@@ -277,6 +289,8 @@ impl Explorer {
             violation,
             trace,
             par_stats: None,
+            repair_p50: levels.repair_quantile(0.5),
+            repair_p99: levels.repair_quantile(0.99),
         }
     }
 

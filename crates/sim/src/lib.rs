@@ -29,6 +29,7 @@ pub mod fault;
 pub mod metrics;
 pub mod mobility;
 pub mod network;
+pub mod obs;
 pub mod oracle;
 pub mod par;
 pub mod presets;
@@ -45,6 +46,7 @@ pub use fault::{bernoulli_crashes, crash_in_ring, PlannedCrash};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot, ParStats};
 pub use mobility::{MobilityModel, TimedEvent};
 pub use network::{LatencyBand, LinkClass, LinkClassMatrix, NetConfig, NetworkModel};
+pub use obs::{obs_json, prometheus_text, ObsReport, Timeline, TimelineEntry};
 pub use oracle::{check_repair_complete, check_ring_consistency, function_well_report};
 pub use par::{ParSimulation, Parallelism};
 pub use rng::SplitMix64;

@@ -8,72 +8,17 @@
 //! demand by [`Metrics::by_label`] / [`Metrics::by_class`].
 
 use crate::network::LinkClass;
+use rgb_core::obs::LevelHistograms;
 use rgb_core::prelude::MsgLabel;
 use std::collections::BTreeMap;
 
-/// A latency histogram backed by a sorted sample vector (simulations are
-/// small enough that exact quantiles are affordable).
-#[derive(Debug, Clone, Default)]
-pub struct Histogram {
-    samples: Vec<u64>,
-    sorted: bool,
-}
-
-impl Histogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one sample.
-    pub fn record(&mut self, v: u64) {
-        self.samples.push(v);
-        self.sorted = false;
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Arithmetic mean (0 for empty).
-    pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
-    }
-
-    /// Exact quantile by nearest-rank (`q` in `[0, 1]`); `None` when empty.
-    pub fn quantile(&mut self, q: f64) -> Option<u64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
-        Some(self.samples[rank - 1])
-    }
-
-    /// Maximum sample.
-    pub fn max(&self) -> Option<u64> {
-        self.samples.iter().copied().max()
-    }
-
-    /// Fold another histogram's samples into this one (multiset union —
-    /// counts, mean, quantiles and max behave as if every sample had been
-    /// recorded here).
-    pub fn merge(&mut self, other: &Histogram) {
-        if other.samples.is_empty() {
-            return;
-        }
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
-    }
-}
+/// The latency histogram, re-exported from [`rgb_core::obs`].
+///
+/// Previously a sorted-sample-vector type local to this module whose
+/// `quantile` needed `&mut self`; the bucketed core type reads quantiles
+/// through `&self` and merges by count addition, and is shared with the
+/// live runtime so every backend reports latency through one algebra.
+pub use rgb_core::obs::Histogram;
 
 /// Window accounting of the parallel engine
 /// ([`crate::par::ParSimulation`]): why a sharded run was fast or slow.
@@ -96,6 +41,17 @@ pub struct ParStats {
     pub batches: u64,
     /// Largest single mailbox batch of the run.
     pub max_batch: u64,
+    /// Wall nanoseconds spent executing events inside windows
+    /// (`Shard::run_window`), summed across shards.
+    pub execute_nanos: u64,
+    /// Wall nanoseconds spent flushing cross-shard mailbox batches.
+    pub flush_nanos: u64,
+    /// Wall nanoseconds spent waiting at the window barrier — the
+    /// load-imbalance signal: a shard with little work burns its window
+    /// here.
+    pub barrier_nanos: u64,
+    /// Wall nanoseconds spent draining incoming mailbox batches.
+    pub drain_nanos: u64,
 }
 
 impl ParStats {
@@ -107,6 +63,10 @@ impl ParStats {
         self.frames_batched += other.frames_batched;
         self.batches += other.batches;
         self.max_batch = self.max_batch.max(other.max_batch);
+        self.execute_nanos += other.execute_nanos;
+        self.flush_nanos += other.flush_nanos;
+        self.barrier_nanos += other.barrier_nanos;
+        self.drain_nanos += other.drain_nanos;
     }
 }
 
@@ -146,6 +106,11 @@ pub struct Metrics {
     pub change_latency: Histogram,
     /// Per-query latency (request → result).
     pub query_latency: Histogram,
+    /// Per-ring-level latency surfaces (join agreement, repair/handoff
+    /// duration, query RTT), recorded only when an engine's observability
+    /// tracking is enabled. Merged level-by-level, so shard aggregation
+    /// and sequential runs produce identical surfaces.
+    pub levels: LevelHistograms,
     /// Parallel-engine window accounting (zero for sequential runs).
     pub par: ParStats,
 }
@@ -241,6 +206,7 @@ impl Metrics {
         self.stale_timer_skips += other.stale_timer_skips;
         self.change_latency.merge(&other.change_latency);
         self.query_latency.merge(&other.query_latency);
+        self.levels.merge(&other.levels);
         self.par.merge(&other.par);
     }
 
@@ -289,20 +255,22 @@ mod tests {
         for v in [5u64, 1, 9, 3, 7] {
             h.record(v);
         }
+        // Reads go through &self now that the histogram is bucketed.
+        let h = &h;
         assert_eq!(h.count(), 5);
         assert_eq!(h.quantile(0.0), Some(1));
         assert_eq!(h.quantile(0.5), Some(5));
         assert_eq!(h.quantile(1.0), Some(9));
         assert_eq!(h.max(), Some(9));
-        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert!((h.mean().unwrap() - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_histogram() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.max(), None);
-        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.mean(), None);
     }
 
     #[test]
@@ -362,6 +330,13 @@ mod tests {
             m.par.frames_batched = base + 47;
             m.par.batches = base + 53;
             m.par.max_batch = base + 59;
+            m.par.execute_nanos = base + 61;
+            m.par.flush_nanos = base + 67;
+            m.par.barrier_nanos = base + 71;
+            m.par.drain_nanos = base + 73;
+            m.levels.level_mut(1).join.record(base + 79);
+            m.levels.level_mut(1).repair.record(base + 83);
+            m.levels.level_mut(2).query.record(base + 89);
             m
         };
         let a = fill(100);
@@ -398,14 +373,26 @@ mod tests {
         // max_batch is the one non-additive slot: a merge reports the
         // largest batch any shard ever flushed, not a sum of maxima.
         assert_eq!(merged.par.max_batch, a.par.max_batch.max(b.par.max_batch));
+        assert_eq!(merged.par.execute_nanos, a.par.execute_nanos + b.par.execute_nanos);
+        assert_eq!(merged.par.flush_nanos, a.par.flush_nanos + b.par.flush_nanos);
+        assert_eq!(merged.par.barrier_nanos, a.par.barrier_nanos + b.par.barrier_nanos);
+        assert_eq!(merged.par.drain_nanos, a.par.drain_nanos + b.par.drain_nanos);
         assert_eq!(
             merged.change_latency.count(),
             a.change_latency.count() + b.change_latency.count()
         );
         assert_eq!(merged.query_latency.count(), 4);
-        let mut q = merged.query_latency.clone();
+        let q = &merged.query_latency;
         assert_eq!(q.quantile(0.0), Some(131), "merged histogram holds both sample sets");
         assert_eq!(q.quantile(1.0), Some(1_037));
+        assert_eq!(merged.levels.depth(), 3);
+        assert_eq!(
+            merged.levels.get(1).unwrap().join.count(),
+            a.levels.get(1).unwrap().join.count() + b.levels.get(1).unwrap().join.count()
+        );
+        assert_eq!(merged.levels.get(1).unwrap().repair.max(), Some(1_083));
+        assert_eq!(merged.levels.get(2).unwrap().query.count(), 2);
+        assert_eq!(merged.levels.repair_quantile(0.0), Some(183));
         // Merging an empty Metrics is the identity.
         let mut id = a.clone();
         id.merge(&Metrics::default());

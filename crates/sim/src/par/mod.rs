@@ -297,6 +297,64 @@ impl ParSimulation {
         }
     }
 
+    /// Enable observability on every shard: `make_sink` builds one sink
+    /// per shard (keyed by shard id), so trace recording inside the
+    /// window threads stays lock-free. Tracking never touches node
+    /// inputs, RNG streams or event keys, so enabling it leaves
+    /// [`ParSimulation::system_digest`] streams byte-identical.
+    pub fn enable_obs<F>(&mut self, mut make_sink: F)
+    where
+        F: FnMut(usize) -> Box<dyn rgb_core::obs::TraceSink>,
+    {
+        for shard in &mut self.shards {
+            shard.obs.enable(make_sink(shard.id));
+        }
+    }
+
+    /// Enable latency tracking only (no trace retention) — the explorer's
+    /// mode: per-level histograms feed coverage features at no trace cost.
+    pub fn enable_obs_tracking(&mut self) {
+        for shard in &mut self.shards {
+            shard.obs.enable_tracking();
+        }
+    }
+
+    /// Retained trace records merged across every shard and sorted into
+    /// [`rgb_core::obs::ObsRecord`]'s `(at, node, …)` order —
+    /// set-equal to the sequential engine's snapshot for the same run and
+    /// ample sink capacity.
+    pub fn trace_snapshot(&self) -> Vec<rgb_core::obs::ObsRecord> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.obs.trace_snapshot());
+        }
+        all.sort_unstable();
+        all
+    }
+
+    /// Trace records evicted by sink capacity bounds, across every shard.
+    pub fn trace_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.obs.trace_dropped()).sum()
+    }
+
+    /// Merged per-ring-level latency surfaces across every shard (empty
+    /// unless obs was enabled) — equal to the sequential engine's for the
+    /// same run, because ring-wholesale sharding keeps every latency
+    /// interval on one shard.
+    pub fn level_latency(&self) -> rgb_core::obs::LevelHistograms {
+        let mut levels = rgb_core::obs::LevelHistograms::new();
+        for shard in &self.shards {
+            levels.merge(&shard.metrics.levels);
+        }
+        levels
+    }
+
+    /// Join intervals discarded because a shard's first-seen table hit
+    /// its cap (accounting trim only; protocol behaviour is unaffected).
+    pub fn obs_first_seen_overflow(&self) -> u64 {
+        self.shards.iter().map(|s| s.obs.first_seen_overflow()).sum()
+    }
+
     fn sched_key(&mut self) -> EventKey {
         let key = EventKey::scheduled(self.sched_seq);
         self.sched_seq += 1;
@@ -448,7 +506,9 @@ impl ParSimulation {
             // Nothing can cross shards: drive the one populated shard
             // (if any) straight to the deadline.
             for (shard, _) in self.shards.iter_mut().zip(&active).filter(|(_, &a)| a) {
+                let t0 = std::time::Instant::now();
                 shard.run_window(deadline);
+                shard.metrics.par.execute_nanos += t0.elapsed().as_nanos() as u64;
                 shard.metrics.par.windows += 1;
             }
             return;
@@ -494,15 +554,28 @@ impl ParSimulation {
                                 horizons[j] = la.horizon_of(&clocks, j, deadline);
                             }
                         }
+                        // Wall-clock phase accounting (execute / flush /
+                        // barrier / drain). Reads of the monotonic clock
+                        // never feed back into event content or order, so
+                        // timing cannot perturb determinism; the barrier
+                        // bucket is the load-imbalance signal.
+                        let t0 = std::time::Instant::now();
                         shard.run_window(horizons[me]);
                         shard.metrics.par.windows += 1;
+                        let t1 = std::time::Instant::now();
+                        shard.metrics.par.execute_nanos += (t1 - t0).as_nanos() as u64;
                         let sent_min = shard.flush_batches(txs);
                         let bound = shard.next_event_at().min(sent_min);
                         published[me][parity].store(bound, Ordering::Relaxed);
+                        let t2 = std::time::Instant::now();
+                        shard.metrics.par.flush_nanos += (t2 - t1).as_nanos() as u64;
                         if barrier.wait().is_err() {
                             return;
                         }
+                        let t3 = std::time::Instant::now();
+                        shard.metrics.par.barrier_nanos += (t3 - t2).as_nanos() as u64;
                         shard.drain_batches(&rx);
+                        shard.metrics.par.drain_nanos += t3.elapsed().as_nanos() as u64;
                         for j in 0..nshards {
                             if active[j] {
                                 clocks[j] = clocks[j].max(horizons[j].saturating_add(1));

@@ -19,6 +19,7 @@
 
 use crate::metrics::Metrics;
 use crate::network::{LinkClassMatrix, NetworkModel};
+use crate::obs::EngineObs;
 use crate::par::partition::ShardMap;
 use crate::queue::{Event, EventKey, EventKind, EventQueue, QueueKind, TimerSlot};
 use crate::rng::SplitMix64;
@@ -73,6 +74,11 @@ pub(crate) struct Shard {
     /// back to [`Shard::flush_batches`] so the steady-state window loop
     /// allocates nothing.
     spare: Vec<Vec<Event>>,
+    /// Observability hooks over this shard's slice of nodes. Ring-wholesale
+    /// sharding keeps every `(ring, change)` join interval and every
+    /// node-local repair interval on one shard, so the merged per-level
+    /// histograms equal the sequential engine's exactly.
+    pub(crate) obs: EngineObs,
     // Shared, immutable world state.
     indexer: Arc<NodeIndexer>,
     classes: Arc<LinkClassMatrix>,
@@ -105,6 +111,7 @@ impl Shard {
             .map(|&nid| SplitMix64::stream(seed, NODE_STREAM_SALT ^ nid.0))
             .collect();
         let n = globals.len();
+        let obs = EngineObs::new(&node_ids, layout);
         Shard {
             id,
             gid: layout.gid,
@@ -129,6 +136,7 @@ impl Shard {
             processed: 0,
             outbox: vec![Vec::new(); map.shards],
             spare: Vec::new(),
+            obs,
             indexer,
             classes,
             map,
@@ -260,6 +268,9 @@ impl Shard {
                     match slots.iter().position(|s| s.gen == gen) {
                         Some(pos) => {
                             slots.swap_remove(pos);
+                            if self.obs.enabled {
+                                self.obs.on_timer_fire(self.now, local, kind);
+                            }
                             self.inject_local(local, Input::Timer(kind));
                         }
                         None => self.metrics.stale_timer_skips += 1,
@@ -290,19 +301,38 @@ impl Shard {
                 if let Some(local) = self.local_of_id(node) {
                     self.crashed[local] = true;
                     self.timer_slots[local].clear();
+                    if self.obs.enabled {
+                        self.obs.on_crash(self.now, local);
+                    }
                 }
             }
             EventKind::QueryStart { node, scope } => {
                 if let Some(local) = self.local_of_id(node) {
                     self.query_started[local] = self.now;
+                    if self.obs.enabled {
+                        self.obs.on_query_issue(self.now, local);
+                    }
                     self.inject_local(local, Input::StartQuery { scope });
                 }
             }
             EventKind::PartitionStart { a, b } => {
+                // Partition arms are replicated to both endpoint owners;
+                // only `a`'s owner traces, matching the sequential engine's
+                // single record (`local_partition_of` skips the replica).
+                if self.obs.enabled {
+                    if let Some(local) = self.local_partition_of(a) {
+                        self.obs.on_partition(self.now, local, true);
+                    }
+                }
                 let pair = if a <= b { (a, b) } else { (b, a) };
                 self.partitioned.push(pair);
             }
             EventKind::PartitionHeal { a, b } => {
+                if self.obs.enabled {
+                    if let Some(local) = self.local_partition_of(a) {
+                        self.obs.on_partition(self.now, local, false);
+                    }
+                }
                 let pair = if a <= b { (a, b) } else { (b, a) };
                 if let Some(pos) = self.partitioned.iter().position(|&p| p == pair) {
                     self.partitioned.swap_remove(pos);
@@ -324,6 +354,18 @@ impl Shard {
         Some(self.map.local_of(global).as_usize())
     }
 
+    /// Local index of partition endpoint `id` when this shard owns it,
+    /// `None` otherwise — unlike [`Shard::local_of_id`] a foreign owner is
+    /// *expected* here (partition arms are replicated to both endpoint
+    /// owners), so no routing assertion fires.
+    fn local_partition_of(&self, id: NodeId) -> Option<usize> {
+        let global = self.indexer.index_of(id)?;
+        if self.map.shard_of(global) != self.id {
+            return None;
+        }
+        Some(self.map.local_of(global).as_usize())
+    }
+
     fn inject_local(&mut self, local: usize, input: Input) {
         if self.crashed[local] {
             return;
@@ -340,6 +382,9 @@ impl Shard {
         match wire::decode(frame) {
             Ok(env) if env.gid == self.gid => {
                 if let Some(local) = to {
+                    if self.obs.enabled {
+                        self.obs.on_msg(self.now, local.as_usize(), &env.msg);
+                    }
                     self.inject_local(local.as_usize(), Input::Msg { from, msg: env.msg });
                 }
             }
@@ -496,8 +541,13 @@ impl Substrate for Shard {
         if let AppEvent::QueryResult { .. } = &event {
             let t0 = std::mem::replace(&mut self.query_started[local], NO_QUERY);
             if t0 != NO_QUERY {
-                self.metrics.query_latency.record(self.now - t0);
+                let dt = self.now - t0;
+                self.metrics.query_latency.record(dt);
+                self.obs.on_query_done(local, dt, &mut self.metrics);
             }
+        }
+        if self.obs.enabled {
+            self.obs.on_app(self.now, local, &event, &mut self.metrics);
         }
         let log = &mut self.delivered[local];
         if log.len() < self.delivered_cap {

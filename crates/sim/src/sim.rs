@@ -50,10 +50,12 @@
 
 use crate::metrics::Metrics;
 use crate::network::{LinkClass, LinkClassMatrix, NetConfig, NetworkModel};
+use crate::obs::EngineObs;
 use crate::queue::{Event, EventKey, EventKind, EventQueue};
 use crate::rng::SplitMix64;
 use bytes::Bytes;
 use rgb_core::node::NodeState;
+use rgb_core::obs::{ObsRecord, TraceSink};
 use rgb_core::prelude::*;
 use rgb_core::topology::HierarchyLayout;
 use rgb_core::wire;
@@ -198,6 +200,9 @@ pub struct Simulation {
     partitioned: Vec<(NodeId, NodeId)>,
     /// Reusable output buffer for the hot loop (no per-input allocation).
     out_buf: OutputSink,
+    /// Observability tracking (disabled by default; see
+    /// [`Simulation::enable_obs`]).
+    obs: EngineObs,
 }
 
 impl Substrate for Simulation {
@@ -286,8 +291,13 @@ impl Substrate for Simulation {
         if let AppEvent::QueryResult { .. } = &event {
             let t0 = std::mem::replace(&mut self.query_started[i], NO_QUERY);
             if t0 != NO_QUERY {
-                self.metrics.query_latency.record(self.now - t0);
+                let dt = self.now - t0;
+                self.metrics.query_latency.record(dt);
+                self.obs.on_query_done(i, dt, &mut self.metrics);
             }
+        }
+        if self.obs.enabled {
+            self.obs.on_app(self.now, i, &event, &mut self.metrics);
         }
         let log = &mut self.delivered[i];
         if log.len() < self.delivered_cap {
@@ -336,6 +346,8 @@ impl Simulation {
             .iter()
             .map(|(_, id)| SplitMix64::stream(seed, NODE_STREAM_SALT ^ id.0))
             .collect();
+        let obs_ids: Vec<NodeId> = indexer.iter().map(|(_, id)| id).collect();
+        let obs = EngineObs::new(&obs_ids, &layout);
         Simulation {
             layout,
             now: 0,
@@ -361,7 +373,40 @@ impl Simulation {
             wireless: WirelessHop::new(seed),
             partitioned: Vec::new(),
             out_buf: OutputSink::new(),
+            obs,
         }
+    }
+
+    /// Enable observability: latency tracking into
+    /// [`Metrics::levels`](crate::metrics::Metrics) plus trace records
+    /// into `sink`. Tracking never touches node inputs, RNG streams or
+    /// event keys, so enabling it leaves [`Simulation::system_digest`]
+    /// streams byte-identical.
+    pub fn enable_obs(&mut self, sink: Box<dyn TraceSink>) {
+        self.obs.enable(sink);
+    }
+
+    /// Enable latency tracking only (no trace retention) — the explorer's
+    /// mode: per-level histograms feed coverage features at no trace cost.
+    pub fn enable_obs_tracking(&mut self) {
+        self.obs.enable_tracking();
+    }
+
+    /// The flight recorder's retained records, oldest first (empty when
+    /// obs is disabled or tracking-only).
+    pub fn trace_snapshot(&self) -> Vec<ObsRecord> {
+        self.obs.trace_snapshot()
+    }
+
+    /// Trace records evicted by the sink's capacity bound.
+    pub fn trace_dropped(&self) -> u64 {
+        self.obs.trace_dropped()
+    }
+
+    /// Join intervals discarded because the first-seen table hit its cap
+    /// (accounting trim only; protocol behaviour is unaffected).
+    pub fn obs_first_seen_overflow(&self) -> u64 {
+        self.obs.first_seen_overflow()
     }
 
     /// Convenience constructor: full hierarchy of (h, r).
@@ -476,6 +521,9 @@ impl Simulation {
         match wire::decode(frame) {
             Ok(env) if env.gid == self.layout.gid => {
                 if let Some(idx) = to {
+                    if self.obs.enabled {
+                        self.obs.on_msg(self.now, idx.as_usize(), &env.msg);
+                    }
                     self.inject_idx(idx, Input::Msg { from, msg: env.msg });
                 }
             }
@@ -504,6 +552,9 @@ impl Simulation {
                     match slots.iter().position(|s| s.gen == gen) {
                         Some(pos) => {
                             slots.swap_remove(pos);
+                            if self.obs.enabled {
+                                self.obs.on_timer_fire(self.now, i, kind);
+                            }
                             self.inject_idx(node, Input::Timer(kind));
                         }
                         None => self.metrics.stale_timer_skips += 1,
@@ -536,15 +587,29 @@ impl Simulation {
                     let i = idx.as_usize();
                     self.crashed[i] = true;
                     self.timer_slots[i].clear();
+                    if self.obs.enabled {
+                        self.obs.on_crash(self.now, i);
+                    }
                 }
             }
             EventKind::QueryStart { node, scope } => {
                 if let Some(idx) = self.indexer.index_of(node) {
                     self.query_started[idx.as_usize()] = self.now;
+                    if self.obs.enabled {
+                        self.obs.on_query_issue(self.now, idx.as_usize());
+                    }
                     self.inject_idx(idx, Input::StartQuery { scope });
                 }
             }
             EventKind::PartitionStart { a, b } => {
+                // Trace at endpoint `a` only: the parallel engine
+                // replicates partition arms to both endpoint owners, and
+                // only `a`'s owner emits, keeping traces equivalent.
+                if self.obs.enabled {
+                    if let Some(ai) = self.indexer.index_of(a) {
+                        self.obs.on_partition(self.now, ai.as_usize(), true);
+                    }
+                }
                 // One entry per active window (no dedup): a heal removes
                 // one entry, so overlapping windows keep the pair severed
                 // until the last of them ends.
@@ -552,6 +617,11 @@ impl Simulation {
                 self.partitioned.push(pair);
             }
             EventKind::PartitionHeal { a, b } => {
+                if self.obs.enabled {
+                    if let Some(ai) = self.indexer.index_of(a) {
+                        self.obs.on_partition(self.now, ai.as_usize(), false);
+                    }
+                }
                 let pair = if a <= b { (a, b) } else { (b, a) };
                 if let Some(pos) = self.partitioned.iter().position(|&p| p == pair) {
                     self.partitioned.swap_remove(pos);

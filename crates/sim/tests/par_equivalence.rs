@@ -242,6 +242,38 @@ fn windowed_runs_report_par_stats_and_lookahead_slack() {
 }
 
 #[test]
+fn obs_enabled_digest_streams_stay_byte_identical() {
+    use rgb_core::obs::{FlightRecorder, TraceSink};
+    for sc in scenarios(7) {
+        let mut seq = sc.build_sim();
+        seq.enable_obs(Box::new(FlightRecorder::new(1024)));
+        let mut par = sc.try_build_par(4).expect("scenario validates");
+        par.enable_obs(|_| Box::new(FlightRecorder::new(1024)) as Box<dyn TraceSink>);
+        let mut t = 0;
+        while t < sc.duration {
+            t = (t + 499).min(sc.duration);
+            seq.run_until(t);
+            par.run_until(t);
+            assert_eq!(
+                seq.system_digest(false),
+                par.system_digest(false),
+                "'{}': digest diverged with obs enabled at t={t}",
+                sc.name
+            );
+        }
+        // The obs-enabled trajectory is the obs-disabled trajectory: the
+        // instrumentation reads protocol state, never writes it.
+        let plain = digest_stream_seq(&sc, 499);
+        assert_eq!(
+            plain.last().unwrap(),
+            &seq.system_digest(false),
+            "'{}': enabling obs changed the trajectory",
+            sc.name
+        );
+    }
+}
+
+#[test]
 fn mid_run_digests_are_checkpoint_consistent_under_odd_strides() {
     // Different checkpoint strides must not change the trajectory — the
     // window protocol may not leak observation granularity into state.
